@@ -1,0 +1,36 @@
+//! §V-B7: optimisation ablations — exitless OCALLs and a user-level
+//! network stack (mTCP-style) inside the enclave.
+
+use shield5g_bench::{banner, fmt_summary, reps};
+use shield5g_core::harness::{ablation_optimizations, horizontal_scaling};
+
+fn main() {
+    banner(
+        "Optimisation ablations on eUDM response time",
+        "paper §V-B7 discussion",
+    );
+    let reps = reps();
+    println!("    {reps} stable requests per configuration\n");
+    let rows = ablation_optimizations(1800, reps);
+    let baseline = rows[0].r_stable.median;
+    for row in &rows {
+        let speedup = baseline.as_nanos() as f64 / row.r_stable.median.as_nanos() as f64;
+        println!(
+            "    {:24} {:>26}   {:.2}x vs baseline",
+            row.label,
+            fmt_summary(&row.r_stable),
+            speedup
+        );
+    }
+    println!("\n    Horizontal scaling (enclave worker pool, eUDM):");
+    for row in horizontal_scaling(1900, (reps / 4).max(10), 4) {
+        println!(
+            "      {} instance(s): stable R {} -> {:.0} authentications/s",
+            row.instances, row.stable_response, row.throughput_per_sec
+        );
+    }
+    println!("\n    As §V-B7 argues: exitless OCALLs remove transition costs (but are");
+    println!("    'insecure for production usage as of now'); pulling a user-level");
+    println!("    TCP stack into the enclave removes the network-I/O OCALLs entirely");
+    println!("    at the price of a larger TCB.");
+}

@@ -1,0 +1,32 @@
+//! Figure 10: stable and initial response times of the P-AKA modules.
+
+use shield5g_bench::{banner, fmt_summary, reps};
+use shield5g_core::harness::fig10_response;
+
+fn main() {
+    banner(
+        "Response time from the VNF: stable and initial",
+        "paper Fig. 10 + Table II R columns (§V-B4)",
+    );
+    let stable = reps();
+    let initial = (reps() / 10).max(15);
+    println!("    {stable} stable samples; {initial} fresh-deployment initial samples\n");
+    let paper = [(2.2, 19.04), (2.5, 18.37), (2.9, 21.42)];
+    for (row, (p_rs, p_ri)) in fig10_response(1000, stable, initial).iter().zip(paper) {
+        println!("    {} :", row.kind.name());
+        println!("      R^C       {:>26}", fmt_summary(&row.r_container));
+        println!(
+            "      R_S^SGX   {:>26}   ratio {:.2}x (paper {p_rs}x)",
+            fmt_summary(&row.r_sgx_stable),
+            row.rs_ratio()
+        );
+        println!(
+            "      R_I^SGX   {:>26}   R_I/R_S {:.1}x (paper {p_ri}x)",
+            fmt_summary(&row.r_sgx_initial),
+            row.ri_over_rs()
+        );
+    }
+    println!("\n    The initial response pays lazy loading of network-stack");
+    println!("    dependencies inside the enclave (extra OCALLs + cold page faults");
+    println!("    + in-enclave dynamic linking); subsequent requests are cached.");
+}

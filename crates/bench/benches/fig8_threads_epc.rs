@@ -1,0 +1,31 @@
+//! Figure 8: effect of varying `sgx.max_threads` and EPC size on the
+//! eUDM P-AKA module.
+
+use shield5g_bench::{banner, fmt_summary, reps};
+use shield5g_core::harness::fig8_threads_epc;
+
+fn main() {
+    banner(
+        "Thread-count / EPC-size sweep on eUDM",
+        "paper Fig. 8 (§V-B2)",
+    );
+    let reps = reps();
+    println!("    {reps} requests per configuration\n");
+    println!(
+        "    {:22} {:>28} {:>28}",
+        "configuration", "L_F median [IQR]", "L_T median [IQR]"
+    );
+    for row in fig8_threads_epc(800, reps) {
+        println!(
+            "    {:22} {:>28} {:>28}",
+            row.label,
+            fmt_summary(&row.lf),
+            fmt_summary(&row.lt)
+        );
+    }
+    println!("\n    Paper shape: flat in thread count (the server spawns threads only");
+    println!("    for new flows); 8 GB EPC degrades and widens the IQR because the");
+    println!("    preheated heap over-commits physical EPC and pages (EWB/ELDU);");
+    println!("    non-SGX is fastest. Below 4 threads Gramine cannot run the module");
+    println!("    (3 helper threads + 1 app thread) — the manifest validator rejects it.");
+}

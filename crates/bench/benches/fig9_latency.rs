@@ -1,0 +1,39 @@
+//! Figure 9: functional (L_F) and total (L_T) latency of the modules,
+//! container vs SGX.
+
+use shield5g_bench::{banner, fmt_summary, reps};
+use shield5g_core::harness::fig9_latency;
+
+fn main() {
+    banner(
+        "Functional and total latency, container vs SGX",
+        "paper Fig. 9 + Table II L_F/L_T (§V-B3)",
+    );
+    let reps = reps();
+    println!("    {reps} requests per module per deployment\n");
+    println!(
+        "    {:7} {:>24} {:>24} {:>6} {:>24} {:>24} {:>6}",
+        "module", "L_F container", "L_F SGX", "ratio", "L_T container", "L_T SGX", "ratio"
+    );
+    let paper_lf = [1.2, 1.3, 1.5];
+    let paper_lt = [1.86, 2.15, 2.43];
+    for (row, (plf, plt)) in fig9_latency(900, reps)
+        .iter()
+        .zip(paper_lf.iter().zip(paper_lt))
+    {
+        println!(
+            "    {:7} {:>24} {:>24} {:>5.2}x {:>24} {:>24} {:>5.2}x",
+            row.kind.name(),
+            fmt_summary(&row.lf_container),
+            fmt_summary(&row.lf_sgx),
+            row.lf_ratio(),
+            fmt_summary(&row.lt_container),
+            fmt_summary(&row.lt_sgx),
+            row.lt_ratio(),
+        );
+        println!("    {:7} paper ratios: L_F {plf}x, L_T {plt}x", "");
+    }
+    println!("\n    Shape: eUDM has the largest function, so its relative SGX cost is");
+    println!("    lowest; L_T overheads exceed L_F overheads because network I/O");
+    println!("    crosses the enclave boundary (OCALL round trips).");
+}

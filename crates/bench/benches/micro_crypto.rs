@@ -1,0 +1,55 @@
+//! Criterion microbenches for the cryptographic substrate: the primitives
+//! the P-AKA enclaves execute per UE registration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shield5g_crypto::aes::Aes128;
+use shield5g_crypto::keys::{self, ServingNetworkName};
+use shield5g_crypto::milenage::Milenage;
+use shield5g_crypto::sha256::Sha256;
+use shield5g_crypto::x25519::{x25519, x25519_base};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let key = [0x2b; 16];
+    let cipher = Aes128::new(&key);
+    c.bench_function("aes128_encrypt_block", |b| {
+        let mut block = [0x6b; 16];
+        b.iter(|| {
+            cipher.encrypt_block(black_box(&mut block));
+        });
+    });
+    c.bench_function("aes128_ctr_4096B", |b| {
+        let mut page = vec![0u8; 4096];
+        let icb = [7u8; 16];
+        b.iter(|| cipher.ctr_apply(black_box(&icb), black_box(&mut page)));
+    });
+    c.bench_function("sha256_1KiB", |b| {
+        let data = vec![0xa5u8; 1024];
+        b.iter(|| Sha256::digest(black_box(&data)));
+    });
+    let mil = Milenage::with_op(&[0x46; 16], &[0xcd; 16]);
+    c.bench_function("milenage_f2345", |b| {
+        b.iter(|| mil.f2345(black_box(&[0x23; 16])));
+    });
+    let snn = ServingNetworkName::new("001", "01");
+    c.bench_function("he_av_generation", |b| {
+        // The complete eUDM enclave computation (Table I).
+        b.iter(|| {
+            keys::generate_he_av(
+                &mil,
+                black_box(&[0x23; 16]),
+                &[0, 0, 0, 0, 0, 1],
+                &[0x80, 0],
+                &snn,
+            )
+        });
+    });
+    c.bench_function("x25519_scalarmult", |b| {
+        let scalar = [0x77; 32];
+        let point = x25519_base(&[0x42; 32]);
+        b.iter(|| x25519(black_box(&scalar), black_box(&point)));
+    });
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §V-B6: the over-the-air feasibility test.
+
+use shield5g_bench::banner;
+use shield5g_core::paka::SgxConfig;
+use shield5g_core::slice::AkaDeployment;
+use shield5g_ran::ota::OtaTestbed;
+
+fn main() {
+    banner(
+        "OTA feasibility: OnePlus 8 through P-AKA enclaves",
+        "paper §V-B6 / Fig. 11",
+    );
+    let mut testbed = OtaTestbed::assemble(1700, AkaDeployment::Sgx(SgxConfig::default()));
+    let cold = testbed.run().expect("OTA run succeeds");
+    println!(
+        "    registration through isolated AKA:  {}",
+        cold.registered
+    );
+    println!(
+        "    PDU session (UE IP 10.0.0.{}):       {}",
+        cold.ue_ip[3], cold.session_established
+    );
+    println!(
+        "    user-plane echo:                    {}",
+        cold.data_echoed
+    );
+    println!(
+        "    first session setup:                {}",
+        cold.session_setup
+    );
+    let warm = testbed.run().expect("steady run");
+    println!(
+        "    steady-state session setup:         {}   (paper: 62.38 ms)",
+        warm.session_setup
+    );
+    println!(
+        "    P-AKA time within setup:            {} ({:.1}%)",
+        warm.paka_time,
+        warm.paka_fraction() * 100.0
+    );
+    println!("\n    Result: Test1-1 → OpenAirInterface — the COTS UE registers and");
+    println!("    moves data despite all three AKA modules running in enclaves.");
+}

@@ -1,0 +1,49 @@
+//! Table II: SGX overhead across the isolated modules, plus the §V-B4
+//! session-setup share.
+
+use shield5g_bench::{banner, reps};
+use shield5g_core::harness::{fig10_response, fig9_latency};
+use shield5g_ran::ota::session_setup_comparison;
+
+fn main() {
+    banner("SGX overhead summary", "paper Table II (§V-B3/B4)");
+    let reps = reps();
+    let lat = fig9_latency(1100, reps);
+    let resp = fig10_response(1200, reps, (reps / 10).max(15));
+    println!(
+        "    {:7} {:>6} {:>6} {:>14} {:>14}",
+        "module", "L_F", "L_T", "R_S^SGX/R^C", "R_I/R_S^SGX"
+    );
+    let paper = [
+        (1.2, 1.86, 2.2, 19.04),
+        (1.3, 2.15, 2.5, 18.37),
+        (1.5, 2.43, 2.9, 21.42),
+    ];
+    for ((l, r), (plf, plt, prs, pri)) in lat.iter().zip(&resp).zip(paper) {
+        println!(
+            "    {:7} {:>5.2}x {:>5.2}x {:>13.2}x {:>13.1}x",
+            l.kind.name(),
+            l.lf_ratio(),
+            l.lt_ratio(),
+            r.rs_ratio(),
+            r.ri_over_rs()
+        );
+        println!(
+            "    {:7} paper: {plf:>4}x {plt:>5}x {prs:>12}x {pri:>12}x",
+            ""
+        );
+    }
+
+    println!("\n    End-to-end session setup (5 full-stack runs per deployment):");
+    let cmp = session_setup_comparison(1300, 5);
+    println!("      container setup  {}", cmp.container_setup);
+    println!(
+        "      SGX setup        {}   (paper: 62.38 ms)",
+        cmp.sgx_setup
+    );
+    println!(
+        "      SGX-added delay  {} = {:.2}% of setup   (paper: 3.48 ms = 5.58%)",
+        cmp.sgx_delta,
+        cmp.sgx_share_of_setup() * 100.0
+    );
+}

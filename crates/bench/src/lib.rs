@@ -1,0 +1,60 @@
+//! Benchmark harness support: shared table-printing helpers for the
+//! per-figure/per-table bench targets in `benches/`.
+//!
+//! Each bench target is a plain `main` (no criterion harness) that runs
+//! the corresponding experiment from `shield5g-core::harness` /
+//! `shield5g-ran` and prints the rows the paper reports, side by side
+//! with the published values where the paper gives absolute numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use shield5g_core::stats::Summary;
+
+/// Default repetition count for bench runs. The paper uses 500; the
+/// default here keeps `cargo bench` comfortably fast while remaining
+/// statistically stable (the simulation is deterministic per seed).
+/// Override with the `SHIELD5G_REPS` environment variable.
+#[must_use]
+pub fn reps() -> u32 {
+    std::env::var("SHIELD5G_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Prints a banner for an experiment.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("\n=== {title} ===");
+    println!("    (reproduces {paper_ref})");
+}
+
+/// Formats a summary as `median [p25..p75]`.
+#[must_use]
+pub fn fmt_summary(s: &Summary) -> String {
+    format!("{} [{}..{}]", s.median, s.p25, s.p75)
+}
+
+/// Prints a `measured vs paper` line.
+pub fn compare(label: &str, measured: impl std::fmt::Display, paper: &str) {
+    println!("    {label:44} measured {measured:>14}   paper {paper}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield5g_sim::time::SimDuration;
+
+    #[test]
+    fn reps_default() {
+        if std::env::var("SHIELD5G_REPS").is_err() {
+            assert_eq!(reps(), 200);
+        }
+    }
+
+    #[test]
+    fn fmt_summary_contains_median() {
+        let s = Summary::of(&[SimDuration::from_micros(47)]);
+        assert!(fmt_summary(&s).contains("47"));
+    }
+}

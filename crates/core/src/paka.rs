@@ -1,0 +1,1064 @@
+//! The P-AKA modules: eUDM-AKA, eAUSF-AKA and eAMF-AKA.
+//!
+//! Each module is "an HTTPs server … The modules expose REST API
+//! endpoints where each AKA function is mapped to an endpoint handler"
+//! (paper §IV-A). The server loop is modelled syscall-by-syscall: a fresh
+//! TLS connection per request costs 91 syscalls (matching the paper's
+//! §V-B5 finding of "around 90" EENTER/EEXIT pairs per UE registration),
+//! of which only a handful fall between request receipt and response
+//! dispatch — which is why SGX's total-latency overhead (L_T) is much
+//! smaller than its response-time overhead (R_S).
+//!
+//! Deployed in a container, syscalls are native and secrets sit in plain
+//! process memory; deployed under GSC (**P-AKA** proper), every syscall is
+//! an OCALL and secrets live in the encrypted enclave vault.
+
+use crate::CoreError;
+use shield5g_crypto::keys::generate_he_av;
+use shield5g_crypto::milenage::Milenage;
+use shield5g_crypto::sqn::Auts;
+use shield5g_hmee::counters::SgxCounters;
+use shield5g_infra::host::{ContainerHandle, Host};
+use shield5g_infra::image::{ContainerImage, Registry};
+use shield5g_libos::gsc::ImageSpec;
+use shield5g_libos::libos::BootReport;
+use shield5g_libos::manifest::Manifest;
+use shield5g_libos::syscalls::{NativeSyscalls, Syscall, SyscallInterface};
+use shield5g_nf::backend::{
+    encode_he_av, AmfAkaRequest, AusfAkaRequest, AusfAkaResponse, UdmAkaRequest,
+};
+use shield5g_nf::NfError;
+use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::tls::TlsIdentity;
+use shield5g_sim::Env;
+
+/// Non-crypto handler work per request outside the AKA function itself
+/// (HTTP parsing, routing, response assembly) — identical code on both
+/// deployments.
+const PARSE_NANOS: u64 = 17_000;
+/// Server-side TLS handshake cryptography (X25519 + KDF + transcript MACs).
+const TLS_HANDSHAKE_CRYPTO_NANOS: u64 = 72_000;
+/// Per-direction TLS record protection within the request window.
+const TLS_RECORD_NANOS: u64 = 4_000;
+/// Container-mode first-request lazy initialisation (allocator warmup,
+/// OpenSSL context creation).
+const CONTAINER_COLD_INIT_NANOS: u64 = 2_000_000;
+
+/// The three extracted modules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PakaKind {
+    /// eUDM-AKA: HE AV generation (f1, f2345, K_AUSF, AUTN).
+    EUdm,
+    /// eAUSF-AKA: HXRES* and K_SEAF derivation.
+    EAusf,
+    /// eAMF-AKA: K_AMF derivation.
+    EAmf,
+}
+
+impl PakaKind {
+    /// Human-readable module name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PakaKind::EUdm => "eUDM",
+            PakaKind::EAusf => "eAUSF",
+            PakaKind::EAmf => "eAMF",
+        }
+    }
+
+    /// All three modules in paper order.
+    #[must_use]
+    pub fn all() -> [PakaKind; 3] {
+        [PakaKind::EUdm, PakaKind::EAusf, PakaKind::EAmf]
+    }
+
+    /// Container image name.
+    #[must_use]
+    pub fn image_name(self) -> &'static str {
+        match self {
+            PakaKind::EUdm => "oai/eudm-paka:v1.5.0",
+            PakaKind::EAusf => "oai/eausf-paka:v1.5.0",
+            PakaKind::EAmf => "oai/eamf-paka:v1.5.0",
+        }
+    }
+
+    /// Bus/bridge endpoint name.
+    #[must_use]
+    pub fn endpoint(self) -> &'static str {
+        match self {
+            PakaKind::EUdm => "eudm-paka.oai",
+            PakaKind::EAusf => "eausf-paka.oai",
+            PakaKind::EAmf => "eamf-paka.oai",
+        }
+    }
+
+    /// Native execution time of the module's AKA function (container-mode
+    /// L_F, from `shield5g-nf`'s calibrated constants).
+    #[must_use]
+    pub fn func_nanos(self) -> u64 {
+        match self {
+            PakaKind::EUdm => shield5g_nf::backend::UDM_FUNC_NANOS,
+            PakaKind::EAusf => shield5g_nf::backend::AUSF_FUNC_NANOS,
+            PakaKind::EAmf => shield5g_nf::backend::AMF_FUNC_NANOS,
+        }
+    }
+
+    /// Additive in-enclave execution overhead beyond the MEE factor
+    /// (LLC/TLB pressure on the module's access pattern). Calibrated so
+    /// the L_F ratios land in the paper's 1.2/1.3/1.5 bands (Table II).
+    fn sgx_func_extra_nanos(self) -> u64 {
+        match self {
+            PakaKind::EUdm => 8_000,
+            PakaKind::EAusf => 10_000,
+            PakaKind::EAmf => 14_000,
+        }
+    }
+
+    /// First-enclave-request lazy-initialisation compute (dynamic linking,
+    /// OpenSSL/NSS init under the LibOS), the cause of R_I ≈ 20 × R_S.
+    fn cold_init_nanos(self) -> u64 {
+        match self {
+            PakaKind::EUdm => 20_600_000,
+            PakaKind::EAusf => 20_900_000,
+            PakaKind::EAmf => 21_300_000,
+        }
+    }
+
+    /// Extra OCALLs on the first enclave request (dynamic loading of
+    /// NSS/TLS dependencies, §V-B4: "the initial request … invokes
+    /// several OCALLs and ECALLs to load drivers and other network stack
+    /// dependencies").
+    fn cold_extra_ocalls(self) -> u32 {
+        match self {
+            PakaKind::EUdm => 20,
+            PakaKind::EAusf => 21,
+            PakaKind::EAmf => 22,
+        }
+    }
+
+    /// Cold code pages faulted on the first request.
+    fn cold_pages(self) -> u64 {
+        match self {
+            PakaKind::EUdm => 288,
+            PakaKind::EAusf => 314,
+            PakaKind::EAmf => 348,
+        }
+    }
+
+    /// (total image bytes, shared-library file count, boot working set):
+    /// eUDM carries the largest root FS (highest enclave load time,
+    /// Fig. 7) while eAUSF/eAMF have slightly more files (their higher
+    /// boot OCALL counts in Table III).
+    fn image_params(self) -> (u64, u32, u64) {
+        match self {
+            PakaKind::EUdm => (2_130_000_000, 200, 9_000 * 4096),
+            PakaKind::EAusf => (2_080_000_000, 210, 9_100 * 4096),
+            PakaKind::EAmf => (2_050_000_000, 209, 9_200 * 4096),
+        }
+    }
+}
+
+/// SGX deployment options (the paper's manifest knobs, §IV-C / §V-B2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SgxConfig {
+    /// `sgx.max_threads`.
+    pub max_threads: u32,
+    /// Enclave (EPC reservation) size in bytes.
+    pub enclave_size_bytes: u64,
+    /// `sgx.preheat_enclave`.
+    pub preheat: bool,
+    /// Gramine exitless OCALLs (§V-B7 ablation).
+    pub exitless: bool,
+}
+
+impl Default for SgxConfig {
+    /// The paper's chosen configuration: 4 threads, 512 MB, preheat on.
+    fn default() -> Self {
+        SgxConfig {
+            max_threads: 4,
+            enclave_size_bytes: 512 * 1024 * 1024,
+            preheat: true,
+            exitless: false,
+        }
+    }
+}
+
+/// Per-request latency metrics as the module reports them (§V-A2
+/// experiment 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// L_F: execution time of the AKA function.
+    pub functional: SimDuration,
+    /// L_T: request receipt → response dispatched (L_F + network I/O).
+    pub total: SimDuration,
+    /// EPC pages paged in/out during the request (8 GB EPC pathology).
+    pub paged: u64,
+}
+
+/// A deployed AKA module (container or SGX).
+pub struct PakaModule {
+    kind: PakaKind,
+    shielded: bool,
+    container: ContainerHandle,
+    native_sys: NativeSyscalls,
+    max_threads: u32,
+    warm: bool,
+    requests_served: u64,
+    boot_report: Option<BootReport>,
+    userspace_net: bool,
+    tls_identity: TlsIdentity,
+}
+
+impl std::fmt::Debug for PakaModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PakaModule")
+            .field("kind", &self.kind.name())
+            .field("shielded", &self.shielded)
+            .field("requests_served", &self.requests_served)
+            .finish()
+    }
+}
+
+/// Builds the module's container image for the registry.
+#[must_use]
+pub fn paka_image(kind: PakaKind) -> ContainerImage {
+    let (bytes, files, working_set) = kind.image_params();
+    let spec = ImageSpec::synthetic(
+        kind.image_name(),
+        format!("/usr/bin/{}-aka-server", kind.name().to_lowercase()),
+        bytes,
+        files,
+    )
+    .with_working_set(working_set);
+    ContainerImage::new(spec).with_env("PAKA_MODULE", kind.name())
+}
+
+/// Pushes all three module images (plus the VNF images) into a registry.
+pub fn populate_registry(registry: &mut Registry) {
+    for kind in PakaKind::all() {
+        registry.push(paka_image(kind));
+    }
+}
+
+impl PakaModule {
+    /// Deploys the module as an unprotected container (the paper's
+    /// baseline for every overhead figure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infra`] when the image is missing or the host
+    /// refuses the container.
+    pub fn deploy_container(
+        env: &mut Env,
+        host: &mut Host,
+        registry: &Registry,
+        kind: PakaKind,
+    ) -> Result<Self, CoreError> {
+        let container = host.run_plain(env, registry, kind.image_name(), kind.endpoint())?;
+        let cost = host
+            .platform()
+            .map_or_else(shield5g_hmee::cost::CostModel::default, |p| {
+                p.cost().clone()
+            });
+        Ok(PakaModule {
+            kind,
+            shielded: false,
+            container,
+            native_sys: NativeSyscalls::new(cost),
+            max_threads: 4,
+            warm: false,
+            requests_served: 0,
+            boot_report: None,
+            userspace_net: false,
+            tls_identity: TlsIdentity::new(kind.endpoint(), env.rng.bytes()),
+        })
+    }
+
+    /// Deploys the module inside an SGX enclave via GSC (a **P-AKA**
+    /// module proper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Libos`] for manifest/boot failures (including
+    /// hosts without SGX).
+    pub fn deploy_sgx(
+        env: &mut Env,
+        host: &mut Host,
+        registry: &Registry,
+        kind: PakaKind,
+        cfg: SgxConfig,
+    ) -> Result<Self, CoreError> {
+        let manifest = Manifest::paka_default(format!(
+            "/usr/bin/{}-aka-server",
+            kind.name().to_lowercase()
+        ))
+        .with_max_threads(cfg.max_threads)
+        .with_enclave_size(cfg.enclave_size_bytes)
+        .with_preheat(cfg.preheat)
+        .with_exitless(cfg.exitless);
+        let container = host.run_shielded(
+            env,
+            registry,
+            kind.image_name(),
+            kind.endpoint(),
+            manifest,
+            &Self::signing_key(),
+        )?;
+        // Pistache server init inside the enclave: ~650 extra transitions
+        // (paper §V-B5: "deploying the Pistache server inside an SGX
+        // enclave contributes to around 650 EENTER and EEXIT
+        // instructions") plus a few timer-thread event injections.
+        let boot_report = {
+            let mut c = container.borrow_mut();
+            let libos = c.shielded.as_mut().expect("gsc container has libos");
+            let server_init_start = env.clock.now();
+            for _ in 0..650 {
+                libos.enclave_mut().ocall(env, 64);
+            }
+            for _ in 0..12 {
+                libos.inject_event(env);
+            }
+            // "Enclave load time … for the P-AKA modules to become
+            // operational" (§V-B1) covers GSC boot plus server startup.
+            let report = BootReport {
+                load_time: libos.boot_report().load_time + (env.clock.now() - server_init_start),
+                counters: libos.sgx_stats(),
+            };
+            Some(report)
+        };
+        let cost = host
+            .platform()
+            .map_or_else(shield5g_hmee::cost::CostModel::default, |p| {
+                p.cost().clone()
+            });
+        Ok(PakaModule {
+            kind,
+            shielded: true,
+            container,
+            native_sys: NativeSyscalls::new(cost),
+            max_threads: cfg.max_threads,
+            warm: false,
+            requests_served: 0,
+            boot_report,
+            userspace_net: false,
+            tls_identity: TlsIdentity::new(kind.endpoint(), env.rng.bytes()),
+        })
+    }
+
+    /// The module kind.
+    #[must_use]
+    pub fn kind(&self) -> PakaKind {
+        self.kind
+    }
+
+    /// Whether this deployment is enclave-shielded.
+    #[must_use]
+    pub fn is_shielded(&self) -> bool {
+        self.shielded
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// The underlying container handle (attack-surface access).
+    #[must_use]
+    pub fn container(&self) -> ContainerHandle {
+        self.container.clone()
+    }
+
+    /// The module's TLS server identity (what clients pin; in the SGX
+    /// deployment its key hash is bound into attestation quotes).
+    #[must_use]
+    pub fn tls_identity(&self) -> &TlsIdentity {
+        &self.tls_identity
+    }
+
+    /// Produces an attestation quote binding this module's TLS public key
+    /// (report_data = SHA-256(tls_pub) ‖ 0³²) — the §VII pattern of
+    /// verifying module integrity before provisioning keys or opening TLS
+    /// sessions to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Module`] for container deployments (no
+    /// enclave, nothing to quote) and [`CoreError::Hmee`] when the
+    /// platform refuses the report.
+    pub fn quote_tls_binding(
+        &self,
+        platform: &shield5g_hmee::platform::SgxPlatform,
+    ) -> Result<shield5g_hmee::attest::Quote, CoreError> {
+        let c = self.container.borrow();
+        let Some(libos) = c.shielded.as_ref() else {
+            return Err(CoreError::Module {
+                module: self.kind.name().to_owned(),
+                status: 501,
+                detail: "container deployment cannot produce attestation quotes".into(),
+            });
+        };
+        let mut report_data = [0u8; 64];
+        report_data[..32].copy_from_slice(&shield5g_crypto::sha256::Sha256::digest(
+            self.tls_identity.public(),
+        ));
+        let report = shield5g_hmee::attest::Report::create(libos.enclave(), report_data);
+        platform.quote(&report).map_err(CoreError::Hmee)
+    }
+
+    /// GSC boot metrics (None for container deployments).
+    #[must_use]
+    pub fn boot_report(&self) -> Option<BootReport> {
+        self.boot_report
+    }
+
+    /// SGX transition counters (None for container deployments).
+    #[must_use]
+    pub fn sgx_stats(&self) -> Option<SgxCounters> {
+        let c = self.container.borrow();
+        c.shielded.as_ref().map(|l| l.sgx_stats())
+    }
+
+    /// Provisions a subscriber key delivered as a **sealed blob** — the
+    /// KI 27 flow of paper §VI: "an encrypted secret can be provisioned
+    /// to the NF image, which can only be unsealed when the enclave
+    /// environment can be verified". Only a shielded module holding the
+    /// matching identity can open it; container deployments have no seal
+    /// key at all.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Module`] when the module is not enclave-shielded.
+    /// * [`CoreError::Hmee`] when the blob does not unseal under this
+    ///   enclave's identity (wrong signer/build/platform or tampering).
+    pub fn provision_sealed_key(
+        &mut self,
+        env: &mut Env,
+        supi: &str,
+        blob: &shield5g_hmee::seal::SealedBlob,
+    ) -> Result<(), CoreError> {
+        let mut c = self.container.borrow_mut();
+        let Some(libos) = c.shielded.as_mut() else {
+            return Err(CoreError::Module {
+                module: self.kind.name().to_owned(),
+                status: 501,
+                detail: "container deployment holds no sealing key; cannot unseal".into(),
+            });
+        };
+        let k = shield5g_hmee::seal::unseal(libos.enclave(), blob)?;
+        libos
+            .enclave_mut()
+            .vault_write(env, &format!("k:{supi}"), &k);
+        Ok(())
+    }
+
+    /// The signing identity under which P-AKA modules are built (the
+    /// MRSIGNER source for GSC signing and KI 27 sealed provisioning).
+    #[must_use]
+    pub fn signing_key() -> [u8; 32] {
+        [0x5A; 32]
+    }
+
+    /// The MRSIGNER value of P-AKA enclaves: GSC derives the signer
+    /// identity as SHA-256(signing key), and the enclave measurement
+    /// hashes that identity again.
+    #[must_use]
+    pub fn expected_mrsigner() -> [u8; 32] {
+        let signer = shield5g_crypto::sha256::Sha256::digest(&Self::signing_key());
+        shield5g_crypto::sha256::Sha256::digest(&signer)
+    }
+
+    /// Provisions a subscriber's long-term key into the module's secret
+    /// store (enclave vault when shielded; plain memory otherwise).
+    pub fn provision_subscriber_key(&mut self, env: &mut Env, supi: &str, k: [u8; 16]) {
+        let mut c = self.container.borrow_mut();
+        let slot = format!("k:{supi}");
+        if let Some(libos) = c.shielded.as_mut() {
+            libos.enclave_mut().vault_write(env, &slot, &k);
+        } else {
+            c.plain_memory.write(slot, k.to_vec());
+        }
+    }
+
+    fn load_subscriber_key(&self, env: &mut Env, supi: &str) -> Result<[u8; 16], NfError> {
+        let mut c = self.container.borrow_mut();
+        let slot = format!("k:{supi}");
+        let bytes = if let Some(libos) = c.shielded.as_mut() {
+            libos
+                .enclave_mut()
+                .vault_read(env, &slot)
+                .map_err(|e| match e {
+                    shield5g_hmee::HmeeError::UnknownSlot(_) => {
+                        NfError::SubscriberUnknown(supi.to_owned())
+                    }
+                    other => NfError::Backend(other.to_string()),
+                })?
+        } else {
+            c.plain_memory
+                .read(&slot)
+                .ok_or_else(|| NfError::SubscriberUnknown(supi.to_owned()))?
+                .to_vec()
+        };
+        bytes
+            .try_into()
+            .map_err(|_| NfError::Backend("stored key has wrong length".into()))
+    }
+
+    fn store_scratch(&self, env: &mut Env, slot: &str, bytes: &[u8]) {
+        let mut c = self.container.borrow_mut();
+        if let Some(libos) = c.shielded.as_mut() {
+            libos.enclave_mut().vault_write(env, slot, bytes);
+        } else {
+            c.plain_memory.write(slot.to_owned(), bytes.to_vec());
+        }
+    }
+
+    /// The AKA endpoint handlers (the code "inside" the module).
+    fn dispatch(&mut self, env: &mut Env, path: &str, body: &[u8]) -> Result<Vec<u8>, NfError> {
+        match (self.kind, path) {
+            (PakaKind::EUdm, "/eudm/generate-av") => {
+                let req = UdmAkaRequest::decode(body)?;
+                let k = self.load_subscriber_key(env, &req.supi)?;
+                let mil = Milenage::with_opc(&k, &req.opc);
+                let av = generate_he_av(&mil, &req.rand, &req.sqn, &req.amf_field, &req.snn);
+                self.store_scratch(env, "scratch:kausf", &av.kausf);
+                Ok(encode_he_av(&av))
+            }
+            (PakaKind::EUdm, "/eudm/resync") => {
+                let mut r = shield5g_sim::codec::Reader::new(body);
+                let supi = r.str()?;
+                let opc: [u8; 16] = r.array()?;
+                let rand: [u8; 16] = r.array()?;
+                let auts = Auts {
+                    sqn_ms_xor_ak: r.array()?,
+                    mac_s: r.array()?,
+                };
+                r.finish()?;
+                let k = self.load_subscriber_key(env, &supi)?;
+                let mil = Milenage::with_opc(&k, &opc);
+                let sqn_ms = auts.verify(&mil, &rand)?;
+                Ok(sqn_ms.to_vec())
+            }
+            (PakaKind::EAusf, "/eausf/derive-se") => {
+                let req = AusfAkaRequest::decode(body)?;
+                let resp = AusfAkaResponse {
+                    hxres_star: shield5g_crypto::keys::derive_hxres_star(&req.rand, &req.xres_star),
+                    kseaf: shield5g_crypto::keys::derive_kseaf(&req.kausf, &req.snn),
+                };
+                self.store_scratch(env, "scratch:kseaf", &resp.kseaf);
+                Ok(resp.encode())
+            }
+            (PakaKind::EAmf, "/eamf/derive-kamf") => {
+                let req = AmfAkaRequest::decode(body)?;
+                let kamf = shield5g_crypto::keys::derive_kamf(&req.kseaf, &req.supi, &req.abba);
+                self.store_scratch(env, "scratch:kamf", &kamf);
+                Ok(kamf.to_vec())
+            }
+            _ => Err(NfError::Protocol(format!(
+                "module {} has no handler for {path}",
+                self.kind.name()
+            ))),
+        }
+    }
+
+    /// Serves one HTTPS request end to end, charging the full syscall
+    /// choreography, and returns the response plus the module-side
+    /// latency metrics.
+    pub fn serve(&mut self, env: &mut Env, request: HttpRequest) -> (HttpResponse, ServeMetrics) {
+        let req_bytes = request.wire_len();
+        self.requests_served += 1;
+        let first_request = !self.warm;
+        self.warm = true;
+
+        // --- Connection phase: accept + TLS handshake + reactor upkeep.
+        self.run_syscalls(env, &setup_syscalls());
+        let handshake = env.rng.jitter(TLS_HANDSHAKE_CRYPTO_NANOS, 0.05);
+        self.charge_compute(env, handshake);
+        if first_request {
+            self.cold_start(env);
+        }
+
+        // --- L_T window opens: request arrives.
+        let t_total_start = env.clock.now();
+        self.run_syscalls(env, &read_syscalls(req_bytes));
+        let parse = env.rng.jitter(TLS_RECORD_NANOS + PARSE_NANOS, 0.06);
+        self.charge_compute(env, parse);
+
+        // --- L_F window: the AKA function itself.
+        let t_func_start = env.clock.now();
+        let mut paged = 0;
+        let result = self.dispatch(env, &request.path, &request.body);
+        // Handler execution time varies a few percent run to run
+        // (allocator, branch history, cache state).
+        let func = env.rng.jitter(self.kind.func_nanos(), 0.05);
+        self.charge_compute(env, func);
+        paged += self.functional_window_effects(env);
+        let functional = env.clock.now() - t_func_start;
+
+        // --- Response out; L_T window closes.
+        let response = match result {
+            Ok(body) => HttpResponse::ok(body),
+            Err(NfError::SubscriberUnknown(s)) => {
+                HttpResponse::error(404, format!("unknown subscriber {s}"))
+            }
+            Err(NfError::Crypto(e)) => HttpResponse::error(403, e.to_string()),
+            Err(e) => HttpResponse::error(400, e.to_string()),
+        };
+        self.charge_compute(env, TLS_RECORD_NANOS);
+        self.run_syscalls(env, &write_syscalls(response.wire_len()));
+        let total = env.clock.now() - t_total_start;
+
+        // --- Teardown (outside the measured windows).
+        self.run_syscalls(env, &teardown_syscalls());
+
+        (
+            response,
+            ServeMetrics {
+                functional,
+                total,
+                paged,
+            },
+        )
+    }
+
+    /// In-enclave side effects charged inside the functional window: MEE
+    /// slowdown extras, EPC paging under over-commit, and timer AEX noise
+    /// that grows with the configured thread count (Fig. 8).
+    fn functional_window_effects(&mut self, env: &mut Env) -> u64 {
+        if !self.shielded {
+            return 0;
+        }
+        let mut c = self.container.borrow_mut();
+        let libos = c.shielded.as_mut().expect("shielded module");
+        let enclave = libos.enclave_mut();
+        enclave.compute(
+            env,
+            SimDuration::from_nanos(self.kind.sgx_func_extra_nanos()),
+        );
+        let paged = enclave.maybe_page(env);
+        // Helper/timer threads interrupt enclave execution occasionally;
+        // more TCS slots → more timer bookkeeping → more AEX.
+        let draws = (self.max_threads / 4).max(1);
+        for _ in 0..draws {
+            if env.rng.chance(0.12) {
+                enclave.aex(env);
+            }
+        }
+        paged
+    }
+
+    fn cold_start(&mut self, env: &mut Env) {
+        if self.shielded {
+            let kind = self.kind;
+            let mut c = self.container.borrow_mut();
+            let libos = c.shielded.as_mut().expect("shielded module");
+            for _ in 0..kind.cold_extra_ocalls() {
+                libos.enclave_mut().ocall(env, 256);
+            }
+            libos.enclave_mut().demand_fault(env, kind.cold_pages());
+            let cold = SimDuration::from_nanos(kind.cold_init_nanos());
+            libos.enclave_mut().compute(env, cold);
+        } else {
+            env.clock
+                .advance(SimDuration::from_nanos(CONTAINER_COLD_INIT_NANOS));
+        }
+    }
+
+    /// Enables the §V-B7 user-level network stack ablation: the socket
+    /// choreography runs inside the enclave (mTCP-style), so syscalls
+    /// become in-enclave work instead of OCALLs.
+    pub fn set_userspace_net(&mut self, enabled: bool) {
+        self.userspace_net = enabled;
+    }
+
+    fn run_syscalls(&mut self, env: &mut Env, calls: &[Syscall]) {
+        if self.userspace_net {
+            // mTCP/DPDK path: packet processing stays in-process; each
+            // former syscall costs a few hundred ns of (enclave) compute.
+            let work = SimDuration::from_nanos(260 * calls.len() as u64);
+            self.charge_compute(env, work.as_nanos());
+            return;
+        }
+        if self.shielded {
+            let mut c = self.container.borrow_mut();
+            let libos = c.shielded.as_mut().expect("shielded module");
+            for call in calls {
+                libos.syscall(env, *call);
+            }
+        } else {
+            for call in calls {
+                self.native_sys.syscall(env, *call);
+            }
+        }
+    }
+
+    /// Charges compute either natively or through the enclave (MEE factor).
+    fn charge_compute(&mut self, env: &mut Env, nanos: u64) {
+        if self.shielded {
+            let mut c = self.container.borrow_mut();
+            let libos = c.shielded.as_mut().expect("shielded module");
+            libos
+                .enclave_mut()
+                .compute(env, SimDuration::from_nanos(nanos));
+        } else {
+            env.clock.advance(SimDuration::from_nanos(nanos));
+        }
+    }
+}
+
+/// Connection setup: accept, socket options, TLS handshake I/O, Pistache
+/// reactor/timer upkeep — 61 syscalls.
+fn setup_syscalls() -> Vec<Syscall> {
+    let mut v = Vec::with_capacity(61);
+    v.push(Syscall::Accept);
+    v.extend([Syscall::Fcntl; 2]);
+    v.extend([Syscall::Setsockopt; 3]);
+    v.push(Syscall::Getpeername);
+    v.extend([Syscall::EpollCtl; 2]);
+    // TLS handshake I/O.
+    v.extend([Syscall::EpollWait; 4]);
+    v.extend([Syscall::Read { bytes: 620 }; 3]);
+    v.extend([Syscall::Write { bytes: 810 }; 2]);
+    v.extend([Syscall::GetRandom; 2]);
+    v.extend([Syscall::ClockGettime; 8]);
+    v.extend([Syscall::Futex; 2]);
+    // Pistache timer maintenance.
+    v.extend([Syscall::ClockGettime; 12]);
+    v.extend([Syscall::EpollWait; 4]);
+    v.extend([Syscall::Futex; 3]);
+    // Reactor bookkeeping.
+    v.extend([Syscall::ClockGettime; 8]);
+    v.extend([Syscall::Futex; 2]);
+    v.extend([Syscall::EpollCtl; 2]);
+    debug_assert_eq!(v.len(), 61);
+    v
+}
+
+/// Request-receipt window: 5 syscalls.
+fn read_syscalls(req_bytes: usize) -> Vec<Syscall> {
+    vec![
+        Syscall::EpollWait,
+        Syscall::Read { bytes: req_bytes },
+        Syscall::Read { bytes: 0 },
+        Syscall::ClockGettime,
+        Syscall::ClockGettime,
+    ]
+}
+
+/// Response-dispatch window: 4 syscalls.
+fn write_syscalls(resp_bytes: usize) -> Vec<Syscall> {
+    vec![
+        Syscall::Write { bytes: resp_bytes },
+        Syscall::ClockGettime,
+        Syscall::ClockGettime,
+        Syscall::EpollWait,
+    ]
+}
+
+/// Connection teardown: close-notify exchange, epoll cleanup, timers —
+/// 21 syscalls (91 total per request).
+fn teardown_syscalls() -> Vec<Syscall> {
+    let mut v = Vec::with_capacity(21);
+    v.push(Syscall::Read { bytes: 24 });
+    v.push(Syscall::Write { bytes: 24 });
+    v.push(Syscall::Close);
+    v.extend([Syscall::EpollCtl; 2]);
+    v.extend([Syscall::ClockGettime; 11]);
+    v.extend([Syscall::EpollWait; 3]);
+    v.extend([Syscall::Futex; 2]);
+    debug_assert_eq!(v.len(), 21);
+    v
+}
+
+/// Total syscalls per served request (what drives the per-registration
+/// EENTER/EEXIT delta of ~91 in Table III).
+#[must_use]
+pub fn syscalls_per_request() -> usize {
+    setup_syscalls().len()
+        + read_syscalls(0).len()
+        + write_syscalls(0).len()
+        + teardown_syscalls().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield5g_crypto::keys::ServingNetworkName;
+    use shield5g_hmee::platform::SgxPlatform;
+
+    const K: [u8; 16] = [0x46; 16];
+    const OPC: [u8; 16] = [0xcd; 16];
+    const SUPI: &str = "imsi-001010000000001";
+
+    fn registry() -> Registry {
+        let mut reg = Registry::new();
+        populate_registry(&mut reg);
+        reg
+    }
+
+    fn deploy(shielded: bool, kind: PakaKind) -> (Env, PakaModule) {
+        let mut env = Env::new(17);
+        env.log.disable();
+        let reg = registry();
+        let platform = SgxPlatform::new(&mut env);
+        let mut host = Host::with_sgx("r450", platform);
+        let mut module = if shielded {
+            PakaModule::deploy_sgx(&mut env, &mut host, &reg, kind, SgxConfig::default()).unwrap()
+        } else {
+            PakaModule::deploy_container(&mut env, &mut host, &reg, kind).unwrap()
+        };
+        if kind == PakaKind::EUdm {
+            module.provision_subscriber_key(&mut env, SUPI, K);
+        }
+        (env, module)
+    }
+
+    fn udm_request() -> HttpRequest {
+        let req = UdmAkaRequest {
+            supi: SUPI.into(),
+            opc: OPC,
+            rand: [0x23; 16],
+            sqn: [0, 0, 0, 0, 0, 9],
+            amf_field: [0x80, 0],
+            snn: ServingNetworkName::new("001", "01"),
+        };
+        HttpRequest::post("/eudm/generate-av", req.encode())
+    }
+
+    #[test]
+    fn choreography_totals_91_syscalls() {
+        assert_eq!(syscalls_per_request(), 91);
+    }
+
+    #[test]
+    fn container_module_serves_valid_av() {
+        let (mut env, mut module) = deploy(false, PakaKind::EUdm);
+        let (resp, metrics) = module.serve(&mut env, udm_request());
+        assert!(
+            resp.is_success(),
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let av = shield5g_nf::backend::decode_he_av(&resp.body).unwrap();
+        // A real USIM accepts the AV.
+        let mil = Milenage::with_opc(&K, &OPC);
+        let snn = ServingNetworkName::new("001", "01");
+        let ue =
+            shield5g_crypto::keys::ue_process_challenge(&mil, &av.rand, &av.autn, &snn).unwrap();
+        assert_eq!(ue.res_star, av.xres_star);
+        // Within jitter of the nominal functional time.
+        assert!(
+            metrics.functional >= SimDuration::from_nanos(PakaKind::EUdm.func_nanos() * 9 / 10)
+        );
+        assert!(metrics.total > metrics.functional);
+    }
+
+    #[test]
+    fn sgx_module_serves_identical_av() {
+        let (mut env_c, mut container) = deploy(false, PakaKind::EUdm);
+        let (mut env_s, mut sgx) = deploy(true, PakaKind::EUdm);
+        let (rc, _) = container.serve(&mut env_c, udm_request());
+        let (rs, _) = sgx.serve(&mut env_s, udm_request());
+        // Identical inputs → identical AV bytes, regardless of deployment.
+        assert_eq!(rc.body, rs.body);
+    }
+
+    #[test]
+    fn sgx_functional_latency_in_band() {
+        for (kind, lo, hi) in [
+            (PakaKind::EUdm, 1.10, 1.35),
+            (PakaKind::EAusf, 1.20, 1.45),
+            (PakaKind::EAmf, 1.35, 1.65),
+        ] {
+            let (mut env_c, mut container) = deploy(false, kind);
+            let (mut env_s, mut sgx) = deploy(true, kind);
+            let req = match kind {
+                PakaKind::EUdm => udm_request(),
+                PakaKind::EAusf => HttpRequest::post(
+                    "/eausf/derive-se",
+                    AusfAkaRequest {
+                        rand: [1; 16],
+                        xres_star: [2; 16],
+                        kausf: [3; 32],
+                        snn: ServingNetworkName::new("001", "01"),
+                    }
+                    .encode(),
+                ),
+                PakaKind::EAmf => HttpRequest::post(
+                    "/eamf/derive-kamf",
+                    AmfAkaRequest {
+                        kseaf: [4; 32],
+                        supi: SUPI.into(),
+                        abba: [0, 0],
+                    }
+                    .encode(),
+                ),
+            };
+            // Warm both, then measure medians over a few requests.
+            let _ = container.serve(&mut env_c, req.clone());
+            let _ = sgx.serve(&mut env_s, req.clone());
+            let mut lf_c = Vec::new();
+            let mut lf_s = Vec::new();
+            for _ in 0..30 {
+                lf_c.push(container.serve(&mut env_c, req.clone()).1.functional);
+                lf_s.push(sgx.serve(&mut env_s, req.clone()).1.functional);
+            }
+            let c = crate::stats::Summary::of(&lf_c);
+            let s = crate::stats::Summary::of(&lf_s);
+            let ratio = s.median_ratio_to(&c);
+            assert!(
+                (lo..hi).contains(&ratio),
+                "{} L_F ratio {ratio:.2} outside [{lo}, {hi})",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn per_request_transitions_are_about_91() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let _ = module.serve(&mut env, udm_request()); // cold
+        let before = module.sgx_stats().unwrap();
+        let _ = module.serve(&mut env, udm_request());
+        let delta = module.sgx_stats().unwrap().delta_since(&before);
+        // 91 syscalls + a few vault/AEX events.
+        assert!(
+            (91..=96).contains(&delta.ocalls),
+            "ocalls per request = {}",
+            delta.ocalls
+        );
+        assert_eq!(delta.eenter, delta.ocalls);
+        assert_eq!(delta.eexit, delta.ocalls);
+    }
+
+    #[test]
+    fn first_request_is_much_slower_in_sgx() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let t0 = env.clock.now();
+        let _ = module.serve(&mut env, udm_request());
+        let first = env.clock.now() - t0;
+        let t1 = env.clock.now();
+        let _ = module.serve(&mut env, udm_request());
+        let second = env.clock.now() - t1;
+        let ratio = first.as_nanos() as f64 / second.as_nanos() as f64;
+        assert!(ratio > 10.0, "initial/stable ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn shielded_secrets_invisible_to_introspection() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let _ = module.serve(&mut env, udm_request());
+        let c = module.container();
+        let c = c.borrow();
+        let snap = c.shielded.as_ref().unwrap().enclave().epc_snapshot();
+        assert!(!snap.contains_plaintext(&K));
+        assert!(!c.plain_memory.contains(&K));
+    }
+
+    #[test]
+    fn container_secrets_visible_to_introspection() {
+        let (mut env, mut module) = deploy(false, PakaKind::EUdm);
+        let (resp, _) = module.serve(&mut env, udm_request());
+        assert!(resp.is_success());
+        let c = module.container();
+        let c = c.borrow();
+        assert!(c.plain_memory.contains(&K), "long-term key in plain memory");
+        assert!(
+            c.plain_memory.read("scratch:kausf").is_some(),
+            "derived key in plain memory"
+        );
+    }
+
+    #[test]
+    fn unknown_subscriber_404() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let mut req = UdmAkaRequest {
+            supi: "imsi-001010000000777".into(),
+            opc: OPC,
+            rand: [0; 16],
+            sqn: [0; 6],
+            amf_field: [0x80, 0],
+            snn: ServingNetworkName::new("001", "01"),
+        };
+        req.supi = "imsi-001010000000777".into();
+        let (resp, _) = module.serve(
+            &mut env,
+            HttpRequest::post("/eudm/generate-av", req.encode()),
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn wrong_endpoint_400() {
+        let (mut env, mut module) = deploy(false, PakaKind::EAmf);
+        let (resp, _) = module.serve(&mut env, HttpRequest::post("/eudm/generate-av", vec![]));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn eausf_serves_se_parameters() {
+        let (mut env, mut module) = deploy(true, PakaKind::EAusf);
+        let req = AusfAkaRequest {
+            rand: [1; 16],
+            xres_star: [2; 16],
+            kausf: [3; 32],
+            snn: ServingNetworkName::new("001", "01"),
+        };
+        let (resp, _) = module.serve(
+            &mut env,
+            HttpRequest::post("/eausf/derive-se", req.encode()),
+        );
+        assert!(resp.is_success());
+        let se = AusfAkaResponse::decode(&resp.body).unwrap();
+        assert_eq!(
+            se.hxres_star,
+            shield5g_crypto::keys::derive_hxres_star(&[1; 16], &[2; 16])
+        );
+    }
+
+    #[test]
+    fn eamf_serves_kamf() {
+        let (mut env, mut module) = deploy(false, PakaKind::EAmf);
+        let req = AmfAkaRequest {
+            kseaf: [4; 32],
+            supi: SUPI.into(),
+            abba: [0, 0],
+        };
+        let (resp, _) = module.serve(
+            &mut env,
+            HttpRequest::post("/eamf/derive-kamf", req.encode()),
+        );
+        assert!(resp.is_success());
+        assert_eq!(
+            resp.body,
+            shield5g_crypto::keys::derive_kamf(&[4; 32], SUPI, &[0, 0]).to_vec()
+        );
+    }
+
+    #[test]
+    fn eudm_resync_verifies_auts() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let mil = Milenage::with_opc(&K, &OPC);
+        let rand = [0x23; 16];
+        let sqn_ms = [0, 0, 0, 0, 2, 5];
+        let auts = Auts::generate(&mil, &rand, &sqn_ms);
+        let mut w = shield5g_sim::codec::Writer::new();
+        w.put_str(SUPI)
+            .put_array(&OPC)
+            .put_array(&rand)
+            .put_array(&auts.sqn_ms_xor_ak)
+            .put_array(&auts.mac_s);
+        let (resp, _) = module.serve(&mut env, HttpRequest::post("/eudm/resync", w.into_bytes()));
+        assert!(resp.is_success());
+        assert_eq!(resp.body, sqn_ms.to_vec());
+    }
+
+    #[test]
+    fn enclave_load_time_close_to_a_minute() {
+        let (_env, module) = deploy(true, PakaKind::EUdm);
+        let load = module.boot_report().unwrap().load_time;
+        assert!(load > SimDuration::from_secs(50), "{load}");
+        assert!(load < SimDuration::from_secs(70), "{load}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Sample statistics for the characterization experiments.
+//!
+//! The paper reports box plots (median, interquartile range, whiskers)
+//! over 500 repetitions (§V-A2); [`Summary`] carries exactly those
+//! figures plus mean/stddev for the tables.
+
+use shield5g_sim::time::SimDuration;
+
+/// Summary statistics over a set of duration samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: SimDuration,
+    /// First quartile.
+    pub p25: SimDuration,
+    /// Median.
+    pub median: SimDuration,
+    /// Third quartile.
+    pub p75: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Population standard deviation.
+    pub stddev: SimDuration,
+}
+
+impl Summary {
+    /// Summarises a non-empty set of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set — experiments always run ≥ 1 rep.
+    #[must_use]
+    pub fn of(samples: &[SimDuration]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        let mut sorted: Vec<u64> = samples.iter().map(|d| d.as_nanos()).collect();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let pct = |p: f64| -> u64 {
+            // Nearest-rank interpolation.
+            let idx = p * (count - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = idx - lo as f64;
+                (sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac).round() as u64
+            }
+        };
+        let mean = sorted.iter().sum::<u64>() as f64 / count as f64;
+        let var = sorted
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / count as f64;
+        Summary {
+            count,
+            min: SimDuration::from_nanos(sorted[0]),
+            p25: SimDuration::from_nanos(pct(0.25)),
+            median: SimDuration::from_nanos(pct(0.5)),
+            p75: SimDuration::from_nanos(pct(0.75)),
+            max: SimDuration::from_nanos(sorted[count - 1]),
+            mean: SimDuration::from_nanos(mean.round() as u64),
+            stddev: SimDuration::from_nanos(var.sqrt().round() as u64),
+        }
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> SimDuration {
+        self.p75 - self.p25
+    }
+
+    /// Ratio of this summary's median to another's (the paper's "×"
+    /// overhead figures).
+    #[must_use]
+    pub fn median_ratio_to(&self, baseline: &Summary) -> f64 {
+        self.median.as_nanos() as f64 / baseline.median.as_nanos() as f64
+    }
+
+    /// Fraction of samples outside 1.5 IQR whiskers (the paper notes
+    /// "less than 5% outliers", §V-A2).
+    #[must_use]
+    pub fn outlier_fraction(samples: &[SimDuration]) -> f64 {
+        let s = Summary::of(samples);
+        let iqr = s.iqr().as_nanos() as f64;
+        let lo = s.p25.as_nanos() as f64 - 1.5 * iqr;
+        let hi = s.p75.as_nanos() as f64 + 1.5 * iqr;
+        let n = samples
+            .iter()
+            .filter(|d| (d.as_nanos() as f64) < lo || (d.as_nanos() as f64) > hi)
+            .count();
+        n as f64 / samples.len() as f64
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {} [p25 {}, p75 {}] mean {} (n={})",
+            self.median, self.p25, self.p75, self.mean, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn summary_of_known_samples() {
+        let samples: Vec<SimDuration> = (1..=5).map(us).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, us(1));
+        assert_eq!(s.median, us(3));
+        assert_eq!(s.max, us(5));
+        assert_eq!(s.mean, us(3));
+        assert_eq!(s.p25, us(2));
+        assert_eq!(s.p75, us(4));
+        assert_eq!(s.iqr(), us(2));
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[us(7)]);
+        assert_eq!(s.median, us(7));
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.stddev, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn median_ratio() {
+        let sgx = Summary::of(&[us(120), us(130), us(140)]);
+        let container = Summary::of(&[us(60), us(65), us(70)]);
+        let ratio = sgx.median_ratio_to(&container);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlier_fraction_flags_tails() {
+        let mut samples: Vec<SimDuration> = (0..99).map(|_| us(50)).collect();
+        samples.push(us(5_000));
+        let frac = Summary::outlier_fraction(&samples);
+        assert!((frac - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = Summary::of(&[us(9), us(1), us(5)]);
+        assert_eq!(s.min, us(1));
+        assert_eq!(s.median, us(5));
+        assert_eq!(s.max, us(9));
+    }
+
+    #[test]
+    fn display_mentions_median() {
+        let s = Summary::of(&[us(3)]);
+        assert!(s.to_string().contains("median"));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn quantiles_are_ordered(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let d: Vec<SimDuration> = samples.iter().map(|&n| SimDuration::from_nanos(n)).collect();
+            let s = Summary::of(&d);
+            proptest::prop_assert!(s.min <= s.p25);
+            proptest::prop_assert!(s.p25 <= s.median);
+            proptest::prop_assert!(s.median <= s.p75);
+            proptest::prop_assert!(s.p75 <= s.max);
+            proptest::prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        }
+
+        #[test]
+        fn summary_is_permutation_invariant(samples in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+            let d: Vec<SimDuration> = samples.iter().map(|&n| SimDuration::from_nanos(n)).collect();
+            let mut reversed = d.clone();
+            reversed.reverse();
+            proptest::prop_assert_eq!(Summary::of(&d), Summary::of(&reversed));
+        }
+    }
+}

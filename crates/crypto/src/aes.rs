@@ -1,0 +1,387 @@
+//! AES-128 block cipher (FIPS-197) with ECB block primitives and CTR mode.
+//!
+//! MILENAGE (TS 35.206) is defined directly over the AES-128 block
+//! operation, the SUCI ECIES Profile A uses AES-128 in CTR mode, and the
+//! HMEE simulator encrypts Enclave Page Cache pages and sim-TLS records with
+//! CTR as well — so this module is the workhorse of the whole workspace.
+//!
+//! # Example
+//!
+//! ```rust
+//! use shield5g_crypto::aes::Aes128;
+//!
+//! let key = [0u8; 16];
+//! let cipher = Aes128::new(&key);
+//! let mut block = *b"sixteen byte blk";
+//! let original = block;
+//! cipher.encrypt_block(&mut block);
+//! cipher.decrypt_block(&mut block);
+//! assert_eq!(block, original);
+//! ```
+
+use std::sync::OnceLock;
+
+/// The AES S-box (FIPS-197 figure 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// The inverse S-box, derived from [`SBOX`] on first use so that no
+/// hand-transcribed second table can disagree with the first.
+fn inv_sbox() -> &'static [u8; 256] {
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiplication in GF(2^8) with the AES reduction polynomial `x^8 + x^4 + x^3 + x + 1`.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key.
+///
+/// Construction performs the full key schedule once; the per-block
+/// operations then only read the schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    /// 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key schedule material through Debug output.
+        f.debug_struct("Aes128")
+            .field("round_keys", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11-round AES-128 key schedule.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                // RotWord + SubWord + Rcon.
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / 4 - 1],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = SBOX[*s as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let inv = inv_sbox();
+        for s in state.iter_mut() {
+            *s = inv[*s as usize];
+        }
+    }
+
+    /// State layout follows FIPS-197: byte `i` of the block sits at row
+    /// `i % 4`, column `i / 4`; `ShiftRows` rotates row `r` left by `r`.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+            state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] =
+                gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+            state[4 * c + 1] =
+                gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+            state[4 * c + 2] =
+                gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+            state[4 * c + 3] =
+                gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    ///
+    /// FIPS-197 stores the state column-major; a flat byte buffer in
+    /// transmission order *is* that layout, so no transposition is needed.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts a copy of `block` and returns it, leaving the input intact.
+    #[must_use]
+    pub fn encrypt_block_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+
+    /// Applies AES-CTR keystream to `data` in place (encrypt == decrypt).
+    ///
+    /// `icb` is the initial counter block; the full 128-bit counter is
+    /// incremented big-endian per block, as required by SP 800-38A and the
+    /// SUCI Profile A key data layout (TS 33.501 C.3.4).
+    pub fn ctr_apply(&self, icb: &[u8; 16], data: &mut [u8]) {
+        let mut counter = *icb;
+        for chunk in data.chunks_mut(16) {
+            let keystream = self.encrypt_block_copy(&counter);
+            for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *d ^= k;
+            }
+            // Big-endian increment across the whole block.
+            for byte in counter.iter_mut().rev() {
+                *byte = byte.wrapping_add(1);
+                if *byte != 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        let key = hex::decode_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
+        let mut block = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let cipher = Aes128::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        cipher.decrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn nist_ecb_vector() {
+        // SP 800-38A F.1.1 ECB-AES128.Encrypt, block 1.
+        let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let mut block = hex::decode_array::<16>("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn nist_ctr_vector() {
+        // SP 800-38A F.5.1 CTR-AES128.Encrypt, blocks 1-2.
+        let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let icb = hex::decode_array::<16>("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").unwrap();
+        let mut data =
+            hex::decode("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51")
+                .unwrap();
+        Aes128::new(&key).ctr_apply(&icb, &mut data);
+        assert_eq!(
+            hex::encode(&data),
+            "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff"
+        );
+    }
+
+    #[test]
+    fn ctr_round_trip_partial_block() {
+        let cipher = Aes128::new(&[7u8; 16]);
+        let icb = [9u8; 16];
+        let mut data = b"nineteen byte input".to_vec();
+        let original = data.clone();
+        cipher.ctr_apply(&icb, &mut data);
+        assert_ne!(data, original);
+        cipher.ctr_apply(&icb, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn ctr_counter_wraps_across_byte_boundary() {
+        let cipher = Aes128::new(&[1u8; 16]);
+        let mut icb = [0u8; 16];
+        icb[15] = 0xff; // next increment carries into byte 14
+        let mut data = vec![0u8; 48];
+        cipher.ctr_apply(&icb, &mut data);
+        // Block 2 keystream must equal encryption of counter 0x...0100.
+        let mut ctr2 = [0u8; 16];
+        ctr2[14] = 0x01;
+        let expected = cipher.encrypt_block_copy(&ctr2);
+        assert_eq!(&data[16..32], &expected[..]);
+    }
+
+    #[test]
+    fn key_schedule_first_words_match_fips197_appendix_a() {
+        let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let cipher = Aes128::new(&key);
+        // w[4..8] from FIPS-197 Appendix A.1 forms round key 1.
+        assert_eq!(
+            hex::encode(&cipher.round_keys[1]),
+            "a0fafe1788542cb123a339392a6c7605"
+        );
+        assert_eq!(
+            hex::encode(&cipher.round_keys[10]),
+            "d014f9a8c9ee2589e13f0cc8b6630ca6"
+        );
+    }
+
+    #[test]
+    fn inverse_sbox_is_consistent() {
+        let inv = inv_sbox();
+        for i in 0..=255u8 {
+            assert_eq!(inv[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let s = format!("{:?}", Aes128::new(&[0x42; 16]));
+        assert!(s.contains("redacted"));
+        assert!(!s.contains("42, 42"));
+    }
+
+    #[test]
+    fn gmul_known_products() {
+        // 0x57 * 0x83 = 0xc1 (FIPS-197 section 4.2 example).
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xff), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn encrypt_then_decrypt_is_identity(key in proptest::array::uniform16(0u8..), pt in proptest::array::uniform16(0u8..)) {
+            let cipher = Aes128::new(&key);
+            let mut block = pt;
+            cipher.encrypt_block(&mut block);
+            cipher.decrypt_block(&mut block);
+            proptest::prop_assert_eq!(block, pt);
+        }
+
+        #[test]
+        fn ctr_is_an_involution(key in proptest::array::uniform16(0u8..), icb in proptest::array::uniform16(0u8..), data in proptest::collection::vec(0u8.., 0..200)) {
+            let cipher = Aes128::new(&key);
+            let mut buf = data.clone();
+            cipher.ctr_apply(&icb, &mut buf);
+            cipher.ctr_apply(&icb, &mut buf);
+            proptest::prop_assert_eq!(buf, data);
+        }
+    }
+}

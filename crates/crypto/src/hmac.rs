@@ -1,0 +1,163 @@
+//! HMAC-SHA-256 (RFC 2104), validated against the RFC 4231 test vectors.
+//!
+//! HMAC-SHA-256 *is* the 3GPP generic KDF core (TS 33.220 Annex B), protects
+//! sim-TLS records, and provides the SUCI Profile A MAC tag.
+//!
+//! ```rust
+//! use shield5g_crypto::hmac::hmac_sha256;
+//! let tag = hmac_sha256(b"key", b"message");
+//! assert_eq!(tag.len(), 32);
+//! ```
+
+use crate::sha256::Sha256;
+
+/// SHA-256 block size in bytes.
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA-256(key, data)`.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut hmac = HmacSha256::new(key);
+    hmac.update(data);
+    hmac.finalize()
+}
+
+/// Incremental HMAC-SHA-256.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key` (any length; keys longer
+    /// than one block are hashed first, per RFC 2104).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            key_block[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK];
+        let mut opad_key = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad_key[i] = key_block[i] ^ 0x36;
+            opad_key[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex::encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaa; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = hmac_sha256(&key, data);
+        assert_eq!(
+            hex::encode(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let key = b"some key";
+        let data = b"split message body";
+        let mut h = HmacSha256::new(key);
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finalize(), hmac_sha256(key, data));
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn key_exactly_block_size_is_used_raw(key in proptest::collection::vec(0u8.., 64..=64), msg in proptest::collection::vec(0u8.., 0..100)) {
+            // A 64-byte key must not be hashed first: compare against a manual construction.
+            let mut ipad = [0u8; 64];
+            let mut opad = [0u8; 64];
+            for i in 0..64 {
+                ipad[i] = key[i] ^ 0x36;
+                opad[i] = key[i] ^ 0x5c;
+            }
+            let mut inner = Sha256::new();
+            inner.update(&ipad);
+            inner.update(&msg);
+            let mut outer = Sha256::new();
+            outer.update(&opad);
+            outer.update(&inner.finalize());
+            proptest::prop_assert_eq!(outer.finalize(), hmac_sha256(&key, &msg));
+        }
+    }
+}

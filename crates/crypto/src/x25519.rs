@@ -1,0 +1,411 @@
+//! X25519 Diffie–Hellman over Curve25519 (RFC 7748).
+//!
+//! The SUCI protection scheme Profile A (TS 33.501 Annex C.3.4.1) conceals
+//! the subscriber's permanent identifier with an ECIES construction whose
+//! key agreement is Curve25519 — this module provides that primitive, built
+//! on 4×64-bit limb field arithmetic modulo `2^255 - 19`.
+//!
+//! ```rust
+//! use shield5g_crypto::x25519::{x25519, x25519_base};
+//! let alice_priv = [1u8; 32];
+//! let bob_priv = [2u8; 32];
+//! let alice_pub = x25519_base(&alice_priv);
+//! let bob_pub = x25519_base(&bob_priv);
+//! assert_eq!(x25519(&alice_priv, &bob_pub), x25519(&bob_priv, &alice_pub));
+//! ```
+
+/// The prime `2^255 - 19` as little-endian 64-bit limbs.
+const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// `(486662 - 2) / 4`, the ladder constant.
+const A24: u64 = 121_665;
+
+/// A field element modulo `2^255 - 19`, kept fully reduced (`< p`) after
+/// every operation. Limbs are little-endian.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Fe([u64; 4]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 4]);
+    const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// Parses a little-endian 32-byte string, masking the top bit and
+    /// reducing modulo `p` (RFC 7748 §5 decodeUCoordinate).
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        Fe(limbs).cond_sub_p()
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Subtracts `p` if the value is `>= p` (branch-free select).
+    fn cond_sub_p(self) -> Fe {
+        let mut t = [0u64; 4];
+        let mut borrow = 0u64;
+        for (out, (&limb, &p)) in t.iter_mut().zip(self.0.iter().zip(P.iter())) {
+            let (d1, b1) = limb.overflowing_sub(p);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *out = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        // borrow == 0 means self >= p: take t. Select without branching.
+        let mask = borrow.wrapping_sub(1); // all-ones when borrow == 0
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = (t[i] & mask) | (self.0[i] & !mask);
+        }
+        Fe(out)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = (c1 | c2) as u64;
+        }
+        // Both inputs < p < 2^255, so the sum fits in 256 bits.
+        debug_assert_eq!(carry, 0);
+        Fe(out).cond_sub_p()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *o = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        if borrow != 0 {
+            // Wrapped below zero: add p back (exactly cancels the 2^256 wrap).
+            let mut carry = 0u64;
+            for i in 0..4 {
+                let (s1, c1) = out[i].overflowing_add(P[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                out[i] = s2;
+                carry = (c1 | c2) as u64;
+            }
+        }
+        Fe(out)
+    }
+
+    /// Reduces a 512-bit product using `2^256 ≡ 38 (mod p)`.
+    fn from_wide(t: [u64; 8]) -> Fe {
+        // lo += hi * 38; the carry out of limb 3 is a residual multiple of
+        // 2^256 that gets folded as another ×38 until it settles (the carry
+        // shrinks 38 → ≤1 → 0, so the loop runs at most twice).
+        let mut lo = [t[0], t[1], t[2], t[3]];
+        let mut carry: u128 = 0;
+        for (l, &hi) in lo.iter_mut().zip(t[4..].iter()) {
+            let acc = *l as u128 + hi as u128 * 38 + carry;
+            *l = acc as u64;
+            carry = acc >> 64;
+        }
+        let mut top = carry as u64;
+        while top != 0 {
+            let mut fold: u128 = top as u128 * 38;
+            for limb in &mut lo {
+                let acc = *limb as u128 + (fold & u64::MAX as u128);
+                *limb = acc as u64;
+                fold = (fold >> 64) + (acc >> 64);
+            }
+            top = fold as u64;
+        }
+        // lo < 2^256 = 2p + 38, so at most two subtractions of p remain.
+        Fe(lo).cond_sub_p().cond_sub_p()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let acc = t[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                t[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        Fe::from_wide(t)
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, small: u64) -> Fe {
+        let mut t = [0u64; 8];
+        let mut carry: u128 = 0;
+        for (out, &limb) in t.iter_mut().zip(self.0.iter()) {
+            let acc = limb as u128 * small as u128 + carry;
+            *out = acc as u64;
+            carry = acc >> 64;
+        }
+        t[4] = carry as u64;
+        Fe::from_wide(t)
+    }
+
+    /// Computes `self^(p-2)`, the multiplicative inverse for nonzero input.
+    fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21, big-endian: 7f ff*30 eb.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0x7f;
+        exp[31] = 0xeb;
+        let mut result = Fe::ONE;
+        for byte in exp {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Conditionally swaps `(a, b)` when `swap == 1`, without branching on the
+/// secret bit.
+fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+    let mask = swap.wrapping_neg();
+    for i in 0..4 {
+        let x = mask & (a.0[i] ^ b.0[i]);
+        a.0[i] ^= x;
+        b.0[i] ^= x;
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748 §5 decodeScalar25519.
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// The X25519 function: scalar multiplication on Curve25519.
+///
+/// Returns the u-coordinate of `scalar * point(u)` as 32 little-endian
+/// bytes. The all-zero output (low-order point input) is returned as-is;
+/// callers that need contributory behaviour must check for it.
+#[must_use]
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        cswap(swap, &mut x2, &mut x3);
+        cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(A24)));
+    }
+    cswap(swap, &mut x2, &mut x3);
+    cswap(swap, &mut z2, &mut z3);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// X25519 with the standard base point `u = 9` (public-key generation).
+#[must_use]
+pub fn x25519_base(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut base = [0u8; 32];
+    base[0] = 9;
+    x25519(scalar, &base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = hex::decode_array::<32>(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+        )
+        .unwrap();
+        let u = hex::decode_array::<32>(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+        )
+        .unwrap();
+        assert_eq!(
+            hex::encode(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = hex::decode_array::<32>(
+            "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d",
+        )
+        .unwrap();
+        let u = hex::decode_array::<32>(
+            "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493",
+        )
+        .unwrap();
+        assert_eq!(
+            hex::encode(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    #[test]
+    fn rfc7748_diffie_hellman() {
+        let alice_priv = hex::decode_array::<32>(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        )
+        .unwrap();
+        let bob_priv = hex::decode_array::<32>(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        )
+        .unwrap();
+        let alice_pub = x25519_base(&alice_priv);
+        let bob_pub = x25519_base(&bob_priv);
+        assert_eq!(
+            hex::encode(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex::encode(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let shared_a = x25519(&alice_priv, &bob_pub);
+        let shared_b = x25519(&bob_priv, &alice_pub);
+        assert_eq!(shared_a, shared_b);
+        assert_eq!(
+            hex::encode(&shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_once_and_thousand() {
+        // §5.2 iteration test: k = u = base point, apply k' = X25519(k, u).
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let mut u = k;
+        let out1 = x25519(&k, &u);
+        assert_eq!(
+            hex::encode(&out1),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        u = k;
+        k = out1;
+        for _ in 1..1000 {
+            let next = x25519(&k, &u);
+            u = k;
+            k = next;
+        }
+        assert_eq!(
+            hex::encode(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn field_add_sub_round_trip() {
+        let a = Fe([u64::MAX - 5, 3, 9, 0x7fff_ffff_0000_0000]);
+        let b = Fe([17, 0, u64::MAX, 12]).cond_sub_p();
+        let a = a.cond_sub_p();
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(b).add(b), a);
+    }
+
+    #[test]
+    fn field_inverse() {
+        let a = Fe([1234567, 89, 0, 42]);
+        assert_eq!(a.mul(a.invert()), Fe::ONE);
+    }
+
+    #[test]
+    fn field_mul_distributes_over_add() {
+        let a = Fe([7, 1, 0, 2]);
+        let b = Fe([u64::MAX, u64::MAX, 3, 0]);
+        let c = Fe([9, 9, 9, 9]);
+        assert_eq!(a.add(b).mul(c), a.mul(c).add(b.mul(c)));
+    }
+
+    #[test]
+    fn from_bytes_reduces_noncanonical() {
+        // p + 1 must decode to 1.
+        let mut bytes = [0u8; 32];
+        let one_plus_p = Fe(P).0; // p itself, then add 1 below
+        for (i, limb) in one_plus_p.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        bytes[0] = bytes[0].wrapping_add(1);
+        // p has top bit clear so no masking interference for p+1 < 2^255.
+        assert_eq!(Fe::from_bytes(&bytes), Fe::ONE);
+    }
+
+    #[test]
+    fn clamping_is_applied() {
+        // Two scalars differing only in clamped bits produce the same output.
+        let mut s1 = [0x55u8; 32];
+        let mut s2 = s1;
+        s2[0] ^= 0x07; // low three bits are cleared by clamping
+        s2[31] ^= 0x80; // top bit cleared
+        s1[31] |= 0x40;
+        s2[31] |= 0x40;
+        assert_eq!(x25519_base(&s1), x25519_base(&s2));
+    }
+
+    #[test]
+    fn low_order_zero_point_yields_zero() {
+        // u = 0 is a low-order point: the output is all zeros, which
+        // callers needing contributory behaviour must reject themselves
+        // (documented on `x25519`).
+        let out = x25519(&[0x42; 32], &[0u8; 32]);
+        assert_eq!(out, [0u8; 32]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn dh_shared_secret_agrees(a in proptest::array::uniform32(1u8..), b in proptest::array::uniform32(1u8..)) {
+            let pa = x25519_base(&a);
+            let pb = x25519_base(&b);
+            proptest::prop_assert_eq!(x25519(&a, &pb), x25519(&b, &pa));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The Enclave Page Cache model.
+//!
+//! Pages stored here are *actually encrypted*: what an out-of-enclave
+//! observer (hypervisor, container engine, co-resident attacker) can read
+//! from "RAM" is AES-CTR ciphertext with an HMAC integrity tag. Decryption
+//! happens only "inside the CPU package" — i.e. through the owning
+//! [`crate::enclave::Enclave`], which holds the derived EPC keys.
+//!
+//! The region also tracks *accounted* occupancy (heap pages pre-faulted by
+//! Gramine's `preheat_enclave`), which can exceed the physical EPC and
+//! triggers the paging behaviour behind the paper's Figure 8 (8 GB EPC
+//! degradation).
+
+use crate::cost::PAGE_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// One encrypted page plus its integrity metadata (EPCM analogue).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedPage {
+    /// Ciphertext, exactly [`PAGE_SIZE`] bytes.
+    pub ciphertext: Vec<u8>,
+    /// Integrity tag held in the (tamper-proof) EPCM, not in RAM — an
+    /// attacker can flip ciphertext bits but cannot forge this.
+    pub tag: [u8; 32],
+    /// Anti-replay version (Merkle-tree counter analogue).
+    pub version: u64,
+}
+
+/// The per-enclave page store. Slots may be transiently empty while a
+/// page is evicted to untrusted main memory (`EWB`).
+#[derive(Clone, Debug, Default)]
+pub struct EpcRegion {
+    data_pages: Vec<Option<EncryptedPage>>,
+    accounted_pages: u64,
+}
+
+impl EpcRegion {
+    /// An empty region.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an encrypted page, returning its index.
+    pub fn push_page(&mut self, page: EncryptedPage) -> usize {
+        debug_assert_eq!(page.ciphertext.len(), PAGE_SIZE);
+        self.data_pages.push(Some(page));
+        self.accounted_pages += 1;
+        self.data_pages.len() - 1
+    }
+
+    /// Removes the page at `index` for eviction (`EWB`), leaving the slot
+    /// empty until [`EpcRegion::restore_page`].
+    pub fn take_page(&mut self, index: usize) -> Option<EncryptedPage> {
+        self.data_pages.get_mut(index).and_then(Option::take)
+    }
+
+    /// Reinstates an evicted page (`ELDU`). Returns `false` when the slot
+    /// does not exist or is still occupied.
+    pub fn restore_page(&mut self, index: usize, page: EncryptedPage) -> bool {
+        match self.data_pages.get_mut(index) {
+            Some(slot @ None) => {
+                *slot = Some(page);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Replaces the page at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds (enclave-internal callers
+    /// always use indices they allocated).
+    pub fn replace_page(&mut self, index: usize, page: EncryptedPage) {
+        debug_assert_eq!(page.ciphertext.len(), PAGE_SIZE);
+        self.data_pages[index] = Some(page);
+    }
+
+    /// Reads the page at `index`, if present and resident.
+    #[must_use]
+    pub fn page(&self, index: usize) -> Option<&EncryptedPage> {
+        self.data_pages.get(index).and_then(Option::as_ref)
+    }
+
+    /// Number of materialised data pages.
+    #[must_use]
+    pub fn data_page_count(&self) -> usize {
+        self.data_pages.len()
+    }
+
+    /// Adds `n` accounted-but-unmaterialised pages (heap pre-faulting).
+    pub fn account_pages(&mut self, n: u64) {
+        self.accounted_pages += n;
+    }
+
+    /// Total accounted occupancy in pages.
+    #[must_use]
+    pub fn accounted_pages(&self) -> u64 {
+        self.accounted_pages
+    }
+
+    /// **Attacker interface**: flip one ciphertext byte in RAM.
+    ///
+    /// Real SGX lets a privileged attacker write to the encrypted memory
+    /// region; integrity protection means the *enclave* detects it on next
+    /// access. Returns `false` when the page does not exist.
+    pub fn tamper(&mut self, page_index: usize, byte_index: usize) -> bool {
+        match self.data_pages.get_mut(page_index) {
+            Some(Some(p)) if byte_index < p.ciphertext.len() => {
+                p.ciphertext[byte_index] ^= 0xff;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// **Attacker interface**: a copy of everything visible in RAM.
+    #[must_use]
+    pub fn snapshot(&self) -> EpcSnapshot {
+        EpcSnapshot {
+            pages: self
+                .data_pages
+                .iter()
+                .flatten()
+                .map(|p| p.ciphertext.clone())
+                .collect(),
+        }
+    }
+}
+
+/// What memory introspection of the EPC yields: raw (encrypted) page bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpcSnapshot {
+    /// Ciphertext of each materialised page.
+    pub pages: Vec<Vec<u8>>,
+}
+
+impl EpcSnapshot {
+    /// Scans all pages for a plaintext needle — the memory-introspection
+    /// attack of paper KI 7/15. Against a functioning enclave this must
+    /// return `false` for any secret.
+    #[must_use]
+    pub fn contains_plaintext(&self, needle: &[u8]) -> bool {
+        !needle.is_empty()
+            && self
+                .pages
+                .iter()
+                .any(|p| p.windows(needle.len()).any(|w| w == needle))
+    }
+
+    /// Total bytes visible.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.pages.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> EncryptedPage {
+        EncryptedPage {
+            ciphertext: vec![fill; PAGE_SIZE],
+            tag: [0; 32],
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut epc = EpcRegion::new();
+        let idx = epc.push_page(page(7));
+        assert_eq!(epc.page(idx).unwrap().ciphertext[0], 7);
+        assert_eq!(epc.data_page_count(), 1);
+        assert_eq!(epc.accounted_pages(), 1);
+    }
+
+    #[test]
+    fn accounting_includes_virtual_heap() {
+        let mut epc = EpcRegion::new();
+        epc.account_pages(131_072);
+        assert_eq!(epc.accounted_pages(), 131_072);
+        assert_eq!(epc.data_page_count(), 0);
+    }
+
+    #[test]
+    fn tamper_flips_ciphertext() {
+        let mut epc = EpcRegion::new();
+        let idx = epc.push_page(page(0));
+        assert!(epc.tamper(idx, 5));
+        assert_eq!(epc.page(idx).unwrap().ciphertext[5], 0xff);
+        assert!(!epc.tamper(99, 0));
+        assert!(!epc.tamper(idx, PAGE_SIZE + 1));
+    }
+
+    #[test]
+    fn snapshot_finds_plaintext_needles() {
+        let mut epc = EpcRegion::new();
+        let mut p = page(0);
+        p.ciphertext[100..105].copy_from_slice(b"hello");
+        epc.push_page(p);
+        let snap = epc.snapshot();
+        assert!(snap.contains_plaintext(b"hello"));
+        assert!(!snap.contains_plaintext(b"world"));
+        assert!(!snap.contains_plaintext(b""));
+        assert_eq!(snap.total_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn take_and_restore_cycle() {
+        let mut epc = EpcRegion::new();
+        let idx = epc.push_page(page(5));
+        let taken = epc.take_page(idx).unwrap();
+        assert!(epc.page(idx).is_none(), "slot empty while evicted");
+        assert!(epc.take_page(idx).is_none(), "double-take fails");
+        assert!(epc.restore_page(idx, taken));
+        assert_eq!(epc.page(idx).unwrap().ciphertext[0], 5);
+        // Restoring into an occupied slot fails.
+        assert!(!epc.restore_page(idx, page(6)));
+        assert!(!epc.restore_page(99, page(6)));
+    }
+
+    #[test]
+    fn snapshot_skips_evicted_pages() {
+        let mut epc = EpcRegion::new();
+        let idx = epc.push_page(page(7));
+        epc.push_page(page(8));
+        epc.take_page(idx);
+        assert_eq!(epc.snapshot().pages.len(), 1);
+    }
+
+    #[test]
+    fn replace_updates_content() {
+        let mut epc = EpcRegion::new();
+        let idx = epc.push_page(page(1));
+        epc.replace_page(idx, page(2));
+        assert_eq!(epc.page(idx).unwrap().ciphertext[0], 2);
+        // Replacement does not double-count occupancy.
+        assert_eq!(epc.accounted_pages(), 1);
+    }
+}

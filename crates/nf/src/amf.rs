@@ -1,0 +1,671 @@
+//! The Access and Mobility Management Function (with the SEAF role).
+//!
+//! Terminates NAS from the gNB (paper Fig. 2: "forwards Non-Access
+//! Stratum signaling messages between the Access Network and the core"),
+//! drives 5G-AKA against the AUSF, performs the SEAF's HRES*/HXRES*
+//! check, activates NAS security, allocates GUTIs and anchors PDU-session
+//! requests to the SMF. Its K_AMF derivation is delegated to an
+//! [`AmfAkaBackend`] (the eAMF P-AKA module in the paper's deployments).
+
+use crate::backend::{AmfAkaBackend, AmfAkaRequest};
+use crate::messages::{AuthFailureCause, NasDownlink, NasUplink, Ngap, UeIdentity};
+use crate::nas_security::{NasSecurityContext, ProtectedNas, CIPHER_ALG_AES, INTEGRITY_ALG_HMAC};
+use crate::sbi::{
+    AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse,
+    CreateSessionRequest, CreateSessionResponse, ResyncRequest, SbiClient,
+};
+use crate::NfError;
+use shield5g_crypto::ident::Guti;
+use shield5g_crypto::keys::derive_hxres_star;
+use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::service::Service;
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::Env;
+use std::collections::HashMap;
+
+/// NAS decode/validate/route overhead per message on the OAI C++ path.
+const AMF_NAS_HANDLER_NANOS: u64 = 62_000;
+
+/// The ABBA parameter (TS 33.501: all zeros pending feature sets).
+pub const ABBA: [u8; 2] = [0, 0];
+
+/// Registration progress for one UE association.
+enum UeState {
+    /// Challenge sent; waiting for the RES*.
+    AuthPending {
+        identity: UeIdentity,
+        auth_ctx_id: u64,
+        rand: [u8; 16],
+        hxres_star: [u8; 16],
+        /// Re-synchronisation attempts so far (loop guard).
+        resync_attempts: u8,
+    },
+    /// Security mode command sent; NAS context live.
+    SecurityMode {
+        supi: String,
+        sec: NasSecurityContext,
+    },
+    /// Registration accepted; waiting for complete.
+    AcceptSent {
+        supi: String,
+        sec: NasSecurityContext,
+        guti: Guti,
+    },
+    /// Fully registered.
+    Registered {
+        supi: String,
+        sec: NasSecurityContext,
+        guti: Guti,
+    },
+    /// Identity request sent; waiting for the SUCI.
+    AwaitingIdentity,
+}
+
+/// The AMF service.
+pub struct AmfService {
+    client: SbiClient,
+    ausf_addr: String,
+    smf_addr: String,
+    backend: Box<dyn AmfAkaBackend>,
+    serving_mcc: String,
+    serving_mnc: String,
+    contexts: HashMap<u64, UeState>,
+    pending_teid: HashMap<u64, u32>,
+    pending_teardown: std::collections::HashSet<u64>,
+    guti_to_supi: HashMap<u32, String>,
+    next_tmsi: u32,
+    registrations_completed: u64,
+    deregistrations: u64,
+}
+
+impl std::fmt::Debug for AmfService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmfService")
+            .field("active_contexts", &self.contexts.len())
+            .field("registrations_completed", &self.registrations_completed)
+            .finish()
+    }
+}
+
+impl AmfService {
+    /// Creates an AMF for the serving PLMN `mcc`/`mnc`.
+    #[must_use]
+    pub fn new(
+        client: SbiClient,
+        ausf_addr: impl Into<String>,
+        smf_addr: impl Into<String>,
+        backend: Box<dyn AmfAkaBackend>,
+        mcc: &str,
+        mnc: &str,
+    ) -> Self {
+        AmfService {
+            client,
+            ausf_addr: ausf_addr.into(),
+            smf_addr: smf_addr.into(),
+            backend,
+            serving_mcc: mcc.to_owned(),
+            serving_mnc: mnc.to_owned(),
+            contexts: HashMap::new(),
+            pending_teid: HashMap::new(),
+            pending_teardown: std::collections::HashSet::new(),
+            guti_to_supi: HashMap::new(),
+            next_tmsi: 0x0100_0000,
+            registrations_completed: 0,
+            deregistrations: 0,
+        }
+    }
+
+    /// Completed registrations (diagnostics / experiments).
+    #[must_use]
+    pub fn registrations_completed(&self) -> u64 {
+        self.registrations_completed
+    }
+
+    /// Completed deregistrations.
+    #[must_use]
+    pub fn deregistrations(&self) -> u64 {
+        self.deregistrations
+    }
+
+    /// Whether the UE association is in the `Registered` state.
+    #[must_use]
+    pub fn is_registered(&self, ran_ue_id: u64) -> bool {
+        matches!(
+            self.contexts.get(&ran_ue_id),
+            Some(UeState::Registered { .. })
+        )
+    }
+
+    fn start_authentication(
+        &mut self,
+        env: &mut Env,
+        ran_ue_id: u64,
+        identity: UeIdentity,
+        resync_attempts: u8,
+    ) -> Result<NasDownlink, NfError> {
+        // A known GUTI maps to a SUPI carried in the SBI `known_supi`
+        // field; unknown GUTIs would require an Identity Request (we
+        // reject, forcing the UE to fall back to SUCI).
+        let known_supi = match &identity {
+            UeIdentity::Suci(_) => String::new(),
+            UeIdentity::Guti(guti) => match self.guti_to_supi.get(&guti.tmsi) {
+                Some(supi) => supi.clone(),
+                None => {
+                    // TS 23.502 §4.2.2.2.2: the AMF cannot resolve the 5G-GUTI
+                    // and asks the UE for its (concealed) permanent identity.
+                    self.contexts.insert(ran_ue_id, UeState::AwaitingIdentity);
+                    return Ok(NasDownlink::IdentityRequest);
+                }
+            },
+        };
+        let req = AuthenticateRequest {
+            identity: identity.clone(),
+            known_supi,
+            snn_mcc: self.serving_mcc.clone(),
+            snn_mnc: self.serving_mnc.clone(),
+        };
+        let body = self.client.post(
+            env,
+            &self.ausf_addr,
+            "/nausf-auth/authenticate",
+            req.encode(),
+        )?;
+        let resp = AuthenticateResponse::decode(&body)?;
+        self.contexts.insert(
+            ran_ue_id,
+            UeState::AuthPending {
+                identity,
+                auth_ctx_id: resp.auth_ctx_id,
+                rand: resp.se_av.rand,
+                hxres_star: resp.se_av.hxres_star,
+                resync_attempts,
+            },
+        );
+        Ok(NasDownlink::AuthenticationRequest {
+            rand: resp.se_av.rand,
+            autn: resp.se_av.autn,
+            abba: ABBA,
+            ngksi: 0,
+        })
+    }
+
+    fn handle_auth_response(
+        &mut self,
+        env: &mut Env,
+        ran_ue_id: u64,
+        res_star: [u8; 16],
+    ) -> Result<NasDownlink, NfError> {
+        let Some(UeState::AuthPending {
+            auth_ctx_id,
+            rand,
+            hxres_star,
+            ..
+        }) = self.contexts.get(&ran_ue_id)
+        else {
+            return Err(NfError::Protocol(
+                "authentication response without pending auth".into(),
+            ));
+        };
+        let (auth_ctx_id, rand, hxres_star) = (*auth_ctx_id, *rand, *hxres_star);
+
+        // SEAF check: HRES* against HXRES* (TS 33.501 §6.1.3.2 step 9).
+        let hres_star = derive_hxres_star(&rand, &res_star);
+        if !shield5g_crypto::ct_eq(&hres_star, &hxres_star) {
+            self.contexts.remove(&ran_ue_id);
+            env.log
+                .record(env.clock.now(), "aka", "SEAF HRES* check failed");
+            return Ok(NasDownlink::AuthenticationReject);
+        }
+
+        // AUSF confirmation releases K_SEAF and the SUPI.
+        let confirm = ConfirmRequest {
+            auth_ctx_id,
+            res_star,
+        };
+        let body = self.client.post(
+            env,
+            &self.ausf_addr,
+            "/nausf-auth/confirm",
+            confirm.encode(),
+        )?;
+        let resp = ConfirmResponse::decode(&body)?;
+        if !resp.success {
+            self.contexts.remove(&ran_ue_id);
+            return Ok(NasDownlink::AuthenticationReject);
+        }
+
+        // K_AMF via the (possibly enclave-hosted) backend; then NAS keys.
+        let kamf = self.backend.derive_kamf(
+            env,
+            &AmfAkaRequest {
+                kseaf: resp.kseaf,
+                supi: resp.supi.clone(),
+                abba: ABBA,
+            },
+        )?;
+        let sec = NasSecurityContext::from_kamf(&kamf, false);
+        self.contexts.insert(
+            ran_ue_id,
+            UeState::SecurityMode {
+                supi: resp.supi,
+                sec,
+            },
+        );
+        Ok(NasDownlink::SecurityModeCommand {
+            integrity_alg: INTEGRITY_ALG_HMAC,
+            ciphering_alg: CIPHER_ALG_AES,
+        })
+    }
+
+    fn handle_auth_failure(
+        &mut self,
+        env: &mut Env,
+        ran_ue_id: u64,
+        cause: AuthFailureCause,
+    ) -> Result<NasDownlink, NfError> {
+        let Some(UeState::AuthPending {
+            identity,
+            rand,
+            resync_attempts,
+            ..
+        }) = self.contexts.remove(&ran_ue_id)
+        else {
+            return Err(NfError::Protocol(
+                "authentication failure without pending auth".into(),
+            ));
+        };
+        match cause {
+            AuthFailureCause::MacFailure => {
+                env.log
+                    .record(env.clock.now(), "aka", "UE reported MAC failure");
+                Ok(NasDownlink::RegistrationReject {
+                    cause: 3, /* illegal network */
+                })
+            }
+            AuthFailureCause::SynchFailure(auts) => {
+                if resync_attempts >= 2 {
+                    return Ok(NasDownlink::RegistrationReject { cause: 111 });
+                }
+                // Recover the SUPI for the resync (SUCI path needs the UDM;
+                // we piggy-back on the AUSF resync endpoint which forwards
+                // identity resolution).
+                let supi = match &identity {
+                    UeIdentity::Suci(_) => {
+                        // The AUSF context already resolved the SUPI during
+                        // the failed round; simplest faithful option is to
+                        // resync by SUCI-resolved SUPI via a fresh auth
+                        // after the UDM handles the AUTS. The UDM needs the
+                        // SUPI, which it can re-derive from the SUCI — here
+                        // we pass the concealed identity onward.
+                        String::new()
+                    }
+                    UeIdentity::Guti(guti) => self
+                        .guti_to_supi
+                        .get(&guti.tmsi)
+                        .cloned()
+                        .unwrap_or_default(),
+                };
+                let resync = ResyncRequest {
+                    supi: if supi.is_empty() {
+                        // Resolve through a dedicated UDM round: the AUSF
+                        // resync endpoint accepts SUPI only; re-resolve via
+                        // identity. For the simulation, SUCI de-concealment
+                        // happens again inside the UDM when the next
+                        // authentication runs; the AUTS check needs the
+                        // subscriber, so we extract it via the sbi resync
+                        // with the SUCI-borne identity resolved below.
+                        self.resolve_supi_for_resync(env, &identity)?
+                    } else {
+                        supi
+                    },
+                    rand,
+                    auts,
+                };
+                self.client
+                    .post(env, &self.ausf_addr, "/nausf-auth/resync", resync.encode())?;
+                env.log.record(
+                    env.clock.now(),
+                    "aka",
+                    "SQN re-synchronised; restarting AKA",
+                );
+                self.start_authentication(env, ran_ue_id, identity, resync_attempts + 1)
+            }
+        }
+    }
+
+    /// Resolves a SUPI for the resync path. SUCI de-concealment is the
+    /// UDM/SIDF's job; the AMF asks it indirectly by running the identity
+    /// through a fresh `generate-auth-data` (which also returns the SUPI).
+    fn resolve_supi_for_resync(
+        &mut self,
+        env: &mut Env,
+        identity: &UeIdentity,
+    ) -> Result<String, NfError> {
+        let req = crate::sbi::UdmAuthGetRequest {
+            identity: identity.clone(),
+            known_supi: String::new(),
+            snn_mcc: self.serving_mcc.clone(),
+            snn_mnc: self.serving_mnc.clone(),
+        };
+        // Route via AUSF→UDM path: the AUSF exposes only authenticate, so
+        // go straight to the UDM address known network-wide.
+        let body = self.client.post(
+            env,
+            crate::addr::UDM,
+            "/nudm-ueau/generate-auth-data",
+            req.encode(),
+        )?;
+        Ok(crate::sbi::UdmAuthGetResponse::decode(&body)?.supi)
+    }
+
+    fn allocate_guti(&mut self, supi: &str) -> Guti {
+        let tmsi = self.next_tmsi;
+        self.next_tmsi += 1;
+        // A subscriber holds exactly one valid 5G-GUTI: allocating a new
+        // one invalidates any earlier mapping (GUTI hygiene — a superseded
+        // temporary identity must not keep resolving).
+        self.guti_to_supi.retain(|_, s| s != supi);
+        self.guti_to_supi.insert(tmsi, supi.to_owned());
+        Guti::new(1, 1, 1, tmsi)
+    }
+
+    fn handle_secured_uplink(
+        &mut self,
+        env: &mut Env,
+        ran_ue_id: u64,
+        pdu: &ProtectedNas,
+    ) -> Result<NasDownlink, NfError> {
+        let state = self
+            .contexts
+            .remove(&ran_ue_id)
+            .ok_or_else(|| NfError::Protocol("secured NAS without context".into()))?;
+        match state {
+            UeState::SecurityMode { supi, mut sec } => {
+                let plain = sec.unprotect(pdu)?;
+                match NasUplink::decode(&plain)? {
+                    NasUplink::SecurityModeComplete => {
+                        let guti = self.allocate_guti(&supi);
+                        let out = NasDownlink::RegistrationAccept { guti };
+                        self.contexts
+                            .insert(ran_ue_id, UeState::AcceptSent { supi, sec, guti });
+                        Ok(out)
+                    }
+                    other => Err(NfError::Protocol(format!(
+                        "expected SecurityModeComplete, got {other:?}"
+                    ))),
+                }
+            }
+            UeState::AcceptSent {
+                supi,
+                mut sec,
+                guti,
+            } => {
+                let plain = sec.unprotect(pdu)?;
+                match NasUplink::decode(&plain)? {
+                    NasUplink::RegistrationComplete => {
+                        self.registrations_completed += 1;
+                        env.log.record(
+                            env.clock.now(),
+                            "aka",
+                            format!("{supi} registered as {guti}"),
+                        );
+                        self.contexts
+                            .insert(ran_ue_id, UeState::Registered { supi, sec, guti });
+                        // No downlink NAS needed; answer with a harmless
+                        // context-setup echo (the gNB consumes it).
+                        Ok(NasDownlink::RegistrationAccept { guti })
+                    }
+                    other => Err(NfError::Protocol(format!(
+                        "expected RegistrationComplete, got {other:?}"
+                    ))),
+                }
+            }
+            UeState::Registered {
+                supi,
+                mut sec,
+                guti,
+            } => {
+                let plain = sec.unprotect(pdu)?;
+                match NasUplink::decode(&plain)? {
+                    NasUplink::DeregistrationRequest { switch_off } => {
+                        // Invalidate the GUTI and drop the context; the
+                        // accept still rides the (dying) security context,
+                        // which `encode_downlink` picks up from the
+                        // tombstone before `process_ngap` clears it.
+                        self.guti_to_supi.remove(&guti.tmsi);
+                        self.deregistrations += 1;
+                        self.pending_teardown.insert(ran_ue_id);
+                        env.log.record(
+                            env.clock.now(),
+                            "aka",
+                            format!("{supi} deregistered (switch_off={switch_off})"),
+                        );
+                        self.contexts
+                            .insert(ran_ue_id, UeState::Registered { supi, sec, guti });
+                        Ok(NasDownlink::DeregistrationAccept)
+                    }
+                    NasUplink::PduSessionEstablishmentRequest { pdu_session_id } => {
+                        let body = self.client.post(
+                            env,
+                            &self.smf_addr,
+                            "/nsmf-pdusession/create",
+                            CreateSessionRequest {
+                                supi: supi.clone(),
+                                pdu_session_id,
+                            }
+                            .encode(),
+                        )?;
+                        let resp = CreateSessionResponse::decode(&body)?;
+                        self.pending_teid.insert(ran_ue_id, resp.upf_teid);
+                        self.contexts
+                            .insert(ran_ue_id, UeState::Registered { supi, sec, guti });
+                        Ok(NasDownlink::PduSessionEstablishmentAccept {
+                            pdu_session_id,
+                            ue_ip: resp.ue_ip,
+                        })
+                    }
+                    other => Err(NfError::Protocol(format!(
+                        "unexpected NAS in registered state: {other:?}"
+                    ))),
+                }
+            }
+            UeState::AuthPending { .. } | UeState::AwaitingIdentity => Err(NfError::Protocol(
+                "secured NAS during authentication".into(),
+            )),
+        }
+    }
+
+    /// Protects a downlink NAS message when a security context exists for
+    /// the association (post security-mode messages are protected).
+    fn encode_downlink(&mut self, ran_ue_id: u64, msg: &NasDownlink) -> Vec<u8> {
+        let plain = msg.encode();
+        match (self.contexts.get_mut(&ran_ue_id), msg) {
+            // The SecurityModeCommand itself and everything after travel
+            // under the new context.
+            (Some(UeState::SecurityMode { sec, .. }), _)
+            | (Some(UeState::AcceptSent { sec, .. }), _)
+            | (Some(UeState::Registered { sec, .. }), _) => sec.protect(&plain).encode(),
+            _ => plain,
+        }
+    }
+
+    fn process_ngap(&mut self, env: &mut Env, ngap: &Ngap) -> Result<Ngap, NfError> {
+        env.clock
+            .advance(SimDuration::from_nanos(AMF_NAS_HANDLER_NANOS));
+        let ran_ue_id = ngap.ran_ue_id();
+        let nas_bytes = ngap.nas();
+
+        // Secured PDUs only exist once a context is past SecurityMode.
+        let has_sec_context = matches!(
+            self.contexts.get(&ran_ue_id),
+            Some(
+                UeState::SecurityMode { .. }
+                    | UeState::AcceptSent { .. }
+                    | UeState::Registered { .. }
+            )
+        );
+        let downlink = if has_sec_context {
+            let pdu = ProtectedNas::decode(nas_bytes)?;
+            self.handle_secured_uplink(env, ran_ue_id, &pdu)?
+        } else {
+            match NasUplink::decode(nas_bytes)? {
+                NasUplink::RegistrationRequest { identity } => {
+                    self.start_authentication(env, ran_ue_id, identity, 0)?
+                }
+                NasUplink::AuthenticationResponse { res_star } => {
+                    self.handle_auth_response(env, ran_ue_id, res_star)?
+                }
+                NasUplink::AuthenticationFailure { cause } => {
+                    self.handle_auth_failure(env, ran_ue_id, cause)?
+                }
+                NasUplink::IdentityResponse { suci } => {
+                    if !matches!(
+                        self.contexts.get(&ran_ue_id),
+                        Some(UeState::AwaitingIdentity)
+                    ) {
+                        return Err(NfError::Protocol("unsolicited identity response".into()));
+                    }
+                    self.contexts.remove(&ran_ue_id);
+                    self.start_authentication(env, ran_ue_id, UeIdentity::Suci(suci), 0)?
+                }
+                other => {
+                    return Err(NfError::Protocol(format!(
+                        "unexpected plain NAS: {other:?}"
+                    )))
+                }
+            }
+        };
+        let nas = self.encode_downlink(ran_ue_id, &downlink);
+        // A deregistration tears the context down after the (protected)
+        // accept has been encoded.
+        if self.pending_teardown.remove(&ran_ue_id) {
+            self.contexts.remove(&ran_ue_id);
+        }
+        // A freshly anchored PDU session rides down in an
+        // InitialContextSetup so the gNB learns the GTP tunnel endpoint.
+        if let Some(teid) = self.pending_teid.remove(&ran_ue_id) {
+            return Ok(Ngap::InitialContextSetup {
+                ran_ue_id,
+                nas,
+                teid,
+            });
+        }
+        Ok(Ngap::DownlinkNasTransport { ran_ue_id, nas })
+    }
+}
+
+impl Service for AmfService {
+    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        if req.path != "/ngap" {
+            return HttpResponse::error(404, format!("no handler for {}", req.path));
+        }
+        match Ngap::decode(&req.body)
+            .map_err(NfError::from)
+            .and_then(|ngap| self.process_ngap(env, &ngap))
+        {
+            Ok(out) => HttpResponse::ok(out.encode()),
+            Err(NfError::AuthenticationRejected(why)) => HttpResponse::error(403, why),
+            Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure { status, .. })) => {
+                HttpResponse::error(status, "upstream failure")
+            }
+            Err(e) => HttpResponse::error(400, e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The AMF's behaviour is exercised end-to-end (with a real UE model)
+    // in the `shield5g-ran` crate and the workspace integration tests;
+    // unit tests here cover the plumbing edges.
+    use super::*;
+    use crate::backend::LocalAmfAka;
+    use shield5g_sim::service::Router;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn amf() -> AmfService {
+        let router = Rc::new(RefCell::new(Router::new()));
+        AmfService::new(
+            SbiClient::new(router),
+            crate::addr::AUSF,
+            crate::addr::SMF,
+            Box::new(LocalAmfAka::new()),
+            "001",
+            "01",
+        )
+    }
+
+    #[test]
+    fn non_ngap_path_is_404() {
+        let mut env = Env::new(1);
+        let mut amf = amf();
+        assert_eq!(amf.handle(&mut env, HttpRequest::get("/other")).status, 404);
+    }
+
+    #[test]
+    fn garbage_ngap_is_400() {
+        let mut env = Env::new(1);
+        let mut amf = amf();
+        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", vec![0xff, 0xff]));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn auth_response_without_pending_auth_is_400() {
+        let mut env = Env::new(1);
+        let mut amf = amf();
+        let nas = NasUplink::AuthenticationResponse { res_star: [0; 16] }.encode();
+        let ngap = Ngap::UplinkNasTransport { ran_ue_id: 9, nas }.encode();
+        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn registration_to_unreachable_ausf_fails_cleanly() {
+        let mut env = Env::new(1);
+        let mut amf = amf();
+        let suci = shield5g_crypto::ident::Supi::parse("imsi-001010000000001")
+            .unwrap()
+            .conceal_null();
+        let nas = NasUplink::RegistrationRequest {
+            identity: UeIdentity::Suci(suci),
+        }
+        .encode();
+        let ngap = Ngap::InitialUeMessage { ran_ue_id: 1, nas }.encode();
+        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        assert_eq!(resp.status, 400);
+        assert!(!amf.is_registered(1));
+    }
+
+    #[test]
+    fn unknown_guti_triggers_identity_request() {
+        let mut env = Env::new(1);
+        let mut amf = amf();
+        let nas = NasUplink::RegistrationRequest {
+            identity: UeIdentity::Guti(Guti::new(1, 1, 1, 0xdead)),
+        }
+        .encode();
+        let ngap = Ngap::InitialUeMessage { ran_ue_id: 1, nas }.encode();
+        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        assert!(resp.is_success());
+        let downlink = Ngap::decode(&resp.body).unwrap();
+        assert_eq!(
+            crate::messages::NasDownlink::decode(downlink.nas()).unwrap(),
+            crate::messages::NasDownlink::IdentityRequest
+        );
+    }
+
+    #[test]
+    fn unsolicited_identity_response_rejected() {
+        let mut env = Env::new(1);
+        let mut amf = amf();
+        let suci = shield5g_crypto::ident::Supi::parse("imsi-001010000000001")
+            .unwrap()
+            .conceal_null();
+        let nas = NasUplink::IdentityResponse { suci }.encode();
+        let ngap = Ngap::UplinkNasTransport { ran_ue_id: 9, nas }.encode();
+        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        assert_eq!(resp.status, 400);
+    }
+}

@@ -1,0 +1,404 @@
+//! The Authentication Server Function.
+//!
+//! Receives authentication requests from the AMF/SEAF, obtains the HE AV
+//! from the UDM, derives the SE AV parameters through its
+//! [`AusfAkaBackend`] (the eAUSF P-AKA module in the paper's deployments),
+//! stores XRES*/K_SEAF, and performs the final RES* confirmation
+//! (TS 33.501 §6.1.3.2 step 10/11).
+
+use crate::backend::{decode_he_av, AusfAkaBackend, AusfAkaRequest};
+use crate::sbi::{
+    AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse, ResyncRequest,
+    SbiClient, UdmAuthGetRequest, UdmAuthGetResponse,
+};
+use crate::NfError;
+use shield5g_crypto::keys::{SeAv, ServingNetworkName};
+use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::service::Service;
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::Env;
+use std::collections::HashMap;
+
+/// AUSF handler parsing/auth-service-authorisation overhead.
+const AUSF_HANDLER_NANOS: u64 = 48_000;
+
+/// Stored per pending authentication.
+struct AuthContext {
+    supi: String,
+    xres_star: [u8; 16],
+    kseaf: [u8; 32],
+}
+
+/// The AUSF service.
+pub struct AusfService {
+    client: SbiClient,
+    udm_addr: String,
+    backend: Box<dyn AusfAkaBackend>,
+    contexts: HashMap<u64, AuthContext>,
+    next_ctx: u64,
+}
+
+impl std::fmt::Debug for AusfService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AusfService")
+            .field("udm_addr", &self.udm_addr)
+            .field("pending_contexts", &self.contexts.len())
+            .finish()
+    }
+}
+
+impl AusfService {
+    /// Creates an AUSF talking to the UDM at `udm_addr`.
+    #[must_use]
+    pub fn new(
+        client: SbiClient,
+        udm_addr: impl Into<String>,
+        backend: Box<dyn AusfAkaBackend>,
+    ) -> Self {
+        AusfService {
+            client,
+            udm_addr: udm_addr.into(),
+            backend,
+            contexts: HashMap::new(),
+            next_ctx: 1,
+        }
+    }
+
+    /// Pending authentication contexts (diagnostics).
+    #[must_use]
+    pub fn pending_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    fn authenticate(
+        &mut self,
+        env: &mut Env,
+        req: &AuthenticateRequest,
+    ) -> Result<AuthenticateResponse, NfError> {
+        env.clock
+            .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS));
+        // Forward to UDM for the HE AV.
+        let udm_req = UdmAuthGetRequest {
+            identity: req.identity.clone(),
+            known_supi: req.known_supi.clone(),
+            snn_mcc: req.snn_mcc.clone(),
+            snn_mnc: req.snn_mnc.clone(),
+        };
+        let body = self.client.post(
+            env,
+            &self.udm_addr,
+            "/nudm-ueau/generate-auth-data",
+            udm_req.encode(),
+        )?;
+        let udm_resp = UdmAuthGetResponse::decode(&body)?;
+        let he_av = decode_he_av(&udm_resp.he_av)?;
+
+        // SE parameters via the (possibly enclave-hosted) backend.
+        let snn = ServingNetworkName::new(&req.snn_mcc, &req.snn_mnc);
+        let se = self.backend.derive_se(
+            env,
+            &AusfAkaRequest {
+                rand: he_av.rand,
+                xres_star: he_av.xres_star,
+                kausf: he_av.kausf,
+                snn,
+            },
+        )?;
+
+        let ctx_id = self.next_ctx;
+        self.next_ctx += 1;
+        self.contexts.insert(
+            ctx_id,
+            AuthContext {
+                supi: udm_resp.supi,
+                xres_star: he_av.xres_star,
+                kseaf: se.kseaf,
+            },
+        );
+        env.log.record(
+            env.clock.now(),
+            "aka",
+            format!("AUSF issued SE AV (ctx {ctx_id})"),
+        );
+        Ok(AuthenticateResponse {
+            auth_ctx_id: ctx_id,
+            se_av: SeAv {
+                rand: he_av.rand,
+                autn: he_av.autn,
+                hxres_star: se.hxres_star,
+            },
+        })
+    }
+
+    fn confirm(&mut self, env: &mut Env, req: &ConfirmRequest) -> Result<ConfirmResponse, NfError> {
+        env.clock
+            .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS / 2));
+        let ctx = self.contexts.remove(&req.auth_ctx_id).ok_or_else(|| {
+            NfError::Protocol(format!("unknown auth context {}", req.auth_ctx_id))
+        })?;
+        if shield5g_crypto::ct_eq(&ctx.xres_star, &req.res_star) {
+            env.log.record(
+                env.clock.now(),
+                "aka",
+                format!("AUSF confirmed RES* for {}", ctx.supi),
+            );
+            Ok(ConfirmResponse {
+                success: true,
+                supi: ctx.supi,
+                kseaf: ctx.kseaf,
+            })
+        } else {
+            env.log
+                .record(env.clock.now(), "aka", "AUSF rejected RES*".to_string());
+            Ok(ConfirmResponse {
+                success: false,
+                supi: String::new(),
+                kseaf: [0; 32],
+            })
+        }
+    }
+
+    fn resync(&mut self, env: &mut Env, req: &ResyncRequest) -> Result<(), NfError> {
+        env.clock
+            .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS / 2));
+        self.client
+            .post(env, &self.udm_addr, "/nudm-ueau/resync", req.encode())?;
+        Ok(())
+    }
+}
+
+impl Service for AusfService {
+    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        match req.path.as_str() {
+            "/nausf-auth/authenticate" => {
+                match AuthenticateRequest::decode(&req.body)
+                    .and_then(|r| self.authenticate(env, &r))
+                {
+                    Ok(resp) => HttpResponse::ok(resp.encode()),
+                    Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
+                        status, ..
+                    })) => HttpResponse::error(status, "upstream failure"),
+                    Err(e) => HttpResponse::error(400, e.to_string()),
+                }
+            }
+            "/nausf-auth/confirm" => {
+                match ConfirmRequest::decode(&req.body).and_then(|r| self.confirm(env, &r)) {
+                    Ok(resp) => HttpResponse::ok(resp.encode()),
+                    Err(e) => HttpResponse::error(400, e.to_string()),
+                }
+            }
+            "/nausf-auth/resync" => {
+                match ResyncRequest::decode(&req.body).and_then(|r| self.resync(env, &r)) {
+                    Ok(()) => HttpResponse::ok(Vec::new()),
+                    Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
+                        status, ..
+                    })) => HttpResponse::error(status, "upstream failure"),
+                    Err(e) => HttpResponse::error(400, e.to_string()),
+                }
+            }
+            other => HttpResponse::error(404, format!("no handler for {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{LocalAusfAka, LocalUdmAka};
+    use crate::messages::UeIdentity;
+    use crate::udm::UdmService;
+    use crate::udr::UdrService;
+    use shield5g_crypto::ecies::HomeNetworkKeyPair;
+    use shield5g_crypto::ident::Supi;
+    use shield5g_crypto::keys::derive_hxres_star;
+    use shield5g_crypto::milenage::Milenage;
+    use shield5g_sim::service::{service_handle, Router};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const K: [u8; 16] = [0x46; 16];
+    const OPC: [u8; 16] = [0xcd; 16];
+    const SUPI: &str = "imsi-001010000000001";
+
+    fn world() -> (Env, Rc<RefCell<Router>>, HomeNetworkKeyPair) {
+        let mut env = Env::new(4);
+        let router = Rc::new(RefCell::new(Router::new()));
+        let mut udr = UdrService::new();
+        udr.provision(SUPI, OPC, [0x80, 0]);
+        router
+            .borrow_mut()
+            .register(crate::addr::UDR, service_handle(udr));
+        let hn = HomeNetworkKeyPair::from_private(1, env.rng.bytes());
+        let mut udm_backend = LocalUdmAka::new();
+        udm_backend.provision(SUPI, K);
+        let udm = UdmService::new(
+            hn.clone(),
+            SbiClient::new(router.clone()),
+            crate::addr::UDR,
+            Box::new(udm_backend),
+        );
+        router
+            .borrow_mut()
+            .register(crate::addr::UDM, service_handle(udm));
+        let ausf = AusfService::new(
+            SbiClient::new(router.clone()),
+            crate::addr::UDM,
+            Box::new(LocalAusfAka::new()),
+        );
+        router
+            .borrow_mut()
+            .register(crate::addr::AUSF, service_handle(ausf));
+        (env, router, hn)
+    }
+
+    fn authenticate(
+        env: &mut Env,
+        router: &Rc<RefCell<Router>>,
+        hn: &HomeNetworkKeyPair,
+    ) -> AuthenticateResponse {
+        let supi = Supi::parse(SUPI).unwrap();
+        let eph: [u8; 32] = env.rng.bytes();
+        let suci = supi.conceal_profile_a(1, hn.public(), &eph);
+        let req = AuthenticateRequest {
+            identity: UeIdentity::Suci(suci),
+            known_supi: String::new(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        };
+        let body = {
+            let r = router.borrow();
+            r.call_ok(
+                env,
+                crate::addr::AUSF,
+                HttpRequest::post("/nausf-auth/authenticate", req.encode()),
+            )
+            .unwrap()
+        };
+        AuthenticateResponse::decode(&body).unwrap()
+    }
+
+    /// The UE side of the challenge, straight from the crypto layer.
+    fn ue_answer(rand: &[u8; 16], autn: &[u8; 16]) -> [u8; 16] {
+        let mil = Milenage::with_opc(&K, &OPC);
+        let snn = ServingNetworkName::new("001", "01");
+        shield5g_crypto::keys::ue_process_challenge(&mil, rand, autn, &snn)
+            .unwrap()
+            .res_star
+    }
+
+    #[test]
+    fn full_authenticate_confirm_round() {
+        let (mut env, router, hn) = world();
+        let auth = authenticate(&mut env, &router, &hn);
+        // SEAF check: HXRES* must match the hash of the honest response.
+        let res_star = ue_answer(&auth.se_av.rand, &auth.se_av.autn);
+        assert_eq!(
+            derive_hxres_star(&auth.se_av.rand, &res_star),
+            auth.se_av.hxres_star
+        );
+        // Confirm with AUSF.
+        let confirm = ConfirmRequest {
+            auth_ctx_id: auth.auth_ctx_id,
+            res_star,
+        };
+        let body = {
+            let r = router.borrow();
+            r.call_ok(
+                &mut env,
+                crate::addr::AUSF,
+                HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
+            )
+            .unwrap()
+        };
+        let resp = ConfirmResponse::decode(&body).unwrap();
+        assert!(resp.success);
+        assert_eq!(resp.supi, SUPI);
+        assert_ne!(resp.kseaf, [0; 32]);
+    }
+
+    #[test]
+    fn wrong_res_star_rejected() {
+        let (mut env, router, hn) = world();
+        let auth = authenticate(&mut env, &router, &hn);
+        let confirm = ConfirmRequest {
+            auth_ctx_id: auth.auth_ctx_id,
+            res_star: [0xEE; 16],
+        };
+        let body = {
+            let r = router.borrow();
+            r.call_ok(
+                &mut env,
+                crate::addr::AUSF,
+                HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
+            )
+            .unwrap()
+        };
+        let resp = ConfirmResponse::decode(&body).unwrap();
+        assert!(!resp.success);
+        assert_eq!(
+            resp.kseaf, [0; 32],
+            "K_SEAF must not be released on failure"
+        );
+    }
+
+    #[test]
+    fn confirm_context_is_single_use() {
+        let (mut env, router, hn) = world();
+        let auth = authenticate(&mut env, &router, &hn);
+        let res_star = ue_answer(&auth.se_av.rand, &auth.se_av.autn);
+        let confirm = ConfirmRequest {
+            auth_ctx_id: auth.auth_ctx_id,
+            res_star,
+        };
+        {
+            let r = router.borrow();
+            r.call_ok(
+                &mut env,
+                crate::addr::AUSF,
+                HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
+            )
+            .unwrap();
+            // Second use of the same context fails.
+            let resp = r
+                .call(
+                    &mut env,
+                    crate::addr::AUSF,
+                    HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 400);
+        }
+    }
+
+    #[test]
+    fn distinct_authentications_get_distinct_challenges() {
+        let (mut env, router, hn) = world();
+        let a1 = authenticate(&mut env, &router, &hn);
+        let a2 = authenticate(&mut env, &router, &hn);
+        assert_ne!(a1.se_av.rand, a2.se_av.rand);
+        assert_ne!(a1.auth_ctx_id, a2.auth_ctx_id);
+    }
+
+    #[test]
+    fn unknown_subscriber_propagates_404() {
+        let (mut env, router, hn) = world();
+        let supi = Supi::new(shield5g_crypto::ident::Plmn::test_network(), "0000000042").unwrap();
+        let suci = supi.conceal_profile_a(1, hn.public(), &[7; 32]);
+        let req = AuthenticateRequest {
+            identity: UeIdentity::Suci(suci),
+            known_supi: String::new(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        };
+        let resp = {
+            let r = router.borrow();
+            r.call(
+                &mut env,
+                crate::addr::AUSF,
+                HttpRequest::post("/nausf-auth/authenticate", req.encode()),
+            )
+            .unwrap()
+        };
+        assert_eq!(resp.status, 404);
+    }
+}

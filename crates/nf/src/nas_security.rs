@@ -1,0 +1,243 @@
+//! NAS security context: integrity protection and ciphering of NAS
+//! messages after the security mode procedure (TS 33.501 §6.4).
+//!
+//! The paper's Figure 5 ends with "Establish secure NAS connection with
+//! UE" — this module is that connection. Algorithms are simulation
+//! equivalents of 5G-EA2/5G-IA2 (AES-CTR ciphering, HMAC-based 32-bit
+//! integrity MAC) keyed from K_AMF via the TS 33.501 A.8 derivations.
+
+use crate::NfError;
+use shield5g_crypto::aes::Aes128;
+use shield5g_crypto::hmac::hmac_sha256;
+use shield5g_crypto::keys::derive_nas_key;
+use shield5g_sim::codec::{Reader, Writer};
+
+/// Identifier of the simulated AES-based ciphering algorithm (5G-EA2-like).
+pub const CIPHER_ALG_AES: u8 = 2;
+/// Identifier of the simulated HMAC-based integrity algorithm (5G-IA2-like).
+pub const INTEGRITY_ALG_HMAC: u8 = 2;
+
+/// A protected NAS PDU: `count || mac32 || ciphertext`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtectedNas {
+    /// NAS COUNT used for replay protection and keystream freshness.
+    pub count: u32,
+    /// Truncated 32-bit message authentication code.
+    pub mac: [u8; 4],
+    /// Ciphered inner NAS message.
+    pub ciphertext: Vec<u8>,
+}
+
+impl ProtectedNas {
+    /// Encodes to wire bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.count)
+            .put_array(&self.mac)
+            .put_bytes(&self.ciphertext);
+        w.into_bytes()
+    }
+
+    /// Decodes wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Protocol`] on framing violations.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let pdu = ProtectedNas {
+            count: r.u32()?,
+            mac: r.array()?,
+            ciphertext: r.bytes()?,
+        };
+        r.finish()?;
+        Ok(pdu)
+    }
+}
+
+/// One side's NAS security context (the peer holds the mirror image).
+#[derive(Clone)]
+pub struct NasSecurityContext {
+    knas_int: [u8; 16],
+    knas_enc: [u8; 16],
+    uplink: bool,
+    tx_count: u32,
+    rx_count: u32,
+}
+
+impl std::fmt::Debug for NasSecurityContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NasSecurityContext")
+            .field("uplink", &self.uplink)
+            .field("tx_count", &self.tx_count)
+            .field("rx_count", &self.rx_count)
+            .field("keys", &"<redacted>")
+            .finish()
+    }
+}
+
+impl NasSecurityContext {
+    /// Derives a context from K_AMF. `uplink_sender` is true for the UE
+    /// side (sends uplink, receives downlink) and false for the AMF side.
+    #[must_use]
+    pub fn from_kamf(kamf: &[u8; 32], uplink_sender: bool) -> Self {
+        NasSecurityContext {
+            knas_int: derive_nas_key(kamf, 0x02, INTEGRITY_ALG_HMAC),
+            knas_enc: derive_nas_key(kamf, 0x01, CIPHER_ALG_AES),
+            uplink: uplink_sender,
+            tx_count: 0,
+            rx_count: 0,
+        }
+    }
+
+    fn keystream_nonce(count: u32, uplink: bool) -> [u8; 16] {
+        let mut nonce = [0u8; 16];
+        nonce[0] = u8::from(uplink);
+        nonce[4..8].copy_from_slice(&count.to_be_bytes());
+        nonce
+    }
+
+    fn mac(&self, count: u32, uplink: bool, ciphertext: &[u8]) -> [u8; 4] {
+        let mut input = Vec::with_capacity(6 + ciphertext.len());
+        input.push(u8::from(uplink));
+        input.extend_from_slice(&count.to_be_bytes());
+        input.extend_from_slice(ciphertext);
+        let tag = hmac_sha256(&self.knas_int, &input);
+        tag[..4].try_into().expect("4 bytes")
+    }
+
+    /// Protects an outgoing plain NAS message: cipher then MAC.
+    pub fn protect(&mut self, plain: &[u8]) -> ProtectedNas {
+        let count = self.tx_count;
+        self.tx_count += 1;
+        let mut ciphertext = plain.to_vec();
+        Aes128::new(&self.knas_enc)
+            .ctr_apply(&Self::keystream_nonce(count, self.uplink), &mut ciphertext);
+        let mac = self.mac(count, self.uplink, &ciphertext);
+        ProtectedNas {
+            count,
+            mac,
+            ciphertext,
+        }
+    }
+
+    /// Verifies and deciphers an incoming protected NAS message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::AuthenticationRejected`] on MAC failure or a
+    /// replayed/regressed COUNT.
+    pub fn unprotect(&mut self, pdu: &ProtectedNas) -> Result<Vec<u8>, NfError> {
+        if pdu.count < self.rx_count {
+            return Err(NfError::AuthenticationRejected(format!(
+                "NAS COUNT replay: got {}, expected >= {}",
+                pdu.count, self.rx_count
+            )));
+        }
+        let expected = self.mac(pdu.count, !self.uplink, &pdu.ciphertext);
+        if !shield5g_crypto::ct_eq(&expected, &pdu.mac) {
+            return Err(NfError::AuthenticationRejected(
+                "NAS integrity check failed".into(),
+            ));
+        }
+        self.rx_count = pdu.count + 1;
+        let mut plain = pdu.ciphertext.clone();
+        Aes128::new(&self.knas_enc)
+            .ctr_apply(&Self::keystream_nonce(pdu.count, !self.uplink), &mut plain);
+        Ok(plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (NasSecurityContext, NasSecurityContext) {
+        let kamf = [0x42; 32];
+        (
+            NasSecurityContext::from_kamf(&kamf, true),
+            NasSecurityContext::from_kamf(&kamf, false),
+        )
+    }
+
+    #[test]
+    fn protect_unprotect_round_trip_uplink() {
+        let (mut ue, mut amf) = pair();
+        let pdu = ue.protect(b"registration complete");
+        assert_eq!(amf.unprotect(&pdu).unwrap(), b"registration complete");
+    }
+
+    #[test]
+    fn protect_unprotect_round_trip_downlink() {
+        let (mut ue, mut amf) = pair();
+        let pdu = amf.protect(b"registration accept");
+        assert_eq!(ue.unprotect(&pdu).unwrap(), b"registration accept");
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let (mut ue, _) = pair();
+        let pdu = ue.protect(b"plaintext nas");
+        assert_ne!(pdu.ciphertext, b"plaintext nas");
+    }
+
+    #[test]
+    fn counts_advance_and_keystreams_differ() {
+        let (mut ue, mut amf) = pair();
+        let p1 = ue.protect(b"same");
+        let p2 = ue.protect(b"same");
+        assert_eq!(p1.count, 0);
+        assert_eq!(p2.count, 1);
+        assert_ne!(p1.ciphertext, p2.ciphertext);
+        assert_eq!(amf.unprotect(&p1).unwrap(), b"same");
+        assert_eq!(amf.unprotect(&p2).unwrap(), b"same");
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut ue, mut amf) = pair();
+        let pdu = ue.protect(b"once");
+        amf.unprotect(&pdu).unwrap();
+        assert!(amf.unprotect(&pdu).is_err());
+    }
+
+    #[test]
+    fn tampering_rejected() {
+        let (mut ue, mut amf) = pair();
+        let mut pdu = ue.protect(b"payload");
+        pdu.ciphertext[0] ^= 1;
+        assert!(amf.unprotect(&pdu).is_err());
+    }
+
+    #[test]
+    fn direction_confusion_rejected() {
+        // A reflected uplink PDU must not verify as downlink.
+        let (mut ue1, _) = pair();
+        let (mut ue2, _) = pair();
+        let pdu = ue1.protect(b"reflect");
+        assert!(ue2.unprotect(&pdu).is_err());
+    }
+
+    #[test]
+    fn wrong_kamf_rejected() {
+        let (mut ue, _) = pair();
+        let mut wrong = NasSecurityContext::from_kamf(&[0x43; 32], false);
+        let pdu = ue.protect(b"x");
+        assert!(wrong.unprotect(&pdu).is_err());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let (mut ue, _) = pair();
+        let pdu = ue.protect(b"wire");
+        let decoded = ProtectedNas::decode(&pdu.encode()).unwrap();
+        assert_eq!(decoded, pdu);
+    }
+
+    #[test]
+    fn debug_redacts_keys() {
+        let (ue, _) = pair();
+        assert!(format!("{ue:?}").contains("redacted"));
+    }
+}

@@ -1,0 +1,798 @@
+//! Service-based interface plumbing: the SBI client and the inter-NF
+//! message payloads (CAPIF-style REST bodies with explicit encodings).
+
+use crate::messages::UeIdentity;
+use crate::NfError;
+use shield5g_crypto::ident::{Guti, Plmn, ProtectionScheme, Suci};
+use shield5g_crypto::keys::SeAv;
+use shield5g_crypto::sqn::Auts;
+use shield5g_sim::codec::{Reader, Writer};
+use shield5g_sim::http::HttpRequest;
+use shield5g_sim::latency::LinkProfile;
+use shield5g_sim::service::Router;
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::Env;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-record TLS processing on persistent SBI connections (encrypt +
+/// MAC on one side, verify + decrypt on the other).
+const TLS_RECORD_NANOS: u64 = 2_100;
+
+/// An HTTP client for NF-to-NF calls: charges the bridge link for request
+/// and response bytes plus TLS record protection, then delivers through
+/// the shared router.
+#[derive(Clone)]
+pub struct SbiClient {
+    router: Rc<RefCell<Router>>,
+    profile: LinkProfile,
+}
+
+impl std::fmt::Debug for SbiClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SbiClient")
+            .field("profile", &self.profile)
+            .finish()
+    }
+}
+
+impl SbiClient {
+    /// A client over the docker-bridge profile (co-located VNFs).
+    #[must_use]
+    pub fn new(router: Rc<RefCell<Router>>) -> Self {
+        SbiClient {
+            router,
+            profile: LinkProfile::docker_bridge(),
+        }
+    }
+
+    /// Overrides the link profile (e.g. backhaul for split deployments).
+    #[must_use]
+    pub fn with_profile(mut self, profile: LinkProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The shared router handle.
+    #[must_use]
+    pub fn router(&self) -> Rc<RefCell<Router>> {
+        self.router.clone()
+    }
+
+    /// POSTs `body` to `addr` at `path`, returning the response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] for transport failures and non-2xx
+    /// responses.
+    pub fn post(
+        &self,
+        env: &mut Env,
+        addr: &str,
+        path: &str,
+        body: Vec<u8>,
+    ) -> Result<Vec<u8>, NfError> {
+        let req = HttpRequest::post(path, body);
+        let req_len = req.wire_len();
+        env.clock.advance(SimDuration::from_nanos(TLS_RECORD_NANOS));
+        self.profile.transfer(env, req_len);
+        let resp = {
+            let router = self.router.borrow();
+            router.call(env, addr, req)?
+        };
+        env.clock.advance(SimDuration::from_nanos(TLS_RECORD_NANOS));
+        self.profile.transfer(env, resp.wire_len());
+        if resp.is_success() {
+            Ok(resp.body)
+        } else {
+            Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
+                endpoint: addr.to_owned(),
+                status: resp.status,
+            }))
+        }
+    }
+}
+
+fn put_ue_identity(w: &mut Writer, id: &UeIdentity) {
+    match id {
+        UeIdentity::Suci(suci) => {
+            w.put_u8(0);
+            w.put_str(suci.plmn.mcc());
+            w.put_str(suci.plmn.mnc());
+            w.put_u16(suci.routing_indicator);
+            w.put_u8(suci.scheme.id());
+            w.put_u8(suci.hn_key_id);
+            w.put_bytes(&suci.scheme_output);
+        }
+        UeIdentity::Guti(guti) => {
+            w.put_u8(1);
+            w.put_u8(guti.amf_region_id);
+            w.put_u16(guti.amf_set_id);
+            w.put_u8(guti.amf_pointer);
+            w.put_u32(guti.tmsi);
+        }
+    }
+}
+
+fn get_ue_identity(r: &mut Reader<'_>) -> Result<UeIdentity, NfError> {
+    match r.u8()? {
+        0 => {
+            let mcc = r.str()?;
+            let mnc = r.str()?;
+            let routing_indicator = r.u16()?;
+            let scheme = ProtectionScheme::from_id(r.u8()?)?;
+            let hn_key_id = r.u8()?;
+            let scheme_output = r.bytes()?;
+            Ok(UeIdentity::Suci(Suci {
+                plmn: Plmn::new(&mcc, &mnc)?,
+                routing_indicator,
+                scheme,
+                hn_key_id,
+                scheme_output,
+            }))
+        }
+        1 => Ok(UeIdentity::Guti(Guti::new(
+            r.u8()?,
+            r.u16()?,
+            r.u8()?,
+            r.u32()?,
+        ))),
+        other => Err(NfError::Protocol(format!(
+            "bad identity discriminant {other}"
+        ))),
+    }
+}
+
+/// `Nausf_UEAuthentication_Authenticate` request (AMF → AUSF).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuthenticateRequest {
+    /// The UE identity (SUCI on initial registration).
+    pub identity: UeIdentity,
+    /// SUPI already resolved by the AMF (GUTI re-authentication); empty
+    /// for initial SUCI registrations.
+    pub known_supi: String,
+    /// Serving network name asserted by the SEAF.
+    pub snn_mcc: String,
+    /// MNC part of the serving network.
+    pub snn_mnc: String,
+}
+
+impl AuthenticateRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_ue_identity(&mut w, &self.identity);
+        w.put_str(&self.known_supi)
+            .put_str(&self.snn_mcc)
+            .put_str(&self.snn_mnc);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`]/[`NfError::Protocol`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let identity = get_ue_identity(&mut r)?;
+        let known_supi = r.str()?;
+        let snn_mcc = r.str()?;
+        let snn_mnc = r.str()?;
+        r.finish()?;
+        Ok(AuthenticateRequest {
+            identity,
+            known_supi,
+            snn_mcc,
+            snn_mnc,
+        })
+    }
+}
+
+/// `Nausf_UEAuthentication_Authenticate` response (AUSF → AMF): the SE AV
+/// plus a context reference for the confirmation step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuthenticateResponse {
+    /// Reference to the AUSF-side authentication context.
+    pub auth_ctx_id: u64,
+    /// The security-edge authentication vector.
+    pub se_av: SeAv,
+}
+
+impl AuthenticateResponse {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.auth_ctx_id)
+            .put_array(&self.se_av.rand)
+            .put_array(&self.se_av.autn)
+            .put_array(&self.se_av.hxres_star);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let auth_ctx_id = r.u64()?;
+        let se_av = SeAv {
+            rand: r.array()?,
+            autn: r.array()?,
+            hxres_star: r.array()?,
+        };
+        r.finish()?;
+        Ok(AuthenticateResponse { auth_ctx_id, se_av })
+    }
+}
+
+/// RES* confirmation (AMF → AUSF).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfirmRequest {
+    /// The context from [`AuthenticateResponse`].
+    pub auth_ctx_id: u64,
+    /// The UE's RES*.
+    pub res_star: [u8; 16],
+}
+
+impl ConfirmRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.auth_ctx_id).put_array(&self.res_star);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let req = ConfirmRequest {
+            auth_ctx_id: r.u64()?,
+            res_star: r.array()?,
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Confirmation result (AUSF → AMF): on success, the SUPI and K_SEAF.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConfirmResponse {
+    /// Whether RES* matched XRES*.
+    pub success: bool,
+    /// The de-concealed subscriber identity.
+    pub supi: String,
+    /// The anchor key (all zeros when `success` is false).
+    pub kseaf: [u8; 32],
+}
+
+impl std::fmt::Debug for ConfirmResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConfirmResponse")
+            .field("success", &self.success)
+            .field("supi", &self.supi)
+            .field("kseaf", &"<redacted>")
+            .finish()
+    }
+}
+
+impl ConfirmResponse {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bool(self.success)
+            .put_str(&self.supi)
+            .put_array(&self.kseaf);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let resp = ConfirmResponse {
+            success: r.bool()?,
+            supi: r.str()?,
+            kseaf: r.array()?,
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// `Nudm_UEAuthentication_Get` request (AUSF → UDM).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UdmAuthGetRequest {
+    /// SUCI (initial) or resolved SUPI carried as a GUTI-free identity.
+    pub identity: UeIdentity,
+    /// Known SUPI when re-authenticating a GUTI (empty otherwise).
+    pub known_supi: String,
+    /// Serving network MCC.
+    pub snn_mcc: String,
+    /// Serving network MNC.
+    pub snn_mnc: String,
+}
+
+impl UdmAuthGetRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_ue_identity(&mut w, &self.identity);
+        w.put_str(&self.known_supi)
+            .put_str(&self.snn_mcc)
+            .put_str(&self.snn_mnc);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`]/[`NfError::Protocol`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let identity = get_ue_identity(&mut r)?;
+        let known_supi = r.str()?;
+        let snn_mcc = r.str()?;
+        let snn_mnc = r.str()?;
+        r.finish()?;
+        Ok(UdmAuthGetRequest {
+            identity,
+            known_supi,
+            snn_mcc,
+            snn_mnc,
+        })
+    }
+}
+
+/// `Nudm_UEAuthentication_Get` response (UDM → AUSF): SUPI + HE AV.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UdmAuthGetResponse {
+    /// De-concealed subscriber identity.
+    pub supi: String,
+    /// Wire-encoded HE AV ([`crate::backend::encode_he_av`]).
+    pub he_av: Vec<u8>,
+}
+
+impl std::fmt::Debug for UdmAuthGetResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdmAuthGetResponse")
+            .field("supi", &self.supi)
+            .field("he_av", &"<redacted>")
+            .finish()
+    }
+}
+
+impl UdmAuthGetResponse {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.supi).put_bytes(&self.he_av);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let resp = UdmAuthGetResponse {
+            supi: r.str()?,
+            he_av: r.bytes()?,
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Re-synchronisation request (AUSF → UDM, triggered by an AUTS).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResyncRequest {
+    /// Subscriber being re-synchronised.
+    pub supi: String,
+    /// The RAND of the failed challenge.
+    pub rand: [u8; 16],
+    /// The UE's AUTS token.
+    pub auts: Auts,
+}
+
+impl ResyncRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.supi)
+            .put_array(&self.rand)
+            .put_array(&self.auts.sqn_ms_xor_ak)
+            .put_array(&self.auts.mac_s);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let req = ResyncRequest {
+            supi: r.str()?,
+            rand: r.array()?,
+            auts: Auts {
+                sqn_ms_xor_ak: r.array()?,
+                mac_s: r.array()?,
+            },
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// UDR authentication-data request (UDM → UDR).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdrAuthDataRequest {
+    /// Subscriber identity.
+    pub supi: String,
+}
+
+impl UdrAuthDataRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.supi);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let req = UdrAuthDataRequest { supi: r.str()? };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// UDR authentication-data response: OPc, a fresh SQN, the AMF field.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UdrAuthDataResponse {
+    /// Operator variant constant.
+    pub opc: [u8; 16],
+    /// Freshly incremented sequence number.
+    pub sqn: [u8; 6],
+    /// Authentication management field.
+    pub amf_field: [u8; 2],
+}
+
+impl std::fmt::Debug for UdrAuthDataResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdrAuthDataResponse")
+            .field("material", &"<redacted>")
+            .finish()
+    }
+}
+
+impl UdrAuthDataResponse {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_array(&self.opc)
+            .put_array(&self.sqn)
+            .put_array(&self.amf_field);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let resp = UdrAuthDataResponse {
+            opc: r.array()?,
+            sqn: r.array()?,
+            amf_field: r.array()?,
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// UDR SQN re-synchronisation (UDM → UDR).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdrResyncRequest {
+    /// Subscriber identity.
+    pub supi: String,
+    /// The UE-reported SQN_MS.
+    pub sqn_ms: [u8; 6],
+}
+
+impl UdrResyncRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.supi).put_array(&self.sqn_ms);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let req = UdrResyncRequest {
+            supi: r.str()?,
+            sqn_ms: r.array()?,
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// PDU session creation (AMF → SMF).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CreateSessionRequest {
+    /// Subscriber identity.
+    pub supi: String,
+    /// UE-chosen PDU session id.
+    pub pdu_session_id: u8,
+}
+
+impl CreateSessionRequest {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.supi).put_u8(self.pdu_session_id);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let req = CreateSessionRequest {
+            supi: r.str()?,
+            pdu_session_id: r.u8()?,
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// PDU session creation result (SMF → AMF).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CreateSessionResponse {
+    /// Assigned UE IPv4 address.
+    pub ue_ip: [u8; 4],
+    /// UPF tunnel endpoint for the session.
+    pub upf_teid: u32,
+}
+
+impl CreateSessionResponse {
+    /// Encodes to SBI body bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_array(&self.ue_ip).put_u32(self.upf_teid);
+        w.into_bytes()
+    }
+
+    /// Decodes SBI body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfError::Sim`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
+        let mut r = Reader::new(bytes);
+        let resp = CreateSessionResponse {
+            ue_ip: r.array()?,
+            upf_teid: r.u32()?,
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield5g_crypto::ident::Supi;
+    use shield5g_sim::http::HttpResponse;
+    use shield5g_sim::service::{service_handle, Service};
+
+    #[test]
+    fn authenticate_round_trips() {
+        let suci = Supi::new(Plmn::test_network(), "0000000001")
+            .unwrap()
+            .conceal_null();
+        let req = AuthenticateRequest {
+            identity: UeIdentity::Suci(suci),
+            known_supi: String::new(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        };
+        assert_eq!(AuthenticateRequest::decode(&req.encode()).unwrap(), req);
+        let resp = AuthenticateResponse {
+            auth_ctx_id: 99,
+            se_av: SeAv {
+                rand: [1; 16],
+                autn: [2; 16],
+                hxres_star: [3; 16],
+            },
+        };
+        assert_eq!(AuthenticateResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn confirm_round_trips() {
+        let req = ConfirmRequest {
+            auth_ctx_id: 7,
+            res_star: [9; 16],
+        };
+        assert_eq!(ConfirmRequest::decode(&req.encode()).unwrap(), req);
+        let resp = ConfirmResponse {
+            success: true,
+            supi: "imsi-1".into(),
+            kseaf: [4; 32],
+        };
+        assert_eq!(ConfirmResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn udm_and_udr_round_trips() {
+        let guti = Guti::new(1, 2, 3, 4);
+        let req = UdmAuthGetRequest {
+            identity: UeIdentity::Guti(guti),
+            known_supi: "imsi-001010000000001".into(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        };
+        assert_eq!(UdmAuthGetRequest::decode(&req.encode()).unwrap(), req);
+        let resp = UdmAuthGetResponse {
+            supi: "imsi-1".into(),
+            he_av: vec![1, 2, 3],
+        };
+        assert_eq!(UdmAuthGetResponse::decode(&resp.encode()).unwrap(), resp);
+        let udr_req = UdrAuthDataRequest {
+            supi: "imsi-1".into(),
+        };
+        assert_eq!(
+            UdrAuthDataRequest::decode(&udr_req.encode()).unwrap(),
+            udr_req
+        );
+        let udr_resp = UdrAuthDataResponse {
+            opc: [1; 16],
+            sqn: [2; 6],
+            amf_field: [0x80, 0],
+        };
+        assert_eq!(
+            UdrAuthDataResponse::decode(&udr_resp.encode()).unwrap(),
+            udr_resp
+        );
+    }
+
+    #[test]
+    fn resync_and_session_round_trips() {
+        let req = ResyncRequest {
+            supi: "imsi-1".into(),
+            rand: [5; 16],
+            auts: Auts {
+                sqn_ms_xor_ak: [6; 6],
+                mac_s: [7; 8],
+            },
+        };
+        assert_eq!(ResyncRequest::decode(&req.encode()).unwrap(), req);
+        let udr = UdrResyncRequest {
+            supi: "imsi-1".into(),
+            sqn_ms: [8; 6],
+        };
+        assert_eq!(UdrResyncRequest::decode(&udr.encode()).unwrap(), udr);
+        let cs = CreateSessionRequest {
+            supi: "imsi-1".into(),
+            pdu_session_id: 5,
+        };
+        assert_eq!(CreateSessionRequest::decode(&cs.encode()).unwrap(), cs);
+        let csr = CreateSessionResponse {
+            ue_ip: [10, 0, 0, 2],
+            upf_teid: 77,
+        };
+        assert_eq!(CreateSessionResponse::decode(&csr.encode()).unwrap(), csr);
+    }
+
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&mut self, _env: &mut Env, req: HttpRequest) -> HttpResponse {
+            HttpResponse::ok(req.body)
+        }
+    }
+
+    struct Sad;
+    impl Service for Sad {
+        fn handle(&mut self, _env: &mut Env, _req: HttpRequest) -> HttpResponse {
+            HttpResponse::error(500, "boom")
+        }
+    }
+
+    #[test]
+    fn sbi_client_charges_clock_and_delivers() {
+        let mut env = Env::new(1);
+        let router = Rc::new(RefCell::new(Router::new()));
+        router.borrow_mut().register("echo", service_handle(Echo));
+        let client = SbiClient::new(router);
+        let t0 = env.clock.now();
+        let body = client
+            .post(&mut env, "echo", "/x", b"payload".to_vec())
+            .unwrap();
+        assert_eq!(body, b"payload");
+        let spent = env.clock.now() - t0;
+        // Two bridge traversals + TLS records: tens of microseconds.
+        assert!(spent > SimDuration::from_micros(20), "{spent}");
+        assert!(spent < SimDuration::from_micros(100), "{spent}");
+    }
+
+    #[test]
+    fn sbi_client_maps_failures() {
+        let mut env = Env::new(2);
+        let router = Rc::new(RefCell::new(Router::new()));
+        router.borrow_mut().register("sad", service_handle(Sad));
+        let client = SbiClient::new(router);
+        assert!(matches!(
+            client.post(&mut env, "sad", "/x", Vec::new()),
+            Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
+                status: 500,
+                ..
+            }))
+        ));
+        assert!(matches!(
+            client.post(&mut env, "ghost", "/x", Vec::new()),
+            Err(NfError::Sim(shield5g_sim::SimError::UnknownEndpoint(_)))
+        ));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn sbi_decoders_never_panic(bytes in proptest::collection::vec(0u8.., 0..64)) {
+            let _ = AuthenticateRequest::decode(&bytes);
+            let _ = AuthenticateResponse::decode(&bytes);
+            let _ = ConfirmRequest::decode(&bytes);
+            let _ = ConfirmResponse::decode(&bytes);
+            let _ = UdmAuthGetRequest::decode(&bytes);
+            let _ = UdmAuthGetResponse::decode(&bytes);
+            let _ = ResyncRequest::decode(&bytes);
+            let _ = UdrAuthDataRequest::decode(&bytes);
+            let _ = UdrAuthDataResponse::decode(&bytes);
+            let _ = CreateSessionRequest::decode(&bytes);
+            let _ = CreateSessionResponse::decode(&bytes);
+        }
+    }
+}

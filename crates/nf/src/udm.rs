@@ -1,0 +1,414 @@
+//! The Unified Data Management function.
+//!
+//! Hosts the SIDF (SUCI de-concealment) and orchestrates HE-AV generation:
+//! de-conceal → fetch subscription data from the UDR → draw RAND →
+//! delegate the sensitive computation to its [`UdmAkaBackend`] (in-process
+//! for the monolithic baseline, the eUDM P-AKA module in the paper's
+//! deployments) → return SUPI + HE AV to the AUSF.
+
+use crate::backend::{encode_he_av, UdmAkaBackend, UdmAkaRequest};
+use crate::messages::UeIdentity;
+use crate::sbi::{
+    ResyncRequest, SbiClient, UdmAuthGetRequest, UdmAuthGetResponse, UdrAuthDataRequest,
+    UdrAuthDataResponse, UdrResyncRequest,
+};
+use crate::NfError;
+use shield5g_crypto::ecies::HomeNetworkKeyPair;
+use shield5g_crypto::keys::ServingNetworkName;
+use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::service::Service;
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::Env;
+
+/// ECIES Profile A de-concealment compute time (X25519 + KDF + AES-CTR on
+/// the OAI C++ path).
+const SIDF_DECONCEAL_NANOS: u64 = 210_000;
+/// Request parsing/serialisation overhead of the UDM handler.
+const UDM_HANDLER_NANOS: u64 = 55_000;
+
+/// The UDM service.
+pub struct UdmService {
+    sidf_key: HomeNetworkKeyPair,
+    client: SbiClient,
+    udr_addr: String,
+    backend: Box<dyn UdmAkaBackend>,
+}
+
+impl std::fmt::Debug for UdmService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdmService")
+            .field("udr_addr", &self.udr_addr)
+            .finish()
+    }
+}
+
+impl UdmService {
+    /// Creates a UDM with its home-network ECIES key and AKA backend.
+    #[must_use]
+    pub fn new(
+        sidf_key: HomeNetworkKeyPair,
+        client: SbiClient,
+        udr_addr: impl Into<String>,
+        backend: Box<dyn UdmAkaBackend>,
+    ) -> Self {
+        UdmService {
+            sidf_key,
+            client,
+            udr_addr: udr_addr.into(),
+            backend,
+        }
+    }
+
+    /// The home-network public key USIMs must be provisioned with.
+    #[must_use]
+    pub fn hn_public_key(&self) -> &[u8; 32] {
+        self.sidf_key.public()
+    }
+
+    /// The home-network key identifier.
+    #[must_use]
+    pub fn hn_key_id(&self) -> u8 {
+        self.sidf_key.id()
+    }
+
+    fn resolve_supi(&mut self, env: &mut Env, req: &UdmAuthGetRequest) -> Result<String, NfError> {
+        match &req.identity {
+            UeIdentity::Suci(suci) => {
+                env.clock
+                    .advance(SimDuration::from_nanos(SIDF_DECONCEAL_NANOS));
+                let supi = suci.deconceal(&self.sidf_key)?;
+                Ok(supi.to_string())
+            }
+            UeIdentity::Guti(_) => {
+                if req.known_supi.is_empty() {
+                    Err(NfError::Protocol(
+                        "GUTI identity without resolved SUPI".into(),
+                    ))
+                } else {
+                    Ok(req.known_supi.clone())
+                }
+            }
+        }
+    }
+
+    fn generate_auth_data(
+        &mut self,
+        env: &mut Env,
+        req: &UdmAuthGetRequest,
+    ) -> Result<UdmAuthGetResponse, NfError> {
+        env.clock
+            .advance(SimDuration::from_nanos(UDM_HANDLER_NANOS));
+        let supi = self.resolve_supi(env, req)?;
+
+        // Fetch OPc / fresh SQN / AMF field from the UDR.
+        let udr_resp = self.client.post(
+            env,
+            &self.udr_addr,
+            "/nudr-dr/auth-data",
+            UdrAuthDataRequest { supi: supi.clone() }.encode(),
+        )?;
+        let auth_data = UdrAuthDataResponse::decode(&udr_resp)?;
+
+        // RAND is drawn in the UDM (paper Fig. 5: RAND is an *input* to
+        // the eUDM P-AKA module).
+        let rand: [u8; 16] = env.rng.bytes();
+        let aka_req = UdmAkaRequest {
+            supi: supi.clone(),
+            opc: auth_data.opc,
+            rand,
+            sqn: auth_data.sqn,
+            amf_field: auth_data.amf_field,
+            snn: ServingNetworkName::new(&req.snn_mcc, &req.snn_mnc),
+        };
+        let av = self.backend.generate_av(env, &aka_req)?;
+        env.log.record(
+            env.clock.now(),
+            "aka",
+            format!("UDM generated HE AV for {supi}"),
+        );
+        Ok(UdmAuthGetResponse {
+            supi,
+            he_av: encode_he_av(&av),
+        })
+    }
+
+    fn handle_resync(&mut self, env: &mut Env, req: &ResyncRequest) -> Result<(), NfError> {
+        env.clock
+            .advance(SimDuration::from_nanos(UDM_HANDLER_NANOS));
+        // Need the OPc to check MAC-S; fetch subscription data (the extra
+        // SQN this burns is inconsequential).
+        let udr_resp = self.client.post(
+            env,
+            &self.udr_addr,
+            "/nudr-dr/auth-data",
+            UdrAuthDataRequest {
+                supi: req.supi.clone(),
+            }
+            .encode(),
+        )?;
+        let auth_data = UdrAuthDataResponse::decode(&udr_resp)?;
+        let sqn_ms =
+            self.backend
+                .resynchronise(env, &req.supi, &auth_data.opc, &req.rand, &req.auts)?;
+        self.client.post(
+            env,
+            &self.udr_addr,
+            "/nudr-dr/resync",
+            UdrResyncRequest {
+                supi: req.supi.clone(),
+                sqn_ms,
+            }
+            .encode(),
+        )?;
+        env.log.record(
+            env.clock.now(),
+            "aka",
+            format!("UDM re-synchronised SQN for {}", req.supi),
+        );
+        Ok(())
+    }
+}
+
+impl Service for UdmService {
+    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        match req.path.as_str() {
+            "/nudm-ueau/generate-auth-data" => {
+                match UdmAuthGetRequest::decode(&req.body)
+                    .and_then(|r| self.generate_auth_data(env, &r))
+                {
+                    Ok(resp) => HttpResponse::ok(resp.encode()),
+                    Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
+                        status: 404,
+                        ..
+                    })) => HttpResponse::error(404, "subscriber not found"),
+                    Err(NfError::SubscriberUnknown(s)) => {
+                        HttpResponse::error(404, format!("unknown subscriber {s}"))
+                    }
+                    Err(NfError::Crypto(e)) => HttpResponse::error(403, e.to_string()),
+                    Err(e) => HttpResponse::error(400, e.to_string()),
+                }
+            }
+            "/nudm-ueau/resync" => {
+                match ResyncRequest::decode(&req.body).and_then(|r| self.handle_resync(env, &r)) {
+                    Ok(()) => HttpResponse::ok(Vec::new()),
+                    Err(NfError::Crypto(e)) => HttpResponse::error(403, e.to_string()),
+                    Err(e) => HttpResponse::error(400, e.to_string()),
+                }
+            }
+            other => HttpResponse::error(404, format!("no handler for {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{decode_he_av, LocalUdmAka};
+    use crate::udr::UdrService;
+    use shield5g_crypto::ident::{Plmn, Supi};
+    use shield5g_crypto::milenage::Milenage;
+    use shield5g_sim::service::{service_handle, Router};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const K: [u8; 16] = [0x46; 16];
+    const OPC: [u8; 16] = [0xcd; 16];
+    const SUPI: &str = "imsi-001010000000001";
+
+    fn world() -> (Env, Rc<RefCell<Router>>, HomeNetworkKeyPair) {
+        let mut env = Env::new(3);
+        let router = Rc::new(RefCell::new(Router::new()));
+        let mut udr = UdrService::new();
+        udr.provision(SUPI, OPC, [0x80, 0]);
+        router
+            .borrow_mut()
+            .register(crate::addr::UDR, service_handle(udr));
+        let hn = HomeNetworkKeyPair::from_private(1, env.rng.bytes());
+        let mut backend = LocalUdmAka::new();
+        backend.provision(SUPI, K);
+        let udm = UdmService::new(
+            hn.clone(),
+            SbiClient::new(router.clone()),
+            crate::addr::UDR,
+            Box::new(backend),
+        );
+        router
+            .borrow_mut()
+            .register(crate::addr::UDM, service_handle(udm));
+        (env, router, hn)
+    }
+
+    fn auth_get(identity: UeIdentity) -> Vec<u8> {
+        UdmAuthGetRequest {
+            identity,
+            known_supi: String::new(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn generates_av_from_profile_a_suci() {
+        let (mut env, router, hn) = world();
+        let supi = Supi::parse(SUPI).unwrap();
+        let eph: [u8; 32] = env.rng.bytes();
+        let suci = supi.conceal_profile_a(1, hn.public(), &eph);
+        let body = {
+            let r = router.borrow();
+            r.call_ok(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post(
+                    "/nudm-ueau/generate-auth-data",
+                    auth_get(UeIdentity::Suci(suci)),
+                ),
+            )
+            .unwrap()
+        };
+        let resp = UdmAuthGetResponse::decode(&body).unwrap();
+        assert_eq!(resp.supi, SUPI);
+        // The AV verifies on a USIM with the same credentials.
+        let av = decode_he_av(&resp.he_av).unwrap();
+        let mil = Milenage::with_opc(&K, &OPC);
+        let snn = ServingNetworkName::new("001", "01");
+        let ue =
+            shield5g_crypto::keys::ue_process_challenge(&mil, &av.rand, &av.autn, &snn).unwrap();
+        assert_eq!(ue.res_star, av.xres_star);
+    }
+
+    #[test]
+    fn unknown_subscriber_suci_is_404() {
+        let (mut env, router, hn) = world();
+        let supi = Supi::new(Plmn::test_network(), "0000000099").unwrap();
+        let suci = supi.conceal_profile_a(1, hn.public(), &[9; 32]);
+        let resp = {
+            let r = router.borrow();
+            r.call(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post(
+                    "/nudm-ueau/generate-auth-data",
+                    auth_get(UeIdentity::Suci(suci)),
+                ),
+            )
+            .unwrap()
+        };
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn tampered_suci_rejected_403() {
+        let (mut env, router, hn) = world();
+        let supi = Supi::parse(SUPI).unwrap();
+        let mut suci = supi.conceal_profile_a(1, hn.public(), &[9; 32]);
+        let n = suci.scheme_output.len();
+        suci.scheme_output[n - 1] ^= 1; // corrupt the MAC
+        let resp = {
+            let r = router.borrow();
+            r.call(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post(
+                    "/nudm-ueau/generate-auth-data",
+                    auth_get(UeIdentity::Suci(suci)),
+                ),
+            )
+            .unwrap()
+        };
+        assert_eq!(resp.status, 403);
+    }
+
+    #[test]
+    fn guti_identity_requires_known_supi() {
+        let (mut env, router, _hn) = world();
+        let req = UdmAuthGetRequest {
+            identity: UeIdentity::Guti(shield5g_crypto::ident::Guti::new(1, 1, 1, 1)),
+            known_supi: String::new(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        };
+        let resp = {
+            let r = router.borrow();
+            r.call(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post("/nudm-ueau/generate-auth-data", req.encode()),
+            )
+            .unwrap()
+        };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn guti_identity_with_known_supi_works() {
+        let (mut env, router, _hn) = world();
+        let req = UdmAuthGetRequest {
+            identity: UeIdentity::Guti(shield5g_crypto::ident::Guti::new(1, 1, 1, 1)),
+            known_supi: SUPI.into(),
+            snn_mcc: "001".into(),
+            snn_mnc: "01".into(),
+        };
+        let body = {
+            let r = router.borrow();
+            r.call_ok(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post("/nudm-ueau/generate-auth-data", req.encode()),
+            )
+            .unwrap()
+        };
+        assert_eq!(UdmAuthGetResponse::decode(&body).unwrap().supi, SUPI);
+    }
+
+    #[test]
+    fn resync_flow_updates_udr() {
+        let (mut env, router, _hn) = world();
+        let mil = Milenage::with_opc(&K, &OPC);
+        let rand = [0x23; 16];
+        let sqn_ms = shield5g_crypto::sqn::sqn_to_bytes(700 << 5);
+        let auts = shield5g_crypto::sqn::Auts::generate(&mil, &rand, &sqn_ms);
+        let req = ResyncRequest {
+            supi: SUPI.into(),
+            rand,
+            auts,
+        };
+        let resp = {
+            let r = router.borrow();
+            r.call(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post("/nudm-ueau/resync", req.encode()),
+            )
+            .unwrap()
+        };
+        assert!(
+            resp.is_success(),
+            "resync failed: {:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+    }
+
+    #[test]
+    fn forged_auts_rejected() {
+        let (mut env, router, _hn) = world();
+        let req = ResyncRequest {
+            supi: SUPI.into(),
+            rand: [0x23; 16],
+            auts: shield5g_crypto::sqn::Auts {
+                sqn_ms_xor_ak: [1; 6],
+                mac_s: [2; 8],
+            },
+        };
+        let resp = {
+            let r = router.borrow();
+            r.call(
+                &mut env,
+                crate::addr::UDM,
+                HttpRequest::post("/nudm-ueau/resync", req.encode()),
+            )
+            .unwrap()
+        };
+        assert_eq!(resp.status, 403);
+    }
+}

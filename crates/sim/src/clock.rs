@@ -1,0 +1,83 @@
+//! The shared virtual clock.
+//!
+//! Every component of a simulated world holds a clone of one [`Clock`];
+//! advancing it models the passage of time caused by computation, syscalls,
+//! enclave transitions and network propagation. Experiments read latencies
+//! as differences between instants on this clock.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable handle to a world's virtual clock.
+///
+/// Clones share state: advancing any handle advances the world.
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock at `t = 0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Advances virtual time by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let new = self.nanos.fetch_add(d.as_nanos(), Ordering::Relaxed) + d.as_nanos();
+        SimTime::from_nanos(new)
+    }
+
+    /// Measures the virtual time consumed by `f`.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, SimDuration) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_micros(3));
+        let t = c.advance(SimDuration::from_micros(4));
+        assert_eq!(t, SimTime::from_nanos(7_000));
+        assert_eq!(c.now(), t);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_millis(1));
+        assert_eq!(b.now(), SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn measure_brackets_closure() {
+        let c = Clock::new();
+        let (value, spent) = c.measure(|| {
+            c.advance(SimDuration::from_micros(9));
+            "done"
+        });
+        assert_eq!(value, "done");
+        assert_eq!(spent, SimDuration::from_micros(9));
+    }
+}

@@ -1,0 +1,275 @@
+//! A minimal length-prefixed byte codec for wire messages.
+//!
+//! The workspace's dependency policy has no serde *format* crate, so SBI
+//! and NAS messages implement explicit `encode`/`decode` with this helper.
+//! That keeps wire sizes deterministic and inspectable — which matters,
+//! because message sizes feed the latency model (paper Table I counts
+//! bytes in and out of each enclave).
+
+use crate::SimError;
+
+/// Builds a wire message field by field.
+#[derive(Clone, Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a fixed-size array verbatim.
+    pub fn put_array<const N: usize>(&mut self, v: &[u8; N]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends variable-length bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a UTF-8 string with a `u32` length prefix.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.put_u8(u8::from(v))
+    }
+
+    /// Finishes and returns the wire bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reads a wire message field by field.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SimError::MalformedHttp(format!(
+                "truncated message: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// All readers return [`SimError::MalformedHttp`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, SimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SimError> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SimError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SimError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], SimError> {
+        Ok(self.take(N)?.try_into().expect("N bytes"))
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SimError> {
+        let len = self.u32()? as usize;
+        if len > 16 * 1024 * 1024 {
+            return Err(SimError::MalformedHttp(format!(
+                "implausible field length {len}"
+            )));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SimError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| SimError::MalformedHttp("non-utf8 string field".into()))
+    }
+
+    /// Reads a boolean byte.
+    pub fn bool(&mut self) -> Result<bool, SimError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Asserts the whole buffer was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MalformedHttp`] when trailing bytes remain.
+    pub fn finish(self) -> Result<(), SimError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SimError::MalformedHttp(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_types() {
+        let mut w = Writer::new();
+        w.put_u8(7)
+            .put_u16(300)
+            .put_u32(70_000)
+            .put_u64(1 << 40)
+            .put_array(&[9u8; 16])
+            .put_bytes(b"variable")
+            .put_str("imsi-001010000000001")
+            .put_bool(true);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.array::<16>().unwrap(), [9u8; 16]);
+        assert_eq!(r.bytes().unwrap(), b"variable");
+        assert_eq!(r.str().unwrap(), "imsi-001010000000001");
+        assert!(r.bool().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.put_u32(10);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1).put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = Writer::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_bytes_round_trip(data in proptest::collection::vec(0u8.., 0..200), s in "[a-z0-9-]{0,40}") {
+            let mut w = Writer::new();
+            w.put_bytes(&data).put_str(&s);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            proptest::prop_assert_eq!(r.bytes().unwrap(), data);
+            proptest::prop_assert_eq!(r.str().unwrap(), s);
+            r.finish().unwrap();
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The service abstraction: a per-world [`Env`] (clock, RNG, log), the
+//! [`Service`] trait implemented by every simulated network function, and
+//! the [`Router`] that delivers requests between endpoints.
+//!
+//! Worlds are single-threaded and synchronous: a "network call" is a nested
+//! [`Router::call`] that charges the virtual clock on the way in and out.
+//! This mirrors the paper's measurement setup, which registers UEs
+//! back-to-back (§V-A2) rather than concurrently.
+
+use crate::clock::Clock;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::log::EventLog;
+use crate::rng::DetRng;
+use crate::SimError;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared per-world context threaded through every simulated operation.
+#[derive(Clone, Debug)]
+pub struct Env {
+    /// The world's virtual clock.
+    pub clock: Clock,
+    /// The world's deterministic randomness.
+    pub rng: DetRng,
+    /// The world's event log.
+    pub log: EventLog,
+}
+
+impl Env {
+    /// Creates a world context from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Env {
+            clock: Clock::new(),
+            rng: DetRng::new(seed),
+            log: EventLog::new(),
+        }
+    }
+}
+
+/// A simulated network service reachable through a [`Router`].
+pub trait Service {
+    /// Handles one request, charging `env.clock` for the work performed.
+    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse;
+}
+
+/// A shared handle to a service instance.
+pub type ServiceHandle = Rc<RefCell<dyn Service>>;
+
+/// Wraps a service value into a [`ServiceHandle`].
+pub fn service_handle(svc: impl Service + 'static) -> ServiceHandle {
+    Rc::new(RefCell::new(svc))
+}
+
+/// Routes requests to registered endpoints by address string
+/// (e.g. `"udm.oai"`, `"eudm-paka.oai"`).
+#[derive(Clone, Default)]
+pub struct Router {
+    endpoints: HashMap<String, ServiceHandle>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.endpoints.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("Router").field("endpoints", &names).finish()
+    }
+}
+
+impl Router {
+    /// Creates an empty router.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the service at `addr`.
+    pub fn register(&mut self, addr: impl Into<String>, svc: ServiceHandle) {
+        self.endpoints.insert(addr.into(), svc);
+    }
+
+    /// Removes the service at `addr`, returning whether one was present.
+    pub fn deregister(&mut self, addr: &str) -> bool {
+        self.endpoints.remove(addr).is_some()
+    }
+
+    /// Whether an endpoint is registered.
+    #[must_use]
+    pub fn knows(&self, addr: &str) -> bool {
+        self.endpoints.contains_key(addr)
+    }
+
+    /// Registered endpoint addresses, sorted.
+    #[must_use]
+    pub fn addresses(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.endpoints.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Delivers `req` to the endpoint at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownEndpoint`] when nothing is registered there.
+    /// * [`SimError::ReentrantCall`] when the endpoint is already on the
+    ///   call stack (a service cannot call itself through the network in a
+    ///   single-threaded world).
+    pub fn call(
+        &self,
+        env: &mut Env,
+        addr: &str,
+        req: HttpRequest,
+    ) -> Result<HttpResponse, SimError> {
+        let svc = self
+            .endpoints
+            .get(addr)
+            .ok_or_else(|| SimError::UnknownEndpoint(addr.to_owned()))?
+            .clone();
+        let mut guard = svc
+            .try_borrow_mut()
+            .map_err(|_| SimError::ReentrantCall(addr.to_owned()))?;
+        Ok(guard.handle(env, req))
+    }
+
+    /// Like [`Router::call`] but converts non-2xx statuses into
+    /// [`SimError::ServiceFailure`], returning just the body.
+    pub fn call_ok(
+        &self,
+        env: &mut Env,
+        addr: &str,
+        req: HttpRequest,
+    ) -> Result<Vec<u8>, SimError> {
+        let resp = self.call(env, addr, req)?;
+        if resp.is_success() {
+            Ok(resp.body)
+        } else {
+            Err(SimError::ServiceFailure {
+                endpoint: addr.to_owned(),
+                status: resp.status,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::HttpRequest;
+    use crate::time::SimDuration;
+
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+            env.clock.advance(SimDuration::from_micros(1));
+            HttpResponse::ok(req.body)
+        }
+    }
+
+    struct Failing;
+
+    impl Service for Failing {
+        fn handle(&mut self, _env: &mut Env, _req: HttpRequest) -> HttpResponse {
+            HttpResponse::error(503, "overloaded")
+        }
+    }
+
+    #[test]
+    fn routes_to_registered_endpoint() {
+        let mut env = Env::new(0);
+        let mut router = Router::new();
+        router.register("echo", service_handle(Echo));
+        let resp = router
+            .call(&mut env, "echo", HttpRequest::post("/x", b"hi".to_vec()))
+            .unwrap();
+        assert_eq!(resp.body, b"hi");
+        assert_eq!(env.clock.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let mut env = Env::new(0);
+        let router = Router::new();
+        assert!(matches!(
+            router.call(&mut env, "ghost", HttpRequest::get("/")),
+            Err(SimError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn call_ok_maps_failure_status() {
+        let mut env = Env::new(0);
+        let mut router = Router::new();
+        router.register("sad", service_handle(Failing));
+        assert!(matches!(
+            router.call_ok(&mut env, "sad", HttpRequest::get("/")),
+            Err(SimError::ServiceFailure { status: 503, .. })
+        ));
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut router = Router::new();
+        router.register("echo", service_handle(Echo));
+        assert!(router.knows("echo"));
+        assert!(router.deregister("echo"));
+        assert!(!router.knows("echo"));
+        assert!(!router.deregister("echo"));
+    }
+
+    #[test]
+    fn addresses_are_sorted() {
+        let mut router = Router::new();
+        router.register("b", service_handle(Echo));
+        router.register("a", service_handle(Echo));
+        assert_eq!(router.addresses(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    struct SelfCaller {
+        router: Rc<RefCell<Router>>,
+    }
+
+    impl Service for SelfCaller {
+        fn handle(&mut self, env: &mut Env, _req: HttpRequest) -> HttpResponse {
+            let router = self.router.borrow();
+            match router.call(env, "loop", HttpRequest::get("/")) {
+                Err(SimError::ReentrantCall(_)) => HttpResponse::ok(b"detected".to_vec()),
+                _ => HttpResponse::error(500, "reentrancy not detected"),
+            }
+        }
+    }
+
+    #[test]
+    fn reentrant_call_is_rejected() {
+        let mut env = Env::new(0);
+        let shared = Rc::new(RefCell::new(Router::new()));
+        let svc = service_handle(SelfCaller {
+            router: shared.clone(),
+        });
+        shared.borrow_mut().register("loop", svc);
+        let resp = {
+            let router = shared.borrow();
+            router
+                .call(&mut env, "loop", HttpRequest::get("/"))
+                .unwrap()
+        };
+        assert_eq!(resp.body, b"detected");
+    }
+}

@@ -1,0 +1,376 @@
+//! A TLS-like secure channel with real cryptography.
+//!
+//! 3GPP requires TLS with mutual authentication on service-based
+//! interfaces (TS 33.210), and the paper's P-AKA containers "communicate
+//! over TLS using REST APIs via the OAI Docker bridge" (§IV-A). This
+//! module gives the simulator an honest equivalent:
+//!
+//! * handshake: X25519 ephemeral key agreement, authenticated by an
+//!   HMAC transcript tag under each peer's static key (a stand-in for
+//!   certificate signatures that keeps the wire sizes realistic),
+//! * record protection: AES-128-CTR with per-record sequence nonces and a
+//!   truncated HMAC-SHA-256 tag.
+//!
+//! Records really are encrypted — the infrastructure attacker model
+//! demonstrates that sniffing the bridge yields ciphertext only.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use shield5g_crypto::aes::Aes128;
+use shield5g_crypto::hmac::hmac_sha256;
+use shield5g_crypto::kdf::kdf_x963;
+use shield5g_crypto::x25519::{x25519, x25519_base};
+
+/// Record MAC tag length (bytes).
+pub const TAG_LEN: usize = 16;
+
+/// Bytes exchanged during the handshake (client hello + server hello +
+/// finished tags); used by the latency model when charging the wire.
+pub const HANDSHAKE_WIRE_BYTES: usize = 32 + 32 + 32 + 32 + 32 + 32;
+
+/// A static identity key pair for one endpoint.
+#[derive(Clone)]
+pub struct TlsIdentity {
+    name: String,
+    private: [u8; 32],
+    public: [u8; 32],
+}
+
+impl std::fmt::Debug for TlsIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlsIdentity")
+            .field("name", &self.name)
+            .field("private", &"<redacted>")
+            .finish()
+    }
+}
+
+impl TlsIdentity {
+    /// Creates an identity from a name and a private scalar.
+    #[must_use]
+    pub fn new(name: impl Into<String>, private: [u8; 32]) -> Self {
+        let public = x25519_base(&private);
+        TlsIdentity {
+            name: name.into(),
+            private,
+            public,
+        }
+    }
+
+    /// The endpoint name (certificate subject stand-in).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The static public key peers pin.
+    #[must_use]
+    pub fn public(&self) -> &[u8; 32] {
+        &self.public
+    }
+}
+
+/// One direction of record protection.
+#[derive(Clone)]
+struct DirectionKeys {
+    cipher: Aes128,
+    mac_key: [u8; 32],
+    seq: u64,
+}
+
+impl DirectionKeys {
+    fn new(key: [u8; 16], mac_key: [u8; 32]) -> Self {
+        DirectionKeys {
+            cipher: Aes128::new(&key),
+            mac_key,
+            seq: 0,
+        }
+    }
+
+    fn nonce(seq: u64) -> [u8; 16] {
+        let mut icb = [0u8; 16];
+        icb[8..].copy_from_slice(&seq.to_be_bytes());
+        icb
+    }
+
+    fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut ct = plaintext.to_vec();
+        self.cipher.ctr_apply(&Self::nonce(self.seq), &mut ct);
+        let mut mac_input = self.seq.to_be_bytes().to_vec();
+        mac_input.extend_from_slice(&ct);
+        let tag = hmac_sha256(&self.mac_key, &mac_input);
+        let mut record = ct;
+        record.extend_from_slice(&tag[..TAG_LEN]);
+        self.seq += 1;
+        record
+    }
+
+    fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, SimError> {
+        if record.len() < TAG_LEN {
+            return Err(SimError::TlsRecordRejected(
+                "record shorter than tag".into(),
+            ));
+        }
+        let (ct, tag) = record.split_at(record.len() - TAG_LEN);
+        let mut mac_input = self.seq.to_be_bytes().to_vec();
+        mac_input.extend_from_slice(ct);
+        let expected = hmac_sha256(&self.mac_key, &mac_input);
+        if !shield5g_crypto::ct_eq(&expected[..TAG_LEN], tag) {
+            return Err(SimError::TlsRecordRejected("bad record mac".into()));
+        }
+        let mut pt = ct.to_vec();
+        self.cipher.ctr_apply(&Self::nonce(self.seq), &mut pt);
+        self.seq += 1;
+        Ok(pt)
+    }
+}
+
+/// An established secure channel endpoint.
+///
+/// [`establish`] returns one for each peer with mirrored directions.
+#[derive(Clone)]
+pub struct TlsSession {
+    peer_name: String,
+    write: DirectionKeys,
+    read: DirectionKeys,
+}
+
+impl std::fmt::Debug for TlsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlsSession")
+            .field("peer_name", &self.peer_name)
+            .field("keys", &"<redacted>")
+            .finish()
+    }
+}
+
+impl TlsSession {
+    /// The authenticated name of the remote peer.
+    #[must_use]
+    pub fn peer_name(&self) -> &str {
+        &self.peer_name
+    }
+
+    /// Encrypts and authenticates an outgoing record.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        self.write.seal(plaintext)
+    }
+
+    /// Verifies and decrypts an incoming record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TlsRecordRejected`] for tampered, replayed or
+    /// reordered records.
+    pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, SimError> {
+        self.read.open(record)
+    }
+}
+
+/// Wire transcript sizes produced by a handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandshakeInfo {
+    /// Bytes that crossed the wire during the handshake.
+    pub wire_bytes: usize,
+    /// Round trips consumed (TLS 1.3-style: 1-RTT plus TCP-layer costs are
+    /// charged separately by the channel).
+    pub round_trips: u32,
+}
+
+/// Performs a mutually authenticated handshake between two identities.
+///
+/// Both endpoints live in the same world, so the function returns the two
+/// session halves directly; the *cost* of the handshake (round trips,
+/// bytes, crypto time) is charged by the caller's channel model using the
+/// returned [`HandshakeInfo`].
+///
+/// # Errors
+///
+/// Returns [`SimError::TlsRecordRejected`] when either transcript MAC fails
+/// — i.e. one side does not actually hold the static key the other pinned.
+pub fn establish(
+    client: &TlsIdentity,
+    server: &TlsIdentity,
+    client_ephemeral: [u8; 32],
+    server_ephemeral: [u8; 32],
+) -> Result<(TlsSession, TlsSession, HandshakeInfo), SimError> {
+    let client_eph_pub = x25519_base(&client_ephemeral);
+    let server_eph_pub = x25519_base(&server_ephemeral);
+    let shared_c = x25519(&client_ephemeral, &server_eph_pub);
+    let shared_s = x25519(&server_ephemeral, &client_eph_pub);
+    debug_assert_eq!(shared_c, shared_s);
+
+    // Transcript binds both ephemerals, both certificates (name + static
+    // public key) — as a real TLS transcript hash would.
+    let mut transcript = Vec::with_capacity(128 + client.name.len() + server.name.len());
+    transcript.extend_from_slice(&client_eph_pub);
+    transcript.extend_from_slice(&server_eph_pub);
+    transcript.extend_from_slice(client.name.as_bytes());
+    transcript.extend_from_slice(&client.public);
+    transcript.extend_from_slice(server.name.as_bytes());
+    transcript.extend_from_slice(&server.public);
+
+    // "Certificate verify" stand-ins: HMAC over the transcript under each
+    // static DH result (static-ephemeral agreement authenticates the peer).
+    let client_auth_secret = x25519(&client.private, &server_eph_pub);
+    let server_auth_secret = x25519(&server.private, &client_eph_pub);
+    let client_tag = hmac_sha256(&client_auth_secret, &transcript);
+    let server_tag = hmac_sha256(&server_auth_secret, &transcript);
+
+    // Each side recomputes the peer's expected tag from the pinned static
+    // public key.
+    let expect_client = hmac_sha256(&x25519(&server_ephemeral, &client.public), &transcript);
+    let expect_server = hmac_sha256(&x25519(&client_ephemeral, &server.public), &transcript);
+    if !shield5g_crypto::ct_eq(&client_tag, &expect_client) {
+        return Err(SimError::TlsRecordRejected(
+            "client authentication failed".into(),
+        ));
+    }
+    if !shield5g_crypto::ct_eq(&server_tag, &expect_server) {
+        return Err(SimError::TlsRecordRejected(
+            "server authentication failed".into(),
+        ));
+    }
+
+    // Traffic keys from the ephemeral secret + transcript.
+    let key_data = kdf_x963(&shared_c, &transcript, 96);
+    let mut c2s_key = [0u8; 16];
+    let mut s2c_key = [0u8; 16];
+    let mut c2s_mac = [0u8; 32];
+    let mut s2c_mac = [0u8; 32];
+    c2s_key.copy_from_slice(&key_data[0..16]);
+    s2c_key.copy_from_slice(&key_data[16..32]);
+    c2s_mac.copy_from_slice(&key_data[32..64]);
+    s2c_mac.copy_from_slice(&key_data[64..96]);
+
+    let client_session = TlsSession {
+        peer_name: server.name.clone(),
+        write: DirectionKeys::new(c2s_key, c2s_mac),
+        read: DirectionKeys::new(s2c_key, s2c_mac),
+    };
+    let server_session = TlsSession {
+        peer_name: client.name.clone(),
+        write: DirectionKeys::new(s2c_key, s2c_mac),
+        read: DirectionKeys::new(c2s_key, c2s_mac),
+    };
+    Ok((
+        client_session,
+        server_session,
+        HandshakeInfo {
+            wire_bytes: HANDSHAKE_WIRE_BYTES,
+            round_trips: 2,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TlsIdentity, TlsIdentity) {
+        (
+            TlsIdentity::new("udm.oai", [1; 32]),
+            TlsIdentity::new("eudm-paka.oai", [2; 32]),
+        )
+    }
+
+    #[test]
+    fn handshake_and_bidirectional_records() {
+        let (c, s) = pair();
+        let (mut cs, mut ss, info) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        assert_eq!(info.round_trips, 2);
+        assert_eq!(cs.peer_name(), "eudm-paka.oai");
+        assert_eq!(ss.peer_name(), "udm.oai");
+
+        let record = cs.seal(b"generate-auth-data");
+        assert_ne!(&record[..18], b"generate-auth-data");
+        assert_eq!(ss.open(&record).unwrap(), b"generate-auth-data");
+
+        let reply = ss.seal(b"he-av");
+        assert_eq!(cs.open(&reply).unwrap(), b"he-av");
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (c, s) = pair();
+        let (mut cs, mut ss, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        let mut record = cs.seal(b"secret");
+        record[0] ^= 1;
+        assert!(matches!(
+            ss.open(&record),
+            Err(SimError::TlsRecordRejected(_))
+        ));
+    }
+
+    #[test]
+    fn replay_detected() {
+        let (c, s) = pair();
+        let (mut cs, mut ss, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        let record = cs.seal(b"once");
+        assert!(ss.open(&record).is_ok());
+        // Same bytes again: sequence number advanced, MAC no longer matches.
+        assert!(ss.open(&record).is_err());
+    }
+
+    #[test]
+    fn reorder_detected() {
+        let (c, s) = pair();
+        let (mut cs, mut ss, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        let r1 = cs.seal(b"first");
+        let r2 = cs.seal(b"second");
+        assert!(ss.open(&r2).is_err());
+        // The failed attempt must not consume seq 0: in-order delivery
+        // still works afterwards.
+        assert_eq!(ss.open(&r1).unwrap(), b"first");
+        assert_eq!(ss.open(&r2).unwrap(), b"second");
+    }
+
+    #[test]
+    fn impostor_key_changes_traffic_keys() {
+        // An impostor presenting c's name but its own static key derives
+        // different authentication secrets than a peer pinning c's public
+        // key would accept; with identical ephemerals the resulting
+        // sessions are nevertheless distinct, so stolen-name impersonation
+        // cannot splice into an existing channel.
+        let (c, s) = pair();
+        let impostor = TlsIdentity::new("udm.oai", [9; 32]);
+        let (mut imp_sess, _, _) = establish(&impostor, &s, [3; 32], [4; 32]).unwrap();
+        let (mut real_sess, _, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        assert_ne!(imp_sess.seal(b"x"), real_sess.seal(b"x"));
+    }
+
+    #[test]
+    fn distinct_ephemerals_distinct_keys() {
+        let (c, s) = pair();
+        let (mut s1, _, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        let (mut s2, _, _) = establish(&c, &s, [5; 32], [6; 32]).unwrap();
+        assert_ne!(s1.seal(b"m"), s2.seal(b"m"));
+    }
+
+    #[test]
+    fn short_record_rejected() {
+        let (c, s) = pair();
+        let (_, mut ss, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        assert!(ss.open(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let (c, s) = pair();
+        let (mut cs, mut ss, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+        let record = cs.seal(b"");
+        assert_eq!(record.len(), TAG_LEN);
+        assert_eq!(ss.open(&record).unwrap(), b"");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn arbitrary_payloads_round_trip(payload in proptest::collection::vec(0u8.., 0..300)) {
+            let (c, s) = pair();
+            let (mut cs, mut ss, _) = establish(&c, &s, [3; 32], [4; 32]).unwrap();
+            let record = cs.seal(&payload);
+            proptest::prop_assert_eq!(ss.open(&record).unwrap(), payload);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Determinism guarantees: identical seeds replay bit-for-bit; distinct
+//! seeds vary. Everything the benches print is reproducible.
+
+use shield5g::core::harness::{measure_lf_lt, measure_response_times, ModuleDeployment};
+use shield5g::core::paka::{PakaKind, SgxConfig};
+use shield5g::core::slice::{build_slice, AkaDeployment, SliceConfig};
+use shield5g::ran::gnbsim::GnbSim;
+use shield5g::sim::Env;
+
+#[test]
+fn same_seed_same_latency_distributions() {
+    let a = measure_lf_lt(
+        100,
+        PakaKind::EUdm,
+        ModuleDeployment::Sgx(SgxConfig::default()),
+        20,
+    );
+    let b = measure_lf_lt(
+        100,
+        PakaKind::EUdm,
+        ModuleDeployment::Sgx(SgxConfig::default()),
+        20,
+    );
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn different_seed_different_samples() {
+    let a = measure_response_times(101, PakaKind::EAusf, ModuleDeployment::Container, 10);
+    let b = measure_response_times(102, PakaKind::EAusf, ModuleDeployment::Container, 10);
+    assert_ne!(a.1, b.1, "distinct seeds should shift jitter");
+}
+
+#[test]
+fn same_seed_same_registration_transcript() {
+    let run = |seed: u64| {
+        let mut env = Env::new(seed);
+        let slice = build_slice(
+            &mut env,
+            &SliceConfig {
+                deployment: AkaDeployment::Monolithic,
+                subscriber_count: 2,
+            },
+        )
+        .unwrap();
+        let mut sim = GnbSim::new(&slice);
+        let regs = sim.register_ues(&mut env, &slice, 2).unwrap();
+        (
+            env.clock.now(),
+            regs.iter()
+                .map(|r| (r.report.guti, r.report.setup_time))
+                .collect::<Vec<_>>(),
+            env.log.len(),
+        )
+    };
+    assert_eq!(run(103), run(103));
+}
+
+#[test]
+fn crypto_outputs_are_seed_independent() {
+    // The protocol crypto depends only on keys and RAND — which the seed
+    // controls via the UDM's RNG draw; with a pinned RAND, outputs are
+    // constants regardless of the world.
+    let mil = shield5g::crypto::milenage::Milenage::with_opc(&[0x46; 16], &[0xcd; 16]);
+    let snn = shield5g::crypto::keys::ServingNetworkName::new("001", "01");
+    let av1 = shield5g::crypto::keys::generate_he_av(&mil, &[9; 16], &[0; 6], &[0x80, 0], &snn);
+    let av2 = shield5g::crypto::keys::generate_he_av(&mil, &[9; 16], &[0; 6], &[0x80, 0], &snn);
+    assert_eq!(av1, av2);
+}

@@ -1,0 +1,201 @@
+//! Headline-number reproduction tests: assert that the simulated testbed
+//! lands in the bands the paper publishes. These are the strongest
+//! regression guards in the repository — if a cost-model change breaks a
+//! published shape, one of these fails.
+
+use shield5g::core::harness::{
+    empty_workload_counters, fig10_response, fig9_latency, per_registration_delta,
+    table3_sgx_metrics,
+};
+use shield5g::core::paka::PakaKind;
+use shield5g::ran::ota::session_setup_comparison;
+use shield5g::sim::time::SimDuration;
+
+const REPS: u32 = 50;
+
+#[test]
+fn table3_empty_workload_exact() {
+    // Paper Table III, "Empty workload": EENTER 762, EEXIT 680, AEX 49674.
+    let c = empty_workload_counters(21);
+    assert_eq!((c.eenter, c.eexit, c.aex), (762, 680, 49_674));
+}
+
+#[test]
+fn table3_one_ue_rows_match_paper_within_noise() {
+    let (rows, _) = table3_sgx_metrics(22, 1);
+    // Paper (1 UE): eUDM 1508/1414, eAUSF 1539/1445, eAMF 1537/1443.
+    let paper = [(1508u64, 1414u64), (1539, 1445), (1537, 1443)];
+    for (row, (p_enter, p_exit)) in rows.iter().zip(paper) {
+        assert!(
+            row.counters.eenter.abs_diff(p_enter) <= 8,
+            "{}: EENTER {} vs paper {p_enter}",
+            row.kind.name(),
+            row.counters.eenter
+        );
+        assert!(
+            row.counters.eexit.abs_diff(p_exit) <= 8,
+            "{}: EEXIT {} vs paper {p_exit}",
+            row.kind.name(),
+            row.counters.eexit
+        );
+        // AEX ≈ 140.3k-140.7k, dominated by 131,072 preheat faults.
+        assert!((139_000..142_000).contains(&row.counters.aex));
+    }
+}
+
+#[test]
+fn per_registration_cost_is_about_90_transitions() {
+    // §V-B5: "the number of EENTERs and EEXITs for registering one UE is
+    // around 90".
+    for kind in PakaKind::all() {
+        let d = per_registration_delta(23, kind);
+        assert!(
+            (85..=97).contains(&d.eenter),
+            "{}: {}",
+            kind.name(),
+            d.eenter
+        );
+        assert_eq!(d.eenter, d.eexit);
+    }
+}
+
+#[test]
+fn table2_lf_ratios() {
+    // Paper: 1.2 / 1.3 / 1.5 — assert ±0.15 and strict ordering.
+    let rows = fig9_latency(24, REPS);
+    let paper = [1.2, 1.3, 1.5];
+    for (row, p) in rows.iter().zip(paper) {
+        let r = row.lf_ratio();
+        assert!(
+            (r - p).abs() < 0.15,
+            "{}: L_F ratio {r:.2} vs paper {p}",
+            row.kind.name()
+        );
+    }
+    assert!(rows[0].lf_ratio() < rows[1].lf_ratio());
+    assert!(rows[1].lf_ratio() < rows[2].lf_ratio());
+}
+
+#[test]
+fn table2_lt_ratios() {
+    // Paper: 1.86 / 2.15 / 2.43 — assert ±0.35 and strict ordering.
+    let rows = fig9_latency(25, REPS);
+    let paper = [1.86, 2.15, 2.43];
+    for (row, p) in rows.iter().zip(paper) {
+        let r = row.lt_ratio();
+        assert!(
+            (r - p).abs() < 0.35,
+            "{}: L_T ratio {r:.2} vs paper {p}",
+            row.kind.name()
+        );
+    }
+    assert!(rows[0].lt_ratio() < rows[2].lt_ratio());
+}
+
+#[test]
+fn table2_response_time_ratios() {
+    // Paper: R_S^SGX/R^C in 2.2–2.9; R_I/R_S ≈ 18–21.5.
+    let rows = fig10_response(26, REPS, 10);
+    for row in &rows {
+        let rs = row.rs_ratio();
+        assert!(
+            (1.9..3.4).contains(&rs),
+            "{}: R_S ratio {rs:.2}",
+            row.kind.name()
+        );
+        let ri = row.ri_over_rs();
+        assert!(
+            (12.0..30.0).contains(&ri),
+            "{}: R_I/R_S {ri:.1}",
+            row.kind.name()
+        );
+    }
+    // The ratio grows as the module shrinks (paper's 2.2 → 2.9 ordering).
+    assert!(rows[2].rs_ratio() > rows[0].rs_ratio());
+}
+
+#[test]
+fn fig9_absolute_latencies_in_paper_decade() {
+    let rows = fig9_latency(27, REPS);
+    // Fig. 9a: container L_F ≈ 30–50 µs; SGX ≈ 45–65 µs.
+    for row in &rows {
+        assert!(row.lf_container.median >= SimDuration::from_micros(28));
+        assert!(row.lf_container.median <= SimDuration::from_micros(50));
+        assert!(row.lf_sgx.median >= SimDuration::from_micros(44));
+        assert!(row.lf_sgx.median <= SimDuration::from_micros(66));
+        // Fig. 9b: L_T container ≈ 50–85 µs, SGX ≈ 110–180 µs.
+        assert!(row.lt_container.median >= SimDuration::from_micros(50));
+        assert!(row.lt_container.median <= SimDuration::from_micros(85));
+        assert!(row.lt_sgx.median >= SimDuration::from_micros(110));
+        assert!(row.lt_sgx.median <= SimDuration::from_micros(185));
+    }
+}
+
+#[test]
+fn fig10_absolute_response_times_in_paper_decade() {
+    let rows = fig10_response(28, REPS, 8);
+    for row in &rows {
+        // Fig. 10a: stable SGX response ≈ 1.0–1.6 ms, container ≈ 0.4–0.7 ms.
+        assert!(
+            row.r_container.median >= SimDuration::from_micros(350),
+            "{}",
+            row.r_container.median
+        );
+        assert!(
+            row.r_container.median <= SimDuration::from_micros(750),
+            "{}",
+            row.r_container.median
+        );
+        assert!(
+            row.r_sgx_stable.median >= SimDuration::from_micros(950),
+            "{}",
+            row.r_sgx_stable.median
+        );
+        assert!(
+            row.r_sgx_stable.median <= SimDuration::from_micros(1_700),
+            "{}",
+            row.r_sgx_stable.median
+        );
+        // Fig. 10b: initial response ≈ 22–24 ms.
+        assert!(
+            row.r_sgx_initial.median >= SimDuration::from_millis(18),
+            "{}",
+            row.r_sgx_initial.median
+        );
+        assert!(
+            row.r_sgx_initial.median <= SimDuration::from_millis(28),
+            "{}",
+            row.r_sgx_initial.median
+        );
+    }
+}
+
+#[test]
+fn session_setup_share_matches_section_vb4() {
+    // Paper: setup 62.38 ms, SGX-added 3.48 ms = 5.58 %.
+    let cmp = session_setup_comparison(29, 3);
+    assert!(
+        cmp.sgx_setup >= SimDuration::from_millis(50),
+        "{}",
+        cmp.sgx_setup
+    );
+    assert!(
+        cmp.sgx_setup <= SimDuration::from_millis(80),
+        "{}",
+        cmp.sgx_setup
+    );
+    let share = cmp.sgx_share_of_setup();
+    assert!((0.01..0.12).contains(&share), "SGX share {share:.3}");
+}
+
+#[test]
+fn table5_matrix_is_the_papers() {
+    let m = shield5g::core::ki::table5();
+    let flagged: Vec<u8> = m
+        .iter()
+        .filter(|k| k.hmee_flagged_by_3gpp)
+        .map(|k| k.number)
+        .collect();
+    assert_eq!(flagged, vec![6, 7, 15, 25]);
+    assert_eq!(m.len(), 13);
+}
