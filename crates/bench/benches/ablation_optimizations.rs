@@ -2,7 +2,8 @@
 //! network stack (mTCP-style) inside the enclave.
 
 use shield5g_bench::{banner, fmt_summary, reps};
-use shield5g_core::harness::{ablation_optimizations, horizontal_scaling};
+use shield5g_core::harness::ablation_optimizations;
+use shield5g_scale::harness::horizontal_scaling;
 
 fn main() {
     banner(
@@ -22,11 +23,11 @@ fn main() {
             speedup
         );
     }
-    println!("\n    Horizontal scaling (enclave worker pool, eUDM):");
+    println!("\n    Horizontal scaling (real eUDM replica pool, shield5g-scale):");
     for row in horizontal_scaling(1900, (reps / 4).max(10), 4) {
         println!(
-            "      {} instance(s): stable R {} -> {:.0} authentications/s",
-            row.instances, row.stable_response, row.throughput_per_sec
+            "      {} instance(s): stable R {} -> {:.0} authentications/s ({} shed)",
+            row.instances, row.stable_response, row.throughput_per_sec, row.shed
         );
     }
     println!("\n    As §V-B7 argues: exitless OCALLs remove transition costs (but are");

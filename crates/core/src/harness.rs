@@ -566,45 +566,9 @@ pub fn concurrency_sweep(
     rows
 }
 
-/// One row of the horizontal-scaling ablation.
-#[derive(Clone, Copy, Debug)]
-pub struct ScalingRow {
-    /// Enclave worker instances serving in parallel.
-    pub instances: u32,
-    /// Stable per-request response time (median).
-    pub stable_response: SimDuration,
-    /// Aggregate authentications per second across the pool.
-    pub throughput_per_sec: f64,
-}
-
-/// **§V-B7 horizontal scaling**: "since our design is microservice-based,
-/// it inherently supports horizontal scaling. Therefore, network
-/// operators can scale the enclave worker nodes … on demand." Deploys
-/// `1..=max_instances` eUDM enclaves, measures each pool member's stable
-/// response time, and reports aggregate throughput (instances serve
-/// independent flows in parallel).
-#[must_use]
-pub fn horizontal_scaling(base_seed: u64, reps: u32, max_instances: u32) -> Vec<ScalingRow> {
-    (1..=max_instances)
-        .map(|instances| {
-            // Pool members are identical; measure one and scale: each
-            // instance is single-flow (the paper's single-threaded server),
-            // so aggregate throughput is instances / stable response time.
-            let (_, samples) = measure_response_times(
-                base_seed + u64::from(instances),
-                PakaKind::EUdm,
-                ModuleDeployment::Sgx(SgxConfig::default()),
-                reps,
-            );
-            let stable = crate::stats::Summary::of(&samples).median;
-            ScalingRow {
-                instances,
-                stable_response: stable,
-                throughput_per_sec: f64::from(instances) / stable.as_secs_f64(),
-            }
-        })
-        .collect()
-}
+// The §V-B7 horizontal-scaling experiment lives in `shield5g-scale`
+// (`shield5g_scale::harness::horizontal_scaling`), which drives real
+// replica pools instead of extrapolating from a single instance.
 
 /// Verification that the Table I parameter sizes hold on the wire.
 #[derive(Clone, Copy, Debug)]
@@ -802,21 +766,13 @@ mod tests {
     }
 
     #[test]
-    fn horizontal_scaling_is_linear() {
-        let rows = horizontal_scaling(900, 10, 3);
-        assert_eq!(rows.len(), 3);
-        let t1 = rows[0].throughput_per_sec;
-        let t3 = rows[2].throughput_per_sec;
-        assert!(t3 > 2.5 * t1 && t3 < 3.5 * t1, "t1={t1:.0}/s t3={t3:.0}/s");
-        // A single enclave sustains several hundred authentications/s.
-        assert!(t1 > 300.0 && t1 < 1500.0, "t1={t1:.0}/s");
-    }
-
-    #[test]
     fn latency_outlier_fraction_is_small() {
         // §V-A2: "We noted less than 5% outliers in our measurements."
-        let (mut env, mut module) =
-            deploy_module(990, PakaKind::EUdm, ModuleDeployment::Sgx(SgxConfig::default()));
+        let (mut env, mut module) = deploy_module(
+            990,
+            PakaKind::EUdm,
+            ModuleDeployment::Sgx(SgxConfig::default()),
+        );
         let request = standard_request(PakaKind::EUdm);
         let _ = module.serve(&mut env, request.clone());
         let samples: Vec<_> = (0..200)

@@ -25,7 +25,8 @@ use shield5g_libos::libos::BootReport;
 use shield5g_libos::manifest::Manifest;
 use shield5g_libos::syscalls::{NativeSyscalls, Syscall, SyscallInterface};
 use shield5g_nf::backend::{
-    encode_he_av, AmfAkaRequest, AusfAkaRequest, AusfAkaResponse, UdmAkaRequest,
+    batch_rand, encode_he_av, encode_he_av_batch, sqn_add, AmfAkaRequest, AusfAkaRequest,
+    AusfAkaResponse, UdmAkaBatchRequest, UdmAkaRequest, MAX_AV_BATCH,
 };
 use shield5g_nf::NfError;
 use shield5g_sim::http::{HttpRequest, HttpResponse};
@@ -525,6 +526,32 @@ impl PakaModule {
                 self.store_scratch(env, "scratch:kausf", &av.kausf);
                 Ok(encode_he_av(&av))
             }
+            (PakaKind::EUdm, "/eudm/generate-av-batch") => {
+                let req = UdmAkaBatchRequest::decode(body)?;
+                if req.count == 0 || req.count > MAX_AV_BATCH {
+                    return Err(NfError::Protocol(format!(
+                        "AV batch count {} outside 1..={MAX_AV_BATCH}",
+                        req.count
+                    )));
+                }
+                let k = self.load_subscriber_key(env, &req.supi)?;
+                let mil = Milenage::with_opc(&k, &req.opc);
+                let avs: Vec<_> = (0..req.count)
+                    .map(|i| {
+                        let sqn = sqn_add(&req.sqn_start, u64::from(i));
+                        let rand = batch_rand(&req.rand_seed, &sqn);
+                        generate_he_av(&mil, &rand, &sqn, &req.amf_field, &req.snn)
+                    })
+                    .collect();
+                // `serve` charges one AKA-function execution after dispatch;
+                // the remaining batch members are extra in-window compute.
+                for _ in 1..req.count {
+                    let extra = env.rng.jitter(self.kind.func_nanos(), 0.05);
+                    self.charge_compute(env, extra);
+                }
+                self.store_scratch(env, "scratch:kausf", &avs[avs.len() - 1].kausf);
+                Ok(encode_he_av_batch(&avs))
+            }
             (PakaKind::EUdm, "/eudm/resync") => {
                 let mut r = shield5g_sim::codec::Reader::new(body);
                 let supi = r.str()?;
@@ -638,10 +665,13 @@ impl PakaModule {
         );
         let paged = enclave.maybe_page(env);
         // Helper/timer threads interrupt enclave execution occasionally;
-        // more TCS slots → more timer bookkeeping → more AEX.
+        // more TCS slots → more timer bookkeeping → more AEX. The rate is
+        // calibrated so AEX-hit requests stay under the paper's "<5%
+        // outliers" observation (§V-A2) — runtime AEX is rare, the bulk
+        // of the Table III AEX total comes from boot.
         let draws = (self.max_threads / 4).max(1);
         for _ in 0..draws {
-            if env.rng.chance(0.12) {
+            if env.rng.chance(0.03) {
                 enclave.aex(env);
             }
         }
@@ -1034,6 +1064,63 @@ mod tests {
             resp.body,
             shield5g_crypto::keys::derive_kamf(&[4; 32], SUPI, &[0, 0]).to_vec()
         );
+    }
+
+    #[test]
+    fn eudm_batch_serves_verifiable_avs_for_one_choreography() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let _ = module.serve(&mut env, udm_request()); // warm
+        let req = UdmAkaBatchRequest {
+            supi: SUPI.into(),
+            opc: OPC,
+            rand_seed: [0x77; 16],
+            sqn_start: [0, 0, 0, 0, 1, 0],
+            amf_field: [0x80, 0],
+            snn: ServingNetworkName::new("001", "01"),
+            count: 8,
+        };
+        let before = module.sgx_stats().unwrap();
+        let (resp, metrics) = module.serve(
+            &mut env,
+            HttpRequest::post("/eudm/generate-av-batch", req.encode()),
+        );
+        assert!(resp.is_success());
+        let avs = shield5g_nf::backend::decode_he_av_batch(&resp.body).unwrap();
+        assert_eq!(avs.len(), 8);
+        // Every AV in the batch passes USIM verification.
+        let mil = Milenage::with_opc(&K, &OPC);
+        let snn = ServingNetworkName::new("001", "01");
+        for av in &avs {
+            let ue = shield5g_crypto::keys::ue_process_challenge(&mil, &av.rand, &av.autn, &snn)
+                .unwrap();
+            assert_eq!(ue.res_star, av.xres_star);
+        }
+        // The batch still costs a single connection choreography...
+        let delta = module.sgx_stats().unwrap().delta_since(&before);
+        assert!((91..=96).contains(&delta.ocalls), "{}", delta.ocalls);
+        // ...while functional time scales with the batch size.
+        assert!(metrics.functional > SimDuration::from_nanos(PakaKind::EUdm.func_nanos() * 6));
+    }
+
+    #[test]
+    fn eudm_batch_count_bounds_enforced() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        for count in [0, MAX_AV_BATCH + 1] {
+            let req = UdmAkaBatchRequest {
+                supi: SUPI.into(),
+                opc: OPC,
+                rand_seed: [0; 16],
+                sqn_start: [0; 6],
+                amf_field: [0x80, 0],
+                snn: ServingNetworkName::new("001", "01"),
+                count,
+            };
+            let (resp, _) = module.serve(
+                &mut env,
+                HttpRequest::post("/eudm/generate-av-batch", req.encode()),
+            );
+            assert_eq!(resp.status, 400, "count {count}");
+        }
     }
 
     #[test]

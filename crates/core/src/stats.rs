@@ -19,6 +19,10 @@ pub struct Summary {
     pub median: SimDuration,
     /// Third quartile.
     pub p75: SimDuration,
+    /// 95th percentile (tail latency under load).
+    pub p95: SimDuration,
+    /// 99th percentile (tail latency under load).
+    pub p99: SimDuration,
     /// Maximum.
     pub max: SimDuration,
     /// Arithmetic mean.
@@ -63,6 +67,8 @@ impl Summary {
             p25: SimDuration::from_nanos(pct(0.25)),
             median: SimDuration::from_nanos(pct(0.5)),
             p75: SimDuration::from_nanos(pct(0.75)),
+            p95: SimDuration::from_nanos(pct(0.95)),
+            p99: SimDuration::from_nanos(pct(0.99)),
             max: SimDuration::from_nanos(sorted[count - 1]),
             mean: SimDuration::from_nanos(mean.round() as u64),
             stddev: SimDuration::from_nanos(var.sqrt().round() as u64),
@@ -128,6 +134,9 @@ mod tests {
         assert_eq!(s.p25, us(2));
         assert_eq!(s.p75, us(4));
         assert_eq!(s.iqr(), us(2));
+        // Interpolated tail quantiles: index 0.95·4 = 3.8 → 4.8 µs.
+        assert_eq!(s.p95, SimDuration::from_nanos(4_800));
+        assert_eq!(s.p99, SimDuration::from_nanos(4_960));
     }
 
     #[test]
@@ -182,7 +191,9 @@ mod tests {
             proptest::prop_assert!(s.min <= s.p25);
             proptest::prop_assert!(s.p25 <= s.median);
             proptest::prop_assert!(s.median <= s.p75);
-            proptest::prop_assert!(s.p75 <= s.max);
+            proptest::prop_assert!(s.p75 <= s.p95);
+            proptest::prop_assert!(s.p95 <= s.p99);
+            proptest::prop_assert!(s.p99 <= s.max);
             proptest::prop_assert!(s.mean >= s.min && s.mean <= s.max);
         }
 

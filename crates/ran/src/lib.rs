@@ -15,6 +15,9 @@
 //!   (N2/NGAP), with RRC connection establishment costs.
 //! * [`gnbsim`] — back-to-back mass registrations over a zero-cost radio
 //!   (what the paper's performance experiments drive).
+//! * [`workload`] — deterministic open-loop arrival traces (Poisson
+//!   inter-arrivals over a subscriber population) for the pool-scaling
+//!   experiments in `shield5g-scale`.
 //! * [`ota`] — the §V-B6 over-the-air testbed: SDR gNB + OnePlus 8 over
 //!   a realistic radio link, ending in an end-to-end data session, plus
 //!   the session-setup/SGX-share measurement of §V-B4.
@@ -27,6 +30,7 @@ pub mod gnbsim;
 pub mod ota;
 pub mod ue;
 pub mod usim;
+pub mod workload;
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,142 @@
+//! Deterministic mass-registration workload generation.
+//!
+//! gNBSIM's back-to-back registrations (§V-A2) exercise module capacity
+//! but not its queueing behaviour: every request waits for the previous
+//! one. The pool experiments in `shield5g-scale` instead need an *open*
+//! arrival process — UEs registering at a configured offered load,
+//! independent of how fast the pool drains them. This module generates
+//! such traces: Poisson arrivals (exponential inter-arrival times) over
+//! a fixed subscriber population, reproducible from a [`DetRng`].
+
+use shield5g_sim::rng::DetRng;
+use shield5g_sim::time::{SimDuration, SimTime};
+
+/// One UE authentication arrival.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the request reaches the pool frontend.
+    pub at: SimTime,
+    /// The subscriber issuing it.
+    pub supi: String,
+}
+
+/// Parameters of a mass-registration trace.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Subscriber population size; arrivals draw uniformly from it, so a
+    /// population smaller than `arrivals` yields repeat authentications
+    /// per SUPI (re-registrations, periodic re-authentication).
+    pub ues: u32,
+    /// Total arrivals to generate.
+    pub arrivals: u32,
+    /// Offered load in authentications per second.
+    pub rate_per_sec: f64,
+}
+
+/// The SUPI of test subscriber `i` (PLMN 001/01, matching
+/// `shield5g_core::slice::Subscriber::test`).
+#[must_use]
+pub fn test_supi(i: u32) -> String {
+    format!("imsi-00101{:010}", u64::from(i) + 1)
+}
+
+/// Generates a Poisson arrival trace starting at `start`.
+///
+/// Inter-arrival gaps are drawn by inverse-CDF from the exponential
+/// distribution with rate `spec.rate_per_sec`; arrival times are
+/// non-decreasing and the whole trace is a pure function of the RNG
+/// state.
+///
+/// # Panics
+///
+/// Panics when `spec.ues == 0` or `spec.rate_per_sec` is not positive.
+#[must_use]
+pub fn poisson_registrations(
+    rng: &mut DetRng,
+    start: SimTime,
+    spec: &WorkloadSpec,
+) -> Vec<Arrival> {
+    assert!(spec.ues > 0, "empty subscriber population");
+    assert!(
+        spec.rate_per_sec > 0.0,
+        "offered load must be positive, got {}",
+        spec.rate_per_sec
+    );
+    let mut at = start;
+    (0..spec.arrivals)
+        .map(|_| {
+            // Uniform in (0, 1]: 53 mantissa bits, never exactly zero.
+            let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+            let gap_ns = (-u.ln() / spec.rate_per_sec * 1e9).round() as u64;
+            at += SimDuration::from_nanos(gap_ns);
+            Arrival {
+                at,
+                supi: test_supi(rng.range(0, u64::from(spec.ues)) as u32),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            ues: 16,
+            arrivals: 2_000,
+            rate_per_sec: 800.0,
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let mut a = DetRng::new(11);
+        let mut b = DetRng::new(11);
+        let t0 = SimTime::from_nanos(5);
+        assert_eq!(
+            poisson_registrations(&mut a, t0, &spec()),
+            poisson_registrations(&mut b, t0, &spec())
+        );
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_start_after_t0() {
+        let mut rng = DetRng::new(12);
+        let t0 = SimTime::from_nanos(1_000);
+        let trace = poisson_registrations(&mut rng, t0, &spec());
+        assert_eq!(trace.len(), 2_000);
+        assert!(trace[0].at > t0);
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn mean_rate_close_to_offered() {
+        let mut rng = DetRng::new(13);
+        let trace = poisson_registrations(&mut rng, SimTime::from_nanos(0), &spec());
+        let span = (trace[trace.len() - 1].at - trace[0].at).as_secs_f64();
+        let rate = (trace.len() - 1) as f64 / span;
+        assert!(
+            (rate / 800.0 - 1.0).abs() < 0.1,
+            "measured rate {rate:.0}/s vs offered 800/s"
+        );
+    }
+
+    #[test]
+    fn supis_stay_in_population() {
+        let mut rng = DetRng::new(14);
+        let trace = poisson_registrations(&mut rng, SimTime::from_nanos(0), &spec());
+        let population: Vec<String> = (0..16).map(test_supi).collect();
+        assert!(trace.iter().all(|a| population.contains(&a.supi)));
+        // A population smaller than the arrival count repeats SUPIs.
+        let distinct: std::collections::HashSet<&str> =
+            trace.iter().map(|a| a.supi.as_str()).collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn supi_format_matches_slice_subscribers() {
+        assert_eq!(test_supi(0), "imsi-001010000000001");
+        assert_eq!(test_supi(41), "imsi-001010000000042");
+    }
+}

@@ -1,0 +1,240 @@
+//! Batched AV pre-generation cache at the eUDM frontend.
+//!
+//! Table III's per-registration cost is ~91 enclave transitions — almost
+//! all of them the HTTPS connection choreography, not the AKA crypto
+//! (§V-B5). Pre-generating a *batch* of AVs per enclave round trip
+//! amortises that choreography: one 91-transition call yields B vectors,
+//! and the next B−1 authentications for the SUPI are served from VNF
+//! memory without entering the enclave at all.
+//!
+//! Correctness hinges on SQN discipline (TS 33.102): cached AVs embed
+//! consecutive SQNs, so they must be consumed in order and discarded
+//! wholesale whenever the USIM reports a resynchronisation — a stale
+//! cached SQN would push the UE straight back into AUTS resync loops.
+
+use shield5g_crypto::keys::HeAv;
+use shield5g_nf::backend::sqn_add;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Cache parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AvCacheConfig {
+    /// AVs generated per enclave round trip.
+    pub batch_size: u32,
+    /// Maximum cached AVs per SUPI (oldest dropped beyond this).
+    pub capacity_per_supi: usize,
+}
+
+impl Default for AvCacheConfig {
+    fn default() -> Self {
+        AvCacheConfig {
+            batch_size: 8,
+            capacity_per_supi: 16,
+        }
+    }
+}
+
+/// Running cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from cache (no enclave transition).
+    pub hits: u64,
+    /// Requests that triggered a batch generation.
+    pub misses: u64,
+    /// AVs pre-generated in total.
+    pub pregenerated: u64,
+    /// AVs dropped by SQN invalidation.
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SupiEntry {
+    /// Pre-generated AVs in SQN order (front = next to hand out).
+    avs: VecDeque<HeAv>,
+    /// SQN the *next* generated batch must start at.
+    next_sqn: [u8; 6],
+}
+
+/// Per-SUPI FIFO cache of pre-generated HE AVs.
+#[derive(Debug, Default)]
+pub struct AvCache {
+    cfg: AvCacheConfig,
+    entries: HashMap<String, SupiEntry>,
+    stats: CacheStats,
+}
+
+impl AvCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new(cfg: AvCacheConfig) -> Self {
+        AvCache {
+            cfg,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Takes the next cached AV for `supi`, oldest SQN first. `None`
+    /// counts as a miss; the caller should generate a batch and
+    /// [`AvCache::put_batch`] it.
+    pub fn take(&mut self, supi: &str) -> Option<HeAv> {
+        match self.entries.get_mut(supi).and_then(|e| e.avs.pop_front()) {
+            Some(av) => {
+                self.stats.hits += 1;
+                Some(av)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Pops the next AV without touching the hit/miss statistics — the
+    /// miss path uses this to consume the first AV of the batch it just
+    /// generated (that request already counted as the miss).
+    pub fn pop_uncounted(&mut self, supi: &str) -> Option<HeAv> {
+        self.entries.get_mut(supi).and_then(|e| e.avs.pop_front())
+    }
+
+    /// The SQN a new batch for `supi` must start at.
+    #[must_use]
+    pub fn next_sqn(&self, supi: &str) -> [u8; 6] {
+        self.entries
+            .get(supi)
+            .map_or([0, 0, 0, 0, 0, 1], |e| e.next_sqn)
+    }
+
+    /// Stores a freshly generated batch whose first AV carries
+    /// [`AvCache::next_sqn`]; advances the SQN window past it. AVs beyond
+    /// the per-SUPI capacity are dropped from the oldest end.
+    pub fn put_batch(&mut self, supi: &str, avs: Vec<HeAv>) {
+        let count = avs.len() as u64;
+        let entry = self.entries.entry(supi.to_owned()).or_default();
+        if entry.next_sqn == [0; 6] {
+            entry.next_sqn = [0, 0, 0, 0, 0, 1];
+        }
+        entry.next_sqn = sqn_add(&entry.next_sqn, count);
+        entry.avs.extend(avs);
+        while entry.avs.len() > self.cfg.capacity_per_supi {
+            entry.avs.pop_front();
+            self.stats.invalidated += 1;
+        }
+        self.stats.pregenerated += count;
+    }
+
+    /// SQN-aware invalidation: the USIM reported `SQN_MS` via AUTS
+    /// resync, so every cached AV for `supi` is stale. Drops them and
+    /// restarts the window just past the USIM's counter. Returns the
+    /// number of AVs discarded.
+    pub fn invalidate(&mut self, supi: &str, sqn_ms: &[u8; 6]) -> usize {
+        let entry = self.entries.entry(supi.to_owned()).or_default();
+        let dropped = entry.avs.len();
+        entry.avs.clear();
+        entry.next_sqn = sqn_add(sqn_ms, 1);
+        self.stats.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Cached AVs currently held for `supi`.
+    #[must_use]
+    pub fn depth(&self, supi: &str) -> usize {
+        self.entries.get(supi).map_or(0, |e| e.avs.len())
+    }
+
+    /// Batch size to request on a miss.
+    #[must_use]
+    pub fn batch_size(&self) -> u32 {
+        self.cfg.batch_size
+    }
+
+    /// Running statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn av(i: u8) -> HeAv {
+        HeAv {
+            rand: [i; 16],
+            autn: [i; 16],
+            xres_star: [i; 16],
+            kausf: [i; 32],
+        }
+    }
+
+    #[test]
+    fn miss_then_hits_in_fifo_order() {
+        let mut c = AvCache::new(AvCacheConfig::default());
+        assert!(c.take("imsi-1").is_none());
+        c.put_batch("imsi-1", vec![av(1), av(2), av(3)]);
+        assert_eq!(c.take("imsi-1").unwrap(), av(1));
+        assert_eq!(c.take("imsi-1").unwrap(), av(2));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.pregenerated), (2, 1, 3));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqn_window_advances_per_batch() {
+        let mut c = AvCache::new(AvCacheConfig::default());
+        assert_eq!(c.next_sqn("imsi-1"), [0, 0, 0, 0, 0, 1]);
+        c.put_batch("imsi-1", vec![av(1); 8]);
+        assert_eq!(c.next_sqn("imsi-1"), [0, 0, 0, 0, 0, 9]);
+        c.put_batch("imsi-1", vec![av(2); 8]);
+        assert_eq!(c.next_sqn("imsi-1"), [0, 0, 0, 0, 0, 17]);
+    }
+
+    #[test]
+    fn resync_drops_cache_and_restarts_window() {
+        let mut c = AvCache::new(AvCacheConfig::default());
+        c.put_batch("imsi-1", vec![av(1), av(2)]);
+        let dropped = c.invalidate("imsi-1", &[0, 0, 0, 0, 1, 0]);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.depth("imsi-1"), 0);
+        assert_eq!(c.next_sqn("imsi-1"), [0, 0, 0, 0, 1, 1]);
+        assert!(c.take("imsi-1").is_none(), "stale AVs must not survive");
+        assert_eq!(c.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn per_supi_capacity_bounds_memory() {
+        let mut c = AvCache::new(AvCacheConfig {
+            batch_size: 4,
+            capacity_per_supi: 5,
+        });
+        c.put_batch("imsi-1", (0..8).map(av).collect());
+        assert_eq!(c.depth("imsi-1"), 5);
+        // Oldest were dropped; the front is now AV 3.
+        assert_eq!(c.take("imsi-1").unwrap(), av(3));
+    }
+
+    #[test]
+    fn supis_are_isolated() {
+        let mut c = AvCache::new(AvCacheConfig::default());
+        c.put_batch("imsi-1", vec![av(1)]);
+        assert!(c.take("imsi-2").is_none());
+        assert_eq!(c.take("imsi-1").unwrap(), av(1));
+        c.invalidate("imsi-1", &[0; 6]);
+        assert_eq!(c.next_sqn("imsi-2"), [0, 0, 0, 0, 0, 1]);
+    }
+}

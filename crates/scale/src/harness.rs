@@ -1,0 +1,408 @@
+//! The pool-scaling experiments: real replica pools under open-loop
+//! mass-registration load.
+//!
+//! The seed repository extrapolated §V-B7 horizontal scaling by measuring
+//! one enclave and multiplying. Here every row comes from an actual pool:
+//! distinct enclave replicas, consistent-hash SUPI routing, bounded
+//! admission queues, and (optionally) the batched AV pre-generation
+//! cache. Replica service times are *measured* on the real modules; the
+//! open-loop schedule (who waits, who sheds, when each request finishes)
+//! is then computed in virtual time from those measurements, mirroring
+//! the `concurrency_sweep` methodology in `shield5g-core`.
+
+use crate::avcache::{AvCache, AvCacheConfig};
+use crate::metrics::{PoolReport, RunRecorder};
+use crate::pool::{EnclavePool, PoolConfig};
+use crate::queue::{Admission, QueueConfig};
+use shield5g_core::paka::PakaKind;
+use shield5g_core::stats::Summary;
+use shield5g_crypto::keys::ServingNetworkName;
+use shield5g_nf::backend::{decode_he_av_batch, sqn_add, UdmAkaBatchRequest, UdmAkaRequest};
+use shield5g_ran::workload::{poisson_registrations, test_supi, WorkloadSpec};
+use shield5g_sim::http::HttpRequest;
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::Env;
+use std::collections::HashMap;
+
+/// Long-term key of every workload subscriber (the standard test K).
+const K: [u8; 16] = [0x46; 16];
+const OPC: [u8; 16] = [0xcd; 16];
+
+/// VNF-side cost of serving an authentication from the AV cache: a hash
+/// lookup and a vector copy in frontend memory — no enclave, no TLS hop.
+const CACHE_HIT_NANOS: u64 = 1_500;
+
+/// Parameters of one pool experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Ready replicas on the ring.
+    pub replicas: u32,
+    /// Offered load in authentications per second.
+    pub offered_per_sec: f64,
+    /// Arrivals in the trace.
+    pub arrivals: u32,
+    /// Subscriber population (smaller than `arrivals` ⇒ repeat
+    /// authentications, which is what the AV cache exploits).
+    pub ues: u32,
+    /// Per-replica admission queue parameters.
+    pub queue: QueueConfig,
+    /// AV pre-generation; `None` = one enclave round trip per request.
+    pub cache: Option<AvCacheConfig>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            replicas: 1,
+            offered_per_sec: 500.0,
+            arrivals: 200,
+            ues: 40,
+            queue: QueueConfig::default(),
+            cache: None,
+        }
+    }
+}
+
+fn snn() -> ServingNetworkName {
+    ServingNetworkName::new("001", "01")
+}
+
+/// Runs one open-loop experiment against a freshly deployed eUDM pool.
+///
+/// # Panics
+///
+/// Panics when a module returns a non-success response — the harness
+/// provisions every subscriber it offers.
+#[must_use]
+pub fn pool_sweep(seed: u64, cfg: &SweepConfig) -> PoolReport {
+    let mut env = Env::new(seed);
+    env.log.disable();
+    let mut pool = EnclavePool::deploy(
+        &mut env,
+        PakaKind::EUdm,
+        PoolConfig {
+            replicas: cfg.replicas,
+            warm_standby: 0,
+            queue: cfg.queue,
+            ..PoolConfig::default()
+        },
+    );
+    for i in 0..cfg.ues {
+        pool.provision_subscriber(&mut env, &test_supi(i), K);
+    }
+    pool.rebaseline();
+
+    let mut wl_rng = env.rng.fork("pool-workload");
+    let trace = poisson_registrations(
+        &mut wl_rng,
+        env.clock.now(),
+        &WorkloadSpec {
+            ues: cfg.ues,
+            arrivals: cfg.arrivals,
+            rate_per_sec: cfg.offered_per_sec,
+        },
+    );
+
+    let mut cache = cfg.cache.map(AvCache::new);
+    // Cache-off bookkeeping: the UDM's per-subscriber SQN generator.
+    let mut sqn_counters: HashMap<String, [u8; 6]> = HashMap::new();
+    let mut recorder = RunRecorder::new();
+
+    for arrival in &trace {
+        recorder.arrival(arrival.at);
+
+        // Frontend cache check — hits never reach a replica, so they
+        // cannot be queued or shed.
+        if let Some(c) = cache.as_mut() {
+            if c.take(&arrival.supi).is_some() {
+                let finish = arrival.at + SimDuration::from_nanos(CACHE_HIT_NANOS);
+                recorder.served(arrival.at, SimDuration::ZERO, finish);
+                continue;
+            }
+        }
+
+        let (id, admission) = pool.admit(&arrival.supi, arrival.at);
+        let Admission::Admitted { start, queued } = admission else {
+            recorder.shed();
+            continue;
+        };
+
+        // Measure the real service occupancy on the routed replica.
+        let request = match cache.as_ref() {
+            Some(c) => batch_request(&mut env, c, &arrival.supi),
+            None => single_request(&mut env, &mut sqn_counters, &arrival.supi),
+        };
+        let (response, _, occupancy) = pool.serve_on(&mut env, id, request);
+        assert!(
+            response.is_success(),
+            "pool request failed: {}",
+            String::from_utf8_lossy(&response.body)
+        );
+        if let Some(c) = cache.as_mut() {
+            let avs = decode_he_av_batch(&response.body).expect("batch wire");
+            c.put_batch(&arrival.supi, avs);
+            // The missing request consumes the batch head itself.
+            let _ = c.pop_uncounted(&arrival.supi);
+        }
+
+        let finish = start + occupancy;
+        pool.complete(id, finish);
+        recorder.served(arrival.at, queued, finish);
+    }
+
+    recorder.finish(&pool, cache.map(|c| c.stats()))
+}
+
+fn single_request(
+    env: &mut Env,
+    sqn_counters: &mut HashMap<String, [u8; 6]>,
+    supi: &str,
+) -> HttpRequest {
+    let sqn = sqn_counters
+        .entry(supi.to_owned())
+        .and_modify(|s| *s = sqn_add(s, 1))
+        .or_insert([0, 0, 0, 0, 0, 1]);
+    HttpRequest::post(
+        "/eudm/generate-av",
+        UdmAkaRequest {
+            supi: supi.into(),
+            opc: OPC,
+            rand: env.rng.bytes(),
+            sqn: *sqn,
+            amf_field: [0x80, 0],
+            snn: snn(),
+        }
+        .encode(),
+    )
+}
+
+fn batch_request(env: &mut Env, cache: &AvCache, supi: &str) -> HttpRequest {
+    HttpRequest::post(
+        "/eudm/generate-av-batch",
+        UdmAkaBatchRequest {
+            supi: supi.into(),
+            opc: OPC,
+            rand_seed: env.rng.bytes(),
+            sqn_start: cache.next_sqn(supi),
+            amf_field: [0x80, 0],
+            snn: snn(),
+            count: cache.batch_size(),
+        }
+        .encode(),
+    )
+}
+
+/// Median stable service occupancy of a single warmed replica — the
+/// capacity probe the scaling sweep calibrates its offered load against.
+#[must_use]
+pub fn probe_service_time(seed: u64) -> SimDuration {
+    let mut env = Env::new(seed);
+    env.log.disable();
+    let mut pool = EnclavePool::deploy(
+        &mut env,
+        PakaKind::EUdm,
+        PoolConfig {
+            replicas: 1,
+            warm_standby: 0,
+            ..PoolConfig::default()
+        },
+    );
+    pool.provision_subscriber(&mut env, &test_supi(0), K);
+    let mut sqn_counters = HashMap::new();
+    let id = pool.ready_ids()[0];
+    let samples: Vec<SimDuration> = (0..25)
+        .map(|_| {
+            let request = single_request(&mut env, &mut sqn_counters, &test_supi(0));
+            let (resp, _, occupancy) = pool.serve_on(&mut env, id, request);
+            assert!(resp.is_success());
+            occupancy
+        })
+        .collect();
+    Summary::of(&samples).median
+}
+
+/// One row of the §V-B7 horizontal-scaling experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingRow {
+    /// Ready enclave replicas serving in parallel.
+    pub instances: u32,
+    /// Stable per-request response time (median, queueing included).
+    pub stable_response: SimDuration,
+    /// Completed authentications per second across the pool.
+    pub throughput_per_sec: f64,
+    /// Requests shed by admission control (0 below saturation).
+    pub shed: u64,
+}
+
+/// Per-replica utilisation target of the scaling sweep: high enough that
+/// throughput tracks offered load, low enough that consistent-hash load
+/// imbalance cannot push a single replica past saturation.
+const SCALING_UTILISATION: f64 = 0.65;
+
+/// **§V-B7 horizontal scaling**: deploys pools of `1..=max_instances`
+/// real eUDM replicas, drives each with a gnbsim-style open-loop
+/// registration workload at a fixed per-replica utilisation, and reports
+/// measured throughput. Below saturation the rows are near-linear in the
+/// replica count; the multiplier is the pool actually serving, not
+/// arithmetic.
+#[must_use]
+pub fn horizontal_scaling(base_seed: u64, reps: u32, max_instances: u32) -> Vec<ScalingRow> {
+    let service = probe_service_time(base_seed);
+    let per_replica_rate = SCALING_UTILISATION / service.as_secs_f64();
+    (1..=max_instances)
+        .map(|instances| {
+            let cfg = SweepConfig {
+                replicas: instances,
+                offered_per_sec: per_replica_rate * f64::from(instances),
+                arrivals: (reps * 12).max(60) * instances,
+                ues: 40 * instances,
+                ..SweepConfig::default()
+            };
+            let report = pool_sweep(base_seed + u64::from(instances), &cfg);
+            ScalingRow {
+                instances,
+                stable_response: report.response.median,
+                throughput_per_sec: report.throughput_per_sec,
+                shed: report.shed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_scaling_is_linear() {
+        let rows = horizontal_scaling(900, 10, 3);
+        assert_eq!(rows.len(), 3);
+        let t1 = rows[0].throughput_per_sec;
+        let t3 = rows[2].throughput_per_sec;
+        assert!(t3 > 2.5 * t1 && t3 < 3.5 * t1, "t1={t1:.0}/s t3={t3:.0}/s");
+        // A single enclave sustains several hundred authentications/s.
+        assert!(t1 > 300.0 && t1 < 1500.0, "t1={t1:.0}/s");
+        // Below saturation nothing is shed and responses stay bounded.
+        for row in &rows {
+            assert_eq!(row.shed, 0, "n={} shed {}", row.instances, row.shed);
+            assert!(
+                row.stable_response < SimDuration::from_millis(20),
+                "n={} response {}",
+                row.instances,
+                row.stable_response
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_flattens_throughput_and_sheds() {
+        let service = probe_service_time(910);
+        let capacity = 2.0 / service.as_secs_f64(); // two replicas
+        let run = |overload: f64| {
+            pool_sweep(
+                911,
+                &SweepConfig {
+                    replicas: 2,
+                    offered_per_sec: overload * capacity,
+                    arrivals: 400,
+                    ues: 80,
+                    queue: QueueConfig {
+                        capacity: 16,
+                        deadline: SimDuration::from_millis(100),
+                    },
+                    cache: None,
+                },
+            )
+        };
+        let moderate = run(1.3);
+        let heavy = run(2.2);
+        // Offered load rose ~70% but completed throughput flattens at
+        // pool capacity...
+        assert!(
+            heavy.throughput_per_sec < moderate.throughput_per_sec * 1.15,
+            "throughput must flatten: {:.0}/s -> {:.0}/s",
+            moderate.throughput_per_sec,
+            heavy.throughput_per_sec
+        );
+        assert!(
+            heavy.throughput_per_sec < capacity * 1.1,
+            "{:.0}/s exceeds capacity {capacity:.0}/s",
+            heavy.throughput_per_sec
+        );
+        // ...and the excess is shed by admission control, not queued
+        // forever.
+        assert!(
+            heavy.shed_fraction() > 0.2,
+            "heavy overload shed only {:.1}%",
+            100.0 * heavy.shed_fraction()
+        );
+        assert!(heavy.shed_fraction() > moderate.shed_fraction());
+        // Bounded queues keep even the overloaded p99 finite.
+        assert!(heavy.response.p99 < SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn av_cache_cuts_enclave_transitions_per_request() {
+        let base = SweepConfig {
+            replicas: 1,
+            offered_per_sec: 250.0,
+            arrivals: 180,
+            ues: 6,
+            ..SweepConfig::default()
+        };
+        let off = pool_sweep(920, &base);
+        let on = pool_sweep(
+            920,
+            &SweepConfig {
+                cache: Some(AvCacheConfig {
+                    batch_size: 8,
+                    capacity_per_supi: 16,
+                }),
+                ..base
+            },
+        );
+        assert_eq!(off.shed + on.shed, 0, "runs must stay below saturation");
+        // Cache off: every authentication pays the ~91-transition
+        // choreography (§V-B5).
+        let per_req_off = off.eenter_per_served();
+        assert!(
+            (85.0..=115.0).contains(&per_req_off),
+            "cache-off EENTER/req {per_req_off:.1}"
+        );
+        // Cache on: one batched round trip serves ~8 authentications.
+        let per_req_on = on.eenter_per_served();
+        assert!(
+            per_req_on < per_req_off / 3.0,
+            "EENTER/req {per_req_on:.1} vs {per_req_off:.1} — cache not amortising"
+        );
+        let stats = on.cache.expect("cache stats");
+        assert!(stats.hit_rate() > 0.6, "hit rate {:.2}", stats.hit_rate());
+        // Cache hits skip the enclave entirely, so the median response
+        // collapses to the frontend lookup cost.
+        assert!(on.response.median < off.response.median);
+    }
+
+    #[test]
+    fn reports_carry_real_per_replica_counters() {
+        let report = pool_sweep(
+            930,
+            &SweepConfig {
+                replicas: 3,
+                offered_per_sec: 400.0,
+                arrivals: 150,
+                ues: 60,
+                ..SweepConfig::default()
+            },
+        );
+        assert_eq!(report.replicas, 3);
+        assert_eq!(report.per_replica.len(), 3);
+        let served: u64 = report.per_replica.iter().map(|r| r.served).sum();
+        assert_eq!(served, report.served);
+        // Every replica took a share of the ring and did its own work.
+        for r in &report.per_replica {
+            assert!(r.served > 0, "replica {} idle", r.replica);
+            assert!(r.eenter_delta >= r.served * 85);
+            assert_eq!(r.shed, 0);
+        }
+    }
+}

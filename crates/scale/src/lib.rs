@@ -1,0 +1,40 @@
+//! Horizontal scaling for the P-AKA modules (`shield5g-scale`).
+//!
+//! §VI of the paper notes that shielded control-plane functions scale
+//! horizontally: each P-AKA module is a self-contained HTTPS microservice,
+//! so capacity grows by deploying more enclave replicas behind a router.
+//! This crate builds that tier for the simulation:
+//!
+//! - [`pool`] — per-kind replica pools with an explicit lifecycle
+//!   (spawn → preheat → standby/ready → retire). Enclave loading costs
+//!   ~60 s (Fig. 7), so pools keep warm standbys to take that cost off
+//!   the request path.
+//! - [`router`] — consistent-hash request routing keyed by SUPI, keeping
+//!   each subscriber's SQN state replica-affine and bounding rebalancing
+//!   churn when the pool grows.
+//! - [`queue`] — bounded admission queues with virtual-time deadlines;
+//!   overload is shed before it burns enclave transitions.
+//! - [`avcache`] — batched AV pre-generation at the eUDM with SQN-aware
+//!   invalidation, amortising the ~91-transition HTTPS choreography over
+//!   a batch of authentications.
+//! - [`metrics`] — per-pool reports built from real per-replica SGX
+//!   counter deltas, summarised with [`shield5g_core::stats::Summary`].
+//! - [`harness`] — the §V-B7 horizontal-scaling experiment driven by a
+//!   gnbsim-style open-loop registration workload against real pools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avcache;
+pub mod harness;
+pub mod metrics;
+pub mod pool;
+pub mod queue;
+pub mod router;
+
+pub use avcache::{AvCache, AvCacheConfig, CacheStats};
+pub use harness::{horizontal_scaling, pool_sweep, probe_service_time, ScalingRow, SweepConfig};
+pub use metrics::{PoolReport, ReplicaLoadStats, RunRecorder};
+pub use pool::{EnclavePool, PoolConfig, Replica, ReplicaState};
+pub use queue::{Admission, QueueConfig, ReplicaQueue, ShedReason};
+pub use router::{HashRing, ReplicaId};

@@ -1,0 +1,270 @@
+//! Per-pool observability: the figures a scaling experiment reports.
+//!
+//! Everything here is computed from ground truth — admission counters in
+//! the queues, served counts on the replicas, and real SGX transition
+//! counter deltas read from each replica's own enclave — then summarised
+//! with [`shield5g_core::stats::Summary`] like every other experiment in
+//! the workspace.
+
+use crate::avcache::CacheStats;
+use crate::pool::EnclavePool;
+use crate::router::ReplicaId;
+use shield5g_core::stats::Summary;
+use shield5g_sim::time::{SimDuration, SimTime};
+
+/// Load and enclave-cost breakdown for one replica.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaLoadStats {
+    /// The replica.
+    pub replica: ReplicaId,
+    /// Requests it served.
+    pub served: u64,
+    /// Requests shed at its queue (full + deadline).
+    pub shed: u64,
+    /// Peak in-flight depth of its queue.
+    pub depth_peak: usize,
+    /// EENTER transitions since preheat (serving cost only).
+    pub eenter_delta: u64,
+    /// EEXIT transitions since preheat.
+    pub eexit_delta: u64,
+    /// Asynchronous exits since preheat.
+    pub aex_delta: u64,
+}
+
+/// Results of one pool experiment run.
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// Ready replicas during the run.
+    pub replicas: u32,
+    /// Offered load (arrivals per second over the trace span).
+    pub offered_per_sec: f64,
+    /// Total arrivals offered.
+    pub arrivals: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Completed authentications per second of trace span.
+    pub throughput_per_sec: f64,
+    /// End-to-end response time (arrival → completion) of served
+    /// requests.
+    pub response: Summary,
+    /// Queueing delay component of the response time.
+    pub queued: Summary,
+    /// AV-cache statistics when pre-generation was enabled.
+    pub cache: Option<CacheStats>,
+    /// Per-replica breakdown.
+    pub per_replica: Vec<ReplicaLoadStats>,
+}
+
+impl PoolReport {
+    /// Fraction of offered arrivals shed.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Mean EENTER transitions per *served* request across the pool —
+    /// the figure the AV cache drives down.
+    #[must_use]
+    pub fn eenter_per_served(&self) -> f64 {
+        let eenter: u64 = self.per_replica.iter().map(|r| r.eenter_delta).sum();
+        if self.served == 0 {
+            0.0
+        } else {
+            eenter as f64 / self.served as f64
+        }
+    }
+
+    /// Mean AEX per served request across the pool.
+    #[must_use]
+    pub fn aex_per_served(&self) -> f64 {
+        let aex: u64 = self.per_replica.iter().map(|r| r.aex_delta).sum();
+        if self.served == 0 {
+            0.0
+        } else {
+            aex as f64 / self.served as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PoolReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} offered {:.0}/s -> {:.0}/s served ({} shed, {:.1}%), \
+             response p50 {} p95 {} p99 {}, {:.1} EENTER/req",
+            self.replicas,
+            self.offered_per_sec,
+            self.throughput_per_sec,
+            self.shed,
+            100.0 * self.shed_fraction(),
+            self.response.median,
+            self.response.p95,
+            self.response.p99,
+            self.eenter_per_served(),
+        )
+    }
+}
+
+/// Collects response samples during a run and finalises a [`PoolReport`]
+/// from them plus the pool's own counters.
+#[derive(Debug, Default)]
+pub struct RunRecorder {
+    response_samples: Vec<SimDuration>,
+    queued_samples: Vec<SimDuration>,
+    first_arrival: Option<SimTime>,
+    last_finish: Option<SimTime>,
+    arrivals: u64,
+    shed: u64,
+}
+
+impl RunRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an arrival (served or not).
+    pub fn arrival(&mut self, at: SimTime) {
+        self.arrivals += 1;
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(at);
+        }
+    }
+
+    /// Records a served request's timing.
+    pub fn served(&mut self, arrival: SimTime, queued: SimDuration, finish: SimTime) {
+        self.response_samples.push(finish - arrival);
+        self.queued_samples.push(queued);
+        self.last_finish = Some(match self.last_finish {
+            Some(t) if t > finish => t,
+            _ => finish,
+        });
+    }
+
+    /// Records a shed request.
+    pub fn shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn served_count(&self) -> u64 {
+        self.response_samples.len() as u64
+    }
+
+    /// Finalises the report against the pool's per-replica state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no request was served — a run that sheds everything is
+    /// a misconfigured experiment.
+    #[must_use]
+    pub fn finish(self, pool: &EnclavePool, cache: Option<CacheStats>) -> PoolReport {
+        assert!(
+            !self.response_samples.is_empty(),
+            "run served zero requests"
+        );
+        let span = match (self.first_arrival, self.last_finish) {
+            (Some(a), Some(f)) if f > a => f - a,
+            _ => SimDuration::from_nanos(1),
+        };
+        let served = self.response_samples.len() as u64;
+        let per_replica: Vec<ReplicaLoadStats> = pool
+            .replicas()
+            .iter()
+            .map(|r| {
+                let delta = r.counters_delta();
+                let (full, deadline) = r.queue().shed();
+                ReplicaLoadStats {
+                    replica: r.id,
+                    served: r.served(),
+                    shed: full + deadline,
+                    depth_peak: r.queue().depth_peak(),
+                    eenter_delta: delta.eenter,
+                    eexit_delta: delta.eexit,
+                    aex_delta: delta.aex,
+                }
+            })
+            .collect();
+        PoolReport {
+            replicas: pool.ready_ids().len() as u32,
+            offered_per_sec: self.arrivals as f64 / span.as_secs_f64(),
+            arrivals: self.arrivals,
+            served,
+            shed: self.shed,
+            throughput_per_sec: served as f64 / span.as_secs_f64(),
+            response: Summary::of(&self.response_samples),
+            queued: Summary::of(&self.queued_samples),
+            cache,
+            per_replica,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_tracks_span_and_counts() {
+        let mut r = RunRecorder::new();
+        let t = |ms: u64| SimTime::from_nanos(ms * 1_000_000);
+        r.arrival(t(0));
+        r.served(t(0), SimDuration::ZERO, t(10));
+        r.arrival(t(5));
+        r.served(t(5), SimDuration::from_millis(2), t(20));
+        r.arrival(t(6));
+        r.shed();
+        assert_eq!(r.served_count(), 2);
+        assert_eq!(r.arrivals, 3);
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.first_arrival, Some(t(0)));
+        assert_eq!(r.last_finish, Some(t(20)));
+    }
+
+    #[test]
+    fn shed_fraction_and_eenter_math() {
+        let report = PoolReport {
+            replicas: 2,
+            offered_per_sec: 100.0,
+            arrivals: 10,
+            served: 8,
+            shed: 2,
+            throughput_per_sec: 80.0,
+            response: Summary::of(&[SimDuration::from_millis(1)]),
+            queued: Summary::of(&[SimDuration::ZERO]),
+            cache: None,
+            per_replica: vec![
+                ReplicaLoadStats {
+                    replica: 0,
+                    served: 4,
+                    shed: 1,
+                    depth_peak: 2,
+                    eenter_delta: 380,
+                    eexit_delta: 380,
+                    aex_delta: 3,
+                },
+                ReplicaLoadStats {
+                    replica: 1,
+                    served: 4,
+                    shed: 1,
+                    depth_peak: 1,
+                    eenter_delta: 388,
+                    eexit_delta: 388,
+                    aex_delta: 1,
+                },
+            ],
+        };
+        assert!((report.shed_fraction() - 0.2).abs() < 1e-9);
+        assert!((report.eenter_per_served() - 96.0).abs() < 1e-9);
+        assert!((report.aex_per_served() - 0.5).abs() < 1e-9);
+        assert!(report.to_string().contains("EENTER/req"));
+    }
+}

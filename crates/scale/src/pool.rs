@@ -1,0 +1,589 @@
+//! Sharded enclave replica pools with warm standby.
+//!
+//! The paper's single biggest operational number is enclave load time:
+//! about a minute per module (Fig. 7). A pool that spawns enclaves on
+//! demand would therefore stall scale-up behind a 60 s cold load. This
+//! pool keeps `warm_standby` fully preheated replicas *outside* the
+//! routing ring; [`EnclavePool::scale_up`] promotes one onto the ring in
+//! microseconds and back-fills the standby bench off the request path.
+//!
+//! Each replica is a complete, independent deployment: its own host, its
+//! own SGX platform, its own enclave with its own transition counters —
+//! so per-replica EENTER/AEX deltas in the pool metrics are real counter
+//! reads, not divisions of an aggregate.
+
+use crate::queue::{Admission, QueueConfig, ReplicaQueue};
+use crate::router::{HashRing, ReplicaId};
+use shield5g_core::paka::{populate_registry, PakaKind, PakaModule, ServeMetrics, SgxConfig};
+use shield5g_hmee::counters::SgxCounters;
+use shield5g_hmee::platform::SgxPlatform;
+use shield5g_infra::host::Host;
+use shield5g_infra::image::Registry;
+use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::time::{SimDuration, SimTime};
+use shield5g_sim::Env;
+
+/// Lifecycle state of one pool replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Enclave loaded, first-request lazy init not yet absorbed.
+    Preheating,
+    /// Preheated warm standby — serving-ready but not on the ring.
+    Standby,
+    /// On the routing ring, taking traffic.
+    Ready,
+    /// Removed from the ring; kept for final counter reads.
+    Retired,
+}
+
+/// Pool deployment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Replicas on the routing ring at deploy time.
+    pub replicas: u32,
+    /// Preheated spares kept off the ring.
+    pub warm_standby: u32,
+    /// Virtual nodes per replica on the hash ring.
+    pub vnodes: u32,
+    /// Per-replica admission queue parameters.
+    pub queue: QueueConfig,
+    /// Enclave configuration for every replica.
+    pub sgx: SgxConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            replicas: 1,
+            warm_standby: 1,
+            vnodes: 64,
+            queue: QueueConfig::default(),
+            sgx: SgxConfig::default(),
+        }
+    }
+}
+
+/// One replica: a distinct enclave deployment plus its queue state.
+pub struct Replica {
+    /// Stable pool-wide identifier.
+    pub id: ReplicaId,
+    /// Lifecycle state.
+    pub state: ReplicaState,
+    /// Virtual time the enclave spawn began.
+    pub spawned_at: SimTime,
+    /// Virtual time the replica finished preheating.
+    pub serving_since: Option<SimTime>,
+    module: PakaModule,
+    queue: ReplicaQueue,
+    /// Counter snapshot at the end of preheat — deltas from here are
+    /// pure request-serving cost, excluding boot and warm-up.
+    baseline: Option<SgxCounters>,
+    served: u64,
+}
+
+impl Replica {
+    /// Requests served by this replica.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Transition counters accumulated since preheat finished.
+    #[must_use]
+    pub fn counters_delta(&self) -> SgxCounters {
+        let now = self
+            .module
+            .sgx_stats()
+            .expect("pool replicas are SGX deployments");
+        match &self.baseline {
+            Some(base) => now.delta_since(base),
+            None => now,
+        }
+    }
+
+    /// The replica's admission queue.
+    #[must_use]
+    pub fn queue(&self) -> &ReplicaQueue {
+        &self.queue
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("served", &self.served)
+            .finish()
+    }
+}
+
+/// A sharded pool of identical P-AKA module replicas.
+pub struct EnclavePool {
+    kind: PakaKind,
+    cfg: PoolConfig,
+    registry: Registry,
+    replicas: Vec<Replica>,
+    ring: HashRing,
+    next_id: ReplicaId,
+    /// Subscriber keys provisioned so far — replayed into newly spawned
+    /// replicas so standbys can serve any routed SUPI.
+    provisioned: Vec<(String, [u8; 16])>,
+}
+
+impl std::fmt::Debug for EnclavePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnclavePool")
+            .field("kind", &self.kind.name())
+            .field("ready", &self.ready_ids().len())
+            .field("standby", &self.standby_count())
+            .finish()
+    }
+}
+
+impl EnclavePool {
+    /// Deploys `cfg.replicas` ready replicas plus `cfg.warm_standby`
+    /// preheated spares. Spawning is the expensive path (~1 min of
+    /// virtual time per enclave, Fig. 7) and happens entirely here,
+    /// before any traffic.
+    #[must_use]
+    pub fn deploy(env: &mut Env, kind: PakaKind, cfg: PoolConfig) -> Self {
+        let mut registry = Registry::new();
+        populate_registry(&mut registry);
+        let mut pool = EnclavePool {
+            kind,
+            cfg,
+            registry,
+            replicas: Vec::new(),
+            ring: HashRing::new(cfg.vnodes),
+            next_id: 0,
+            provisioned: Vec::new(),
+        };
+        for _ in 0..cfg.replicas {
+            let id = pool.spawn_replica(env);
+            pool.promote(id);
+        }
+        for _ in 0..cfg.warm_standby {
+            pool.spawn_replica(env);
+        }
+        pool
+    }
+
+    /// Spawns and preheats a fresh replica, leaving it in standby.
+    /// Returns its id. This is the slow path: full GSC enclave load plus
+    /// the cold first request.
+    pub fn spawn_replica(&mut self, env: &mut Env) -> ReplicaId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let spawned_at = env.clock.now();
+        let platform = SgxPlatform::new(env);
+        let mut host = Host::with_sgx(format!("pool-{}-{id}", self.kind.name()), platform);
+        let mut module =
+            PakaModule::deploy_sgx(env, &mut host, &self.registry, self.kind, self.cfg.sgx)
+                .expect("pool replica deploy");
+        for (supi, k) in &self.provisioned {
+            module.provision_subscriber_key(env, supi, *k);
+        }
+        let mut replica = Replica {
+            id,
+            state: ReplicaState::Preheating,
+            spawned_at,
+            serving_since: None,
+            module,
+            queue: ReplicaQueue::new(self.cfg.queue),
+            baseline: None,
+            served: 0,
+        };
+        Self::preheat(env, self.kind, &mut replica);
+        self.replicas.push(replica);
+        id
+    }
+
+    /// Absorbs the cold first request (§V-B4's R_I ≈ 20 × R_S lazy init)
+    /// so it never lands on subscriber traffic, then snapshots the
+    /// counter baseline.
+    fn preheat(env: &mut Env, kind: PakaKind, replica: &mut Replica) {
+        let warmup = match kind {
+            PakaKind::EUdm => {
+                // The preheat probe must not depend on provisioned
+                // subscribers; an unknown SUPI still walks the full TLS +
+                // dispatch + vault-lookup path (404 is fine — the lazy
+                // init it triggers is what we are here for).
+                HttpRequest::post("/eudm/generate-av", warmup_udm_body())
+            }
+            PakaKind::EAusf | PakaKind::EAmf => shield5g_core::harness::standard_request(kind),
+        };
+        let _ = replica.module.serve(env, warmup);
+        replica.baseline = replica.module.sgx_stats();
+        replica.state = ReplicaState::Standby;
+    }
+
+    /// Moves a standby replica onto the routing ring (the fast scale-up
+    /// path — no enclave work at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a standby replica.
+    pub fn promote(&mut self, id: ReplicaId) {
+        let replica = self.replica_mut(id);
+        assert_eq!(
+            replica.state,
+            ReplicaState::Standby,
+            "only standby replicas can be promoted"
+        );
+        replica.state = ReplicaState::Ready;
+        self.ring.add(id);
+        self.replica_mut(id).serving_since = None;
+    }
+
+    /// Scales the ring up by one replica. Prefers promoting a warm
+    /// standby (microseconds); falls back to a cold spawn (~1 min of
+    /// virtual time) only when the bench is empty. Returns the promoted
+    /// replica id and whether a standby was available.
+    pub fn scale_up(&mut self, env: &mut Env) -> (ReplicaId, bool) {
+        let standby = self
+            .replicas
+            .iter()
+            .find(|r| r.state == ReplicaState::Standby)
+            .map(|r| r.id);
+        match standby {
+            Some(id) => {
+                self.promote(id);
+                let at = env.clock.now();
+                self.replica_mut(id).serving_since = Some(at);
+                (id, true)
+            }
+            None => {
+                let id = self.spawn_replica(env);
+                self.promote(id);
+                let at = env.clock.now();
+                self.replica_mut(id).serving_since = Some(at);
+                (id, false)
+            }
+        }
+    }
+
+    /// Re-fills the standby bench up to the configured level (the slow
+    /// part of scale-up, run off the request path).
+    pub fn refill_standby(&mut self, env: &mut Env) {
+        while self.standby_count() < self.cfg.warm_standby as usize {
+            self.spawn_replica(env);
+        }
+    }
+
+    /// Takes a replica off the ring. Its SUPIs remap to the survivors;
+    /// the enclave is kept for final counter reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a ready replica, or when retiring it would
+    /// empty the ring.
+    pub fn retire(&mut self, id: ReplicaId) {
+        assert!(self.ring.len() > 1, "cannot retire the last ready replica");
+        let replica = self.replica_mut(id);
+        assert_eq!(
+            replica.state,
+            ReplicaState::Ready,
+            "retire needs a ready replica"
+        );
+        replica.state = ReplicaState::Retired;
+        self.ring.remove(id);
+    }
+
+    /// Routes a SUPI to its owning ready replica.
+    #[must_use]
+    pub fn route(&self, supi: &str) -> ReplicaId {
+        self.ring.route(supi)
+    }
+
+    /// Offers a request arriving at `now` to the replica owning `supi`.
+    /// Returns the owning replica and the admission decision; on
+    /// [`Admission::Shed`] the enclave is never touched.
+    pub fn admit(&mut self, supi: &str, now: SimTime) -> (ReplicaId, Admission) {
+        let id = self.route(supi);
+        let decision = self.replica_mut(id).queue.offer(now);
+        (id, decision)
+    }
+
+    /// Serves an admitted request on `id`, returning the response, the
+    /// module-side metrics, and the service occupancy (wall time the
+    /// replica spent on it, connection choreography included).
+    pub fn serve_on(
+        &mut self,
+        env: &mut Env,
+        id: ReplicaId,
+        request: HttpRequest,
+    ) -> (HttpResponse, ServeMetrics, SimDuration) {
+        let replica = self.replica_mut(id);
+        assert_eq!(
+            replica.state,
+            ReplicaState::Ready,
+            "serving needs a ready replica"
+        );
+        let t0 = env.clock.now();
+        let (response, metrics) = replica.module.serve(env, request);
+        replica.served += 1;
+        (response, metrics, env.clock.now() - t0)
+    }
+
+    /// Records the virtual-time completion of the last admitted request
+    /// on `id`.
+    pub fn complete(&mut self, id: ReplicaId, finish: SimTime) {
+        self.replica_mut(id).queue.complete(finish);
+    }
+
+    /// Provisions a subscriber key into every replica (current and, via
+    /// the replay list, future ones).
+    pub fn provision_subscriber(&mut self, env: &mut Env, supi: &str, k: [u8; 16]) {
+        self.provisioned.push((supi.to_owned(), k));
+        for replica in &mut self.replicas {
+            replica.module.provision_subscriber_key(env, supi, k);
+        }
+    }
+
+    /// Re-snapshots every replica's counter baseline. Experiments call
+    /// this after bulk subscriber provisioning so counter deltas measure
+    /// request serving alone.
+    pub fn rebaseline(&mut self) {
+        for replica in &mut self.replicas {
+            replica.baseline = replica.module.sgx_stats();
+        }
+    }
+
+    /// Ready replica ids, ascending.
+    #[must_use]
+    pub fn ready_ids(&self) -> Vec<ReplicaId> {
+        self.ring.replica_ids()
+    }
+
+    /// Number of warm standbys on the bench.
+    #[must_use]
+    pub fn standby_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.state == ReplicaState::Standby)
+            .count()
+    }
+
+    /// All replicas (any state).
+    #[must_use]
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// The replica with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn replica(&self, id: ReplicaId) -> &Replica {
+        self.replicas
+            .iter()
+            .find(|r| r.id == id)
+            .expect("unknown replica id")
+    }
+
+    fn replica_mut(&mut self, id: ReplicaId) -> &mut Replica {
+        self.replicas
+            .iter_mut()
+            .find(|r| r.id == id)
+            .expect("unknown replica id")
+    }
+
+    /// The module kind this pool serves.
+    #[must_use]
+    pub fn kind(&self) -> PakaKind {
+        self.kind
+    }
+
+    /// The pool configuration.
+    #[must_use]
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+}
+
+/// Body of the eUDM preheat probe: a syntactically valid AV request for a
+/// reserved SUPI no operator provisions.
+fn warmup_udm_body() -> Vec<u8> {
+    shield5g_nf::backend::UdmAkaRequest {
+        supi: "imsi-00101999999999".into(),
+        opc: [0; 16],
+        rand: [0; 16],
+        sqn: [0; 6],
+        amf_field: [0x80, 0],
+        snn: shield5g_crypto::keys::ServingNetworkName::new("001", "01"),
+    }
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield5g_ran::workload::test_supi;
+
+    fn pool(env: &mut Env, replicas: u32, standby: u32) -> EnclavePool {
+        EnclavePool::deploy(
+            env,
+            PakaKind::EUdm,
+            PoolConfig {
+                replicas,
+                warm_standby: standby,
+                ..PoolConfig::default()
+            },
+        )
+    }
+
+    fn env() -> Env {
+        let mut env = Env::new(7101);
+        env.log.disable();
+        env
+    }
+
+    fn av_request(supi: &str) -> HttpRequest {
+        HttpRequest::post(
+            "/eudm/generate-av",
+            shield5g_nf::backend::UdmAkaRequest {
+                supi: supi.into(),
+                opc: [0xcd; 16],
+                rand: [0x23; 16],
+                sqn: [0, 0, 0, 0, 0, 1],
+                amf_field: [0x80, 0],
+                snn: shield5g_crypto::keys::ServingNetworkName::new("001", "01"),
+            }
+            .encode(),
+        )
+    }
+
+    #[test]
+    fn replicas_are_distinct_enclaves_with_own_counters() {
+        let mut env = env();
+        let mut p = pool(&mut env, 2, 0);
+        for i in 0..4 {
+            p.provision_subscriber(&mut env, &test_supi(i), [0x46; 16]);
+        }
+        // Find SUPIs owned by each replica and serve them there.
+        let (mut on0, mut on1) = (0u32, 0u32);
+        for i in 0..40 {
+            let supi = test_supi(i % 4);
+            let id = p.route(&supi);
+            let (resp, _, _) = p.serve_on(&mut env, id, av_request(&supi));
+            assert!(resp.is_success());
+            if id == 0 {
+                on0 += 1;
+            } else {
+                on1 += 1;
+            }
+        }
+        assert!(on0 > 0 && on1 > 0, "4 SUPIs should span 2 replicas");
+        let d0 = p.replica(0).counters_delta();
+        let d1 = p.replica(1).counters_delta();
+        // Each replica's counters reflect only its own share (~95/request).
+        assert!(d0.eenter >= u64::from(on0) * 85 && d0.eenter <= u64::from(on0) * 110);
+        assert!(d1.eenter >= u64::from(on1) * 85 && d1.eenter <= u64::from(on1) * 110);
+        assert_eq!(p.replica(0).served(), u64::from(on0));
+    }
+
+    #[test]
+    fn standby_promotion_is_off_the_cold_path() {
+        let mut env = env();
+        let mut p = pool(&mut env, 1, 1);
+        assert_eq!(p.standby_count(), 1);
+        // Promotion must not pay the ~60 s enclave load (Fig. 7).
+        let t0 = env.clock.now();
+        let (id, was_warm) = p.scale_up(&mut env);
+        let promote_cost = env.clock.now() - t0;
+        assert!(was_warm);
+        assert_eq!(p.ready_ids(), vec![0, id]);
+        assert!(
+            promote_cost < SimDuration::from_millis(1),
+            "warm promotion cost {promote_cost}"
+        );
+        // With the bench empty, scale-up falls back to a cold spawn.
+        let t1 = env.clock.now();
+        let (_, was_warm) = p.scale_up(&mut env);
+        assert!(!was_warm);
+        assert!(env.clock.now() - t1 > SimDuration::from_secs(50));
+        // Refill brings the bench back (cold, but off the request path).
+        p.refill_standby(&mut env);
+        assert_eq!(p.standby_count(), 1);
+    }
+
+    #[test]
+    fn promoted_standby_serves_warm() {
+        let mut env = env();
+        let mut p = pool(&mut env, 1, 1);
+        p.provision_subscriber(&mut env, &test_supi(0), [0x46; 16]);
+        let (id, _) = p.scale_up(&mut env);
+        // The standby absorbed its cold first request during preheat, so
+        // its first production request is stable-speed.
+        let (resp, _, occupancy) = p.serve_on(&mut env, id, av_request(&test_supi(0)));
+        assert!(resp.is_success());
+        assert!(
+            occupancy < SimDuration::from_millis(10),
+            "promoted standby served cold: {occupancy}"
+        );
+    }
+
+    #[test]
+    fn retire_remaps_only_the_retired_replicas_supis() {
+        let mut env = env();
+        let mut p = pool(&mut env, 3, 0);
+        let owners: Vec<(String, ReplicaId)> = (0..60)
+            .map(|i| {
+                let s = test_supi(i);
+                let id = p.route(&s);
+                (s, id)
+            })
+            .collect();
+        p.retire(1);
+        for (supi, owner) in owners {
+            if owner == 1 {
+                assert_ne!(p.route(&supi), 1);
+            } else {
+                assert_eq!(p.route(&supi), owner);
+            }
+        }
+        assert_eq!(p.replica(1).state, ReplicaState::Retired);
+    }
+
+    #[test]
+    fn shed_requests_never_touch_the_enclave() {
+        let mut env = env();
+        let mut p = EnclavePool::deploy(
+            &mut env,
+            PakaKind::EUdm,
+            PoolConfig {
+                replicas: 1,
+                warm_standby: 0,
+                queue: QueueConfig {
+                    capacity: 1,
+                    deadline: SimDuration::from_secs(10),
+                },
+                ..PoolConfig::default()
+            },
+        );
+        p.provision_subscriber(&mut env, &test_supi(0), [0x46; 16]);
+        let supi = test_supi(0);
+        let now = env.clock.now();
+        let before = p.replica(0).counters_delta();
+        let (id, a1) = p.admit(&supi, now);
+        let Admission::Admitted { start, .. } = a1 else {
+            panic!("first arrival shed");
+        };
+        p.complete(id, start + SimDuration::from_millis(5));
+        let (_, a2) = p.admit(&supi, now);
+        assert!(matches!(a2, Admission::Shed(_)));
+        // No serve happened: counters unchanged by admission control.
+        assert_eq!(p.replica(0).counters_delta().eenter, before.eenter);
+    }
+
+    #[test]
+    #[should_panic(expected = "last ready replica")]
+    fn cannot_retire_last_replica() {
+        let mut env = env();
+        let mut p = pool(&mut env, 1, 0);
+        p.retire(0);
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repo-wide gate: formatting, lints, offline build, full test suite.
+# Run from anywhere; everything executes against the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors; vendored shims excluded)"
+cargo clippy --offline --workspace --all-targets \
+  --exclude criterion --exclude proptest --exclude rand \
+  --exclude serde --exclude serde_derive \
+  -- -D warnings
+
+echo "==> cargo build (offline)"
+cargo build --offline --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "All checks passed."

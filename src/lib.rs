@@ -30,6 +30,9 @@
 //!   characterization harness and Key-Issue analysis.
 //! * [`ran`] — gNB, gNBSIM mass driver, the COTS-UE model and the OTA
 //!   feasibility testbed.
+//! * [`scale`] — sharded P-AKA enclave pools: consistent-hash routing,
+//!   bounded admission queues, batched AV pre-generation, and the
+//!   horizontal-scaling experiment over real replica pools.
 //!
 //! # Quickstart
 //!
@@ -56,4 +59,5 @@ pub use shield5g_infra as infra;
 pub use shield5g_libos as libos;
 pub use shield5g_nf as nf;
 pub use shield5g_ran as ran;
+pub use shield5g_scale as scale;
 pub use shield5g_sim as sim;

@@ -1,0 +1,111 @@
+//! Vendored minimal stand-in for `criterion` so the microbench targets
+//! build and run with no network access (the sandbox cannot reach
+//! crates.io).
+//!
+//! Implements the subset the workspace uses — `Criterion::bench_function`,
+//! `Bencher::iter`, `criterion_group!` / `criterion_main!` — with a plain
+//! calibrate-then-measure loop printing mean wall-clock per iteration. No
+//! statistical analysis, outlier filtering, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration measurement driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    /// Iterations per measured sample (calibrated per benchmark).
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark: a short calibration pass sizes the
+    /// iteration count, then a measured pass reports mean ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration: find an iteration count filling ~target_time.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(10) || bencher.iters >= 1 << 30 {
+                break;
+            }
+            bencher.iters *= 8;
+        }
+        let per_iter = bencher.elapsed.as_nanos().max(1) / u128::from(bencher.iters);
+        let iters = (self.target_time.as_nanos() / per_iter.max(1)).clamp(1, 1 << 32) as u64;
+        let mut measured = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut measured);
+        let mean_ns = measured.elapsed.as_nanos() as f64 / measured.iters as f64;
+        println!("{name:40} {mean_ns:>12.1} ns/iter ({iters} iters)");
+        self
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_chains() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(1),
+        };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count = count.wrapping_add(1)))
+            .bench_function("add", |b| b.iter(|| black_box(2u64 + 2)));
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Fixed-size array strategies: `uniformN(element)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating `[S::Value; N]` element-wise.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N>
+where
+    S::Value: Copy + Default,
+{
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let mut out = [S::Value::default(); N];
+        for slot in &mut out {
+            *slot = self.element.generate(rng);
+        }
+        out
+    }
+}
+
+macro_rules! uniform_ctor {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Array strategy applying `element` to every slot.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform_ctor!(
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform6 => 6, uniform8 => 8, uniform12 => 12, uniform16 => 16,
+    uniform24 => 24, uniform32 => 32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_fill_every_slot() {
+        let mut rng = TestRng::for_case("array", 0);
+        let a = uniform32(1u8..).generate(&mut rng);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().all(|&b| b >= 1));
+        let b = uniform16(0u8..).generate(&mut rng);
+        let c = uniform16(0u8..).generate(&mut rng);
+        assert_ne!(b, c, "successive draws must differ");
+    }
+}

@@ -1,0 +1,151 @@
+//! The [`Strategy`] trait and the primitive strategies: integer ranges
+//! and char-class string patterns.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating test inputs (subset of the real trait: no
+/// shrinking, just deterministic generation).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as u64;
+                let span = (<$t>::MAX as u64) - lo;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+/// A `&str` literal is a char-class pattern strategy: the supported
+/// subset is `[class]{lo,hi}` where the class lists literal characters
+/// and `a-z` style ranges (a trailing `-` is literal), e.g.
+/// `"[a-z0-9-]{0,40}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_char_class_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+///
+/// # Panics
+///
+/// Panics on patterns outside the supported subset — extend this parser
+/// rather than silently generating the wrong language.
+fn parse_char_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn err(pattern: &str) -> ! {
+        panic!("unsupported string strategy pattern {pattern:?} (expected [class]{{lo,hi}})")
+    }
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| err(pattern));
+    let close = rest.find(']').unwrap_or_else(|| err(pattern));
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            assert!(a <= b, "descending class range in {pattern:?}");
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty char class in {pattern:?}");
+    let reps = rest[close + 1..]
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| err(pattern));
+    let (lo, hi) = match reps.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok(), h.trim().parse().ok()),
+        None => {
+            let n = reps.trim().parse().ok();
+            (n, n)
+        }
+    };
+    match (lo, hi) {
+        (Some(l), Some(h)) if l <= h => (chars, l, h),
+        _ => err(pattern),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy", 0)
+    }
+
+    #[test]
+    fn range_strategies_cover_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (5u64..8).generate(&mut r);
+            assert!((5..8).contains(&v));
+            let w = (3u8..=3).generate(&mut r);
+            assert_eq!(w, 3);
+            let x = (250u8..).generate(&mut r);
+            assert!(x >= 250);
+        }
+    }
+
+    #[test]
+    fn char_class_parser_handles_ranges_and_literals() {
+        let (chars, lo, hi) = parse_char_class_pattern("[a-c9-]{2,4}");
+        assert_eq!(chars, vec!['a', 'b', 'c', '9', '-']);
+        assert_eq!((lo, hi), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string strategy")]
+    fn unsupported_pattern_panics() {
+        let mut r = rng();
+        let _ = "hello.*".generate(&mut r);
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored API-surface stand-in for `serde` so the workspace builds
+//! offline (the sandbox cannot reach crates.io).
+//!
+//! Only the names the workspace actually touches exist: the two marker
+//! traits and the derive macros (which expand to nothing — see
+//! `vendor/serde_derive`). Nothing in the workspace serialises through
+//! serde; all wire formats go through `shield5g_sim::codec`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Vendored stand-in for `serde_derive` so the workspace builds with no
+//! network access (the sandbox cannot reach crates.io).
+//!
+//! The workspace uses serde derives purely as forward-compatible
+//! decoration — no code path serialises through serde today (the wire
+//! formats all go through `shield5g_sim::codec`). The derives therefore
+//! expand to nothing; swapping the real serde back in is a two-line
+//! change in the root `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
