@@ -1,7 +1,7 @@
 //! §V-B7: optimisation ablations — exitless OCALLs and a user-level
 //! network stack (mTCP-style) inside the enclave.
 
-use shield5g_bench::{banner, fmt_summary, reps};
+use shield5g_bench::{banner, fmt_summary, reps, smoke};
 use shield5g_core::harness::ablation_optimizations;
 use shield5g_scale::harness::horizontal_scaling;
 
@@ -10,7 +10,8 @@ fn main() {
         "Optimisation ablations on eUDM response time",
         "paper §V-B7 discussion",
     );
-    let reps = reps();
+    let smoke = smoke();
+    let reps = if smoke { 1 } else { reps() };
     println!("    {reps} stable requests per configuration\n");
     let rows = ablation_optimizations(1800, reps);
     let baseline = rows[0].r_stable.median;
@@ -24,7 +25,8 @@ fn main() {
         );
     }
     println!("\n    Horizontal scaling (real eUDM replica pool, shield5g-scale):");
-    for row in horizontal_scaling(1900, (reps / 4).max(10), 4) {
+    let max_instances = if smoke { 2 } else { 4 };
+    for row in horizontal_scaling(1900, (reps / 4).max(10), max_instances) {
         println!(
             "      {} instance(s): stable R {} -> {:.0} authentications/s ({} shed)",
             row.instances, row.stable_response, row.throughput_per_sec, row.shed

@@ -2,7 +2,7 @@
 //! sharded eUDM enclave pools (`shield5g-scale`), plus the AV
 //! pre-generation ablation.
 
-use shield5g_bench::banner;
+use shield5g_bench::{banner, smoke};
 use shield5g_scale::avcache::AvCacheConfig;
 use shield5g_scale::harness::{pool_sweep, probe_service_time, SweepConfig};
 use shield5g_scale::queue::QueueConfig;
@@ -13,13 +13,18 @@ fn main() {
         "Sharded P-AKA enclave pool under mass registration",
         "paper §VI scaling discussion",
     );
+    let smoke = smoke();
     let service = probe_service_time(4100);
     let per_replica = 1.0 / service.as_secs_f64();
     println!("    single-replica service time {service} (~{per_replica:.0} auth/s capacity)\n");
 
+    let replica_counts: &[u32] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let load_factors: &[f64] = if smoke { &[0.8] } else { &[0.5, 0.8, 1.2, 2.0] };
+    let batch_sizes: &[u32] = if smoke { &[8] } else { &[4, 8, 16] };
+
     println!("    Throughput sweep (replicas x offered load, cache off):");
-    for replicas in [1u32, 2, 4, 8] {
-        for load_factor in [0.5, 0.8, 1.2, 2.0] {
+    for &replicas in replica_counts {
+        for &load_factor in load_factors {
             let report = pool_sweep(
                 4200 + u64::from(replicas),
                 &SweepConfig {
@@ -43,14 +48,14 @@ fn main() {
     let base = SweepConfig {
         replicas: 1,
         offered_per_sec: 0.5 * per_replica,
-        arrivals: 240,
+        arrivals: if smoke { 60 } else { 240 },
         ues: 8,
         queue: QueueConfig::default(),
         cache: None,
     };
     let off = pool_sweep(4300, &base);
     println!("      cache off: {off}");
-    for batch_size in [4u32, 8, 16] {
+    for &batch_size in batch_sizes {
         let on = pool_sweep(
             4300,
             &SweepConfig {

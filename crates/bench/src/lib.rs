@@ -23,6 +23,16 @@ pub fn reps() -> u32 {
         .unwrap_or(200)
 }
 
+/// True when `SHIELD5G_BENCH_SMOKE` is set to anything but `0`: CI smoke
+/// mode. Bench targets shrink their sweeps to one cheap configuration
+/// and a single repetition so the whole binary runs in seconds — the
+/// point is catching harness regressions (panics, API drift, degenerate
+/// outputs), not producing paper-grade statistics.
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::var("SHIELD5G_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
 /// Prints a banner for an experiment.
 pub fn banner(title: &str, paper_ref: &str) {
     println!("\n=== {title} ===");

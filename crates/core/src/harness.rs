@@ -513,13 +513,46 @@ pub struct ConcurrencyRow {
     pub mean_response: SimDuration,
 }
 
+/// Registers a freshly deployed module as a discrete-event endpoint on
+/// its own engine (worker count = the module's serving-thread budget) and
+/// returns `(env, engine)` ready for scheduled arrivals.
+#[must_use]
+pub fn module_engine(
+    seed: u64,
+    kind: PakaKind,
+    deployment: ModuleDeployment,
+) -> (Env, shield5g_sim::engine::Engine) {
+    let (mut env, mut module) = deploy_module(seed, kind, deployment);
+    let _ = module.serve(&mut env, standard_request(kind)); // warm
+    let workers = module.app_threads();
+    let bridge = std::rc::Rc::new(std::cell::RefCell::new(
+        shield5g_infra::bridge::BridgeNetwork::new("br-oai"),
+    ));
+    let client = crate::remote::PakaClient::new(
+        std::rc::Rc::new(std::cell::RefCell::new(module)),
+        bridge,
+        "vnf.oai",
+    );
+    let mut engine = shield5g_sim::engine::Engine::new();
+    engine.register(
+        kind.endpoint(),
+        workers,
+        shield5g_sim::engine::Engine::leaf(shield5g_sim::service::service_handle(
+            client.endpoint(),
+        )),
+    );
+    (env, engine)
+}
+
 /// **§V-B2 extension**: the paper notes that "increasing the number of
 /// concurrent clients without impacting the performance of the modules
 /// would require changing the maximum allowed number of threads" —
 /// Gramine reserves 3 helper threads, so a module with `max_threads = T`
-/// serves `T − 3` flows in parallel and queues the rest. This sweep
-/// measures mean response time for `clients` concurrent flows under each
-/// thread budget.
+/// serves `T − 3` flows in parallel and queues the rest. This sweep fires
+/// `clients` simultaneous arrivals at the module's engine endpoint under
+/// each thread budget: queueing and overlap fall out of event ordering
+/// (busy workers hold their slot for the full service time), not from an
+/// analytic schedule.
 #[must_use]
 pub fn concurrency_sweep(
     base_seed: u64,
@@ -533,29 +566,21 @@ pub fn concurrency_sweep(
                 max_threads,
                 ..SgxConfig::default()
             };
-            let (mut env, mut module) = deploy_module(
+            let (mut env, mut engine) = module_engine(
                 base_seed + u64::from(max_threads),
                 PakaKind::EUdm,
                 ModuleDeployment::Sgx(cfg),
             );
             let request = standard_request(PakaKind::EUdm);
-            let _ = module.serve(&mut env, request.clone()); // warm
-                                                             // Measure per-request service times sequentially, then model
-                                                             // the parallel schedule: A app threads, round-robin queues.
-            let app_threads = max_threads.saturating_sub(3).max(1);
-            let mut service_times = Vec::with_capacity(n as usize);
+            let t0 = env.clock.now();
             for _ in 0..n {
-                let t0 = env.clock.now();
-                let _ = module.serve(&mut env, request.clone());
-                service_times.push(env.clock.now() - t0);
+                engine.schedule_request(t0, PakaKind::EUdm.endpoint(), request.clone());
             }
-            let mut worker_busy = vec![SimDuration::ZERO; app_threads as usize];
-            let mut total = SimDuration::ZERO;
-            for (i, &svc) in service_times.iter().enumerate() {
-                let w = i % app_threads as usize;
-                worker_busy[w] += svc;
-                total += worker_busy[w]; // completion time of this request
-            }
+            let done = engine.run_until_idle(&mut env);
+            assert_eq!(done.len(), n as usize, "all flows must complete");
+            let total = done
+                .iter()
+                .fold(SimDuration::ZERO, |acc, c| acc + (c.finished - c.submitted));
             rows.push(ConcurrencyRow {
                 concurrent_clients: n,
                 max_threads,
@@ -762,6 +787,101 @@ mod tests {
         assert!(
             loaded_12 < loaded_4 / 2,
             "more threads must relieve queueing"
+        );
+    }
+
+    #[test]
+    fn simultaneous_arrivals_queue_monotonically_then_overlap_with_workers() {
+        const K: u32 = 6;
+        let run = |max_threads: u32| {
+            let cfg = SgxConfig {
+                max_threads,
+                ..SgxConfig::default()
+            };
+            let (mut env, mut engine) =
+                module_engine(952, PakaKind::EUdm, ModuleDeployment::Sgx(cfg));
+            let request = standard_request(PakaKind::EUdm);
+            let t0 = env.clock.now();
+            for _ in 0..K {
+                engine.schedule_request(t0, PakaKind::EUdm.endpoint(), request.clone());
+            }
+            let mut done = engine.run_until_idle(&mut env);
+            assert_eq!(done.len(), K as usize);
+            done.sort_by_key(|c| c.finished);
+            done
+        };
+
+        // 1 app worker: FIFO service, so each of the K simultaneous
+        // arrivals waits behind all earlier ones — response times are
+        // strictly increasing in completion order.
+        let queued = run(4);
+        let lone = queued[0].finished - queued[0].submitted;
+        for pair in queued.windows(2) {
+            assert!(
+                pair[1].finished - pair[1].submitted > pair[0].finished - pair[0].submitted,
+                "queueing must grow monotonically"
+            );
+        }
+
+        // ≥K app workers: every flow gets a worker at t0 and completes
+        // within a constant factor of a lone request.
+        let overlapped = run(K + 3);
+        for c in &overlapped {
+            assert_eq!(c.queued, SimDuration::ZERO);
+            assert!(
+                c.finished - c.submitted < lone * 2,
+                "with {K} workers a flow took {} vs lone {lone}",
+                c.finished - c.submitted
+            );
+        }
+    }
+
+    #[test]
+    fn near_simultaneous_arrivals_serialize_or_overlap_by_thread_budget() {
+        // Two registrations 1 µs apart: a 1-app-thread eUDM (max_threads=4)
+        // must serve them back-to-back (second waits in queue), while a
+        // 4-app-thread eUDM (max_threads=7) serves them concurrently — the
+        // second flow never queues. This is pure event ordering: nothing
+        // in the harness computes a schedule.
+        let run = |max_threads: u32| {
+            let cfg = SgxConfig {
+                max_threads,
+                ..SgxConfig::default()
+            };
+            let (mut env, mut engine) =
+                module_engine(951, PakaKind::EUdm, ModuleDeployment::Sgx(cfg));
+            let request = standard_request(PakaKind::EUdm);
+            let t0 = env.clock.now();
+            engine.schedule_request(t0, PakaKind::EUdm.endpoint(), request.clone());
+            engine.schedule_request(
+                t0 + SimDuration::from_micros(1),
+                PakaKind::EUdm.endpoint(),
+                request,
+            );
+            let mut done = engine.run_until_idle(&mut env);
+            assert_eq!(done.len(), 2);
+            done.sort_by_key(|c| c.submitted);
+            done
+        };
+
+        let serialized = run(4);
+        assert!(
+            serialized[1].queued > SimDuration::ZERO,
+            "1 app thread: second arrival must wait for the first"
+        );
+        assert!(serialized[1].finished >= serialized[0].finished);
+
+        let overlapped = run(7);
+        assert_eq!(
+            overlapped[1].queued,
+            SimDuration::ZERO,
+            "4 app threads: second arrival must start immediately"
+        );
+        let second_latency = overlapped[1].finished - overlapped[1].submitted;
+        let second_serialized = serialized[1].finished - serialized[1].submitted;
+        assert!(
+            second_latency < second_serialized * 2 / 3,
+            "overlap must beat queueing: {second_latency} vs {second_serialized}"
         );
     }
 

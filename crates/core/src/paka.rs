@@ -353,6 +353,16 @@ impl PakaModule {
         self.kind
     }
 
+    /// Worker threads available to serve requests. `sgx.max_threads`
+    /// budgets the whole Gramine TCS pool; three slots go to the runtime
+    /// (IPC helper, async helper, main), leaving the rest for request
+    /// handlers — the count the engine uses for the module's endpoint, so
+    /// the Fig. 8 thread sweep changes concurrency mechanistically.
+    #[must_use]
+    pub fn app_threads(&self) -> u32 {
+        self.max_threads.saturating_sub(3).max(1)
+    }
+
     /// Whether this deployment is enclave-shielded.
     #[must_use]
     pub fn is_shielded(&self) -> bool {

@@ -14,15 +14,18 @@ use crate::CoreError;
 use shield5g_crypto::keys::HeAv;
 use shield5g_crypto::sqn::Auts;
 use shield5g_infra::bridge::BridgeNetwork;
+use shield5g_nf::backend::BackendOp;
 use shield5g_nf::backend::{
     decode_he_av, AmfAkaBackend, AmfAkaRequest, AusfAkaBackend, AusfAkaRequest, AusfAkaResponse,
     UdmAkaBackend, UdmAkaRequest,
 };
 use shield5g_nf::NfError;
-use shield5g_sim::http::HttpRequest;
-use shield5g_sim::time::SimDuration;
+use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::service::Service;
+use shield5g_sim::time::{SimDuration, SimTime};
 use shield5g_sim::tls::{establish, TlsIdentity, TlsSession};
 use shield5g_sim::Env;
+use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -62,6 +65,44 @@ impl ModuleMetricsLog {
         self.functional.clear();
         self.total.clear();
         self.paged = 0;
+    }
+}
+
+/// Continuation token for a split [`PakaClient::begin_call`] /
+/// [`PakaClient::finish_call`] pair.
+#[derive(Clone, Copy, Debug)]
+pub struct CallToken {
+    /// When the VNF issued the request (anchors the R measurement).
+    t0: SimTime,
+}
+
+/// The module side of the offload path as a discrete-event endpoint: a
+/// leaf service the engine schedules like any other, so module worker
+/// occupancy (the `sgx.max_threads` ceiling) is enforced by event
+/// ordering rather than assumed. Serves requests straight into the
+/// wrapped [`PakaModule`] and publishes L_F/L_T/paging samples to the
+/// shared metric log.
+pub struct PakaEndpoint {
+    module: Rc<RefCell<PakaModule>>,
+    metrics: Rc<RefCell<ModuleMetricsLog>>,
+}
+
+impl std::fmt::Debug for PakaEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PakaEndpoint")
+            .field("module", &self.module.borrow().kind().name())
+            .finish()
+    }
+}
+
+impl Service for PakaEndpoint {
+    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        let (resp, serve_metrics) = self.module.borrow_mut().serve(env, req);
+        let mut m = self.metrics.borrow_mut();
+        m.functional.push(serve_metrics.functional);
+        m.total.push(serve_metrics.total);
+        m.paged += serve_metrics.paged;
+        resp
     }
 }
 
@@ -110,6 +151,16 @@ impl PakaClient {
     #[must_use]
     pub fn module(&self) -> Rc<RefCell<PakaModule>> {
         self.module.clone()
+    }
+
+    /// Builds the engine-side endpoint for this client's module, sharing
+    /// the metric log so L_F/L_T land next to the R samples.
+    #[must_use]
+    pub fn endpoint(&self) -> PakaEndpoint {
+        PakaEndpoint {
+            module: self.module.clone(),
+            metrics: self.metrics.clone(),
+        }
     }
 
     /// Lazily establishes the *cryptographic* session once. The per-call
@@ -162,12 +213,17 @@ impl PakaClient {
         Ok(())
     }
 
-    /// One offloaded call: returns the response body and logs R/L_F/L_T.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Module`] for non-2xx module responses.
-    pub fn call(&mut self, env: &mut Env, path: &str, body: Vec<u8>) -> Result<Vec<u8>, CoreError> {
+    /// First half of an offloaded call: charges the VNF-side client work,
+    /// carries the handshake and the sealed request record across the
+    /// bridge, and returns the engine destination, the request to yield as
+    /// a `CallOut`, and the [`CallToken`] the matching [`Self::finish_call`]
+    /// needs.
+    pub fn begin_call(
+        &mut self,
+        env: &mut Env,
+        path: &str,
+        body: Vec<u8>,
+    ) -> (String, HttpRequest, CallToken) {
         let kind = self.module.borrow().kind();
         let t0 = env.clock.now();
 
@@ -195,8 +251,24 @@ impl PakaClient {
             .borrow_mut()
             .carry(env, &self.vnf_name, endpoint, &record);
 
-        // Module serves (its own choreography charges the clock).
-        let (resp, serve_metrics) = self.module.borrow_mut().serve(env, request);
+        (endpoint.to_owned(), request, CallToken { t0 })
+    }
+
+    /// Second half of an offloaded call: carries the sealed response record
+    /// back across the bridge, charges the client-side read path, logs the
+    /// response time R, and maps module failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Module`] for non-2xx module responses.
+    pub fn finish_call(
+        &mut self,
+        env: &mut Env,
+        resp: HttpResponse,
+        token: CallToken,
+    ) -> Result<Vec<u8>, CoreError> {
+        let kind = self.module.borrow().kind();
+        let endpoint = kind.endpoint();
 
         // Response record back across the bridge.
         let resp_bytes = resp.to_bytes();
@@ -211,14 +283,10 @@ impl PakaClient {
         // Client-side record decrypt + read path.
         env.clock.advance(SimDuration::from_micros(9));
 
-        let rs = env.clock.now() - t0;
-        {
-            let mut m = self.metrics.borrow_mut();
-            m.response_times.push(rs);
-            m.functional.push(serve_metrics.functional);
-            m.total.push(serve_metrics.total);
-            m.paged += serve_metrics.paged;
-        }
+        self.metrics
+            .borrow_mut()
+            .response_times
+            .push(env.clock.now() - token.t0);
         if resp.is_success() {
             Ok(resp.body)
         } else {
@@ -228,6 +296,29 @@ impl PakaClient {
                 detail: String::from_utf8_lossy(&resp.body).into_owned(),
             })
         }
+    }
+
+    /// One offloaded call: returns the response body and logs R/L_F/L_T.
+    /// The synchronous form used by the direct-characterization harness
+    /// (§V-A2 experiments 1–3 measure the module in isolation, with no
+    /// engine contention in the path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Module`] for non-2xx module responses.
+    pub fn call(&mut self, env: &mut Env, path: &str, body: Vec<u8>) -> Result<Vec<u8>, CoreError> {
+        let (_dest, request, token) = self.begin_call(env, path, body);
+
+        // Module serves inline (its own choreography charges the clock).
+        let (resp, serve_metrics) = self.module.borrow_mut().serve(env, request);
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.functional.push(serve_metrics.functional);
+            m.total.push(serve_metrics.total);
+            m.paged += serve_metrics.paged;
+        }
+
+        self.finish_call(env, resp, token)
     }
 
     /// Last serve metrics convenience (None before any call).
@@ -243,6 +334,13 @@ impl PakaClient {
             _ => None,
         }
     }
+}
+
+fn downcast_token(token: Box<dyn Any>) -> Result<CallToken, NfError> {
+    token
+        .downcast::<CallToken>()
+        .map(|t| *t)
+        .map_err(|_| NfError::Backend("foreign backend continuation token".into()))
 }
 
 fn to_nf_error(e: CoreError) -> NfError {
@@ -313,6 +411,68 @@ impl UdmAkaBackend for RemoteUdmAka {
         body.try_into()
             .map_err(|_| NfError::Backend("bad resync response length".into()))
     }
+
+    fn begin_generate_av(&mut self, env: &mut Env, req: &UdmAkaRequest) -> BackendOp<HeAv> {
+        let (dest, request, token) = self
+            .client
+            .begin_call(env, "/eudm/generate-av", req.encode());
+        BackendOp::Call {
+            dest,
+            req: request,
+            token: Box::new(token),
+        }
+    }
+
+    fn finish_generate_av(
+        &mut self,
+        env: &mut Env,
+        token: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Result<HeAv, NfError> {
+        let token = downcast_token(token)?;
+        let body = self
+            .client
+            .finish_call(env, resp, token)
+            .map_err(to_nf_error)?;
+        decode_he_av(&body)
+    }
+
+    fn begin_resynchronise(
+        &mut self,
+        env: &mut Env,
+        supi: &str,
+        opc: &[u8; 16],
+        rand: &[u8; 16],
+        auts: &Auts,
+    ) -> BackendOp<[u8; 6]> {
+        let mut w = shield5g_sim::codec::Writer::new();
+        w.put_str(supi)
+            .put_array(opc)
+            .put_array(rand)
+            .put_array(&auts.sqn_ms_xor_ak)
+            .put_array(&auts.mac_s);
+        let (dest, request, token) = self.client.begin_call(env, "/eudm/resync", w.into_bytes());
+        BackendOp::Call {
+            dest,
+            req: request,
+            token: Box::new(token),
+        }
+    }
+
+    fn finish_resynchronise(
+        &mut self,
+        env: &mut Env,
+        token: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Result<[u8; 6], NfError> {
+        let token = downcast_token(token)?;
+        let body = self
+            .client
+            .finish_call(env, resp, token)
+            .map_err(to_nf_error)?;
+        body.try_into()
+            .map_err(|_| NfError::Backend("bad resync response length".into()))
+    }
 }
 
 /// AUSF backend that offloads to the eAUSF P-AKA module.
@@ -346,6 +506,35 @@ impl AusfAkaBackend for RemoteAusfAka {
             .map_err(to_nf_error)?;
         AusfAkaResponse::decode(&body)
     }
+
+    fn begin_derive_se(
+        &mut self,
+        env: &mut Env,
+        req: &AusfAkaRequest,
+    ) -> BackendOp<AusfAkaResponse> {
+        let (dest, request, token) = self
+            .client
+            .begin_call(env, "/eausf/derive-se", req.encode());
+        BackendOp::Call {
+            dest,
+            req: request,
+            token: Box::new(token),
+        }
+    }
+
+    fn finish_derive_se(
+        &mut self,
+        env: &mut Env,
+        token: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Result<AusfAkaResponse, NfError> {
+        let token = downcast_token(token)?;
+        let body = self
+            .client
+            .finish_call(env, resp, token)
+            .map_err(to_nf_error)?;
+        AusfAkaResponse::decode(&body)
+    }
 }
 
 /// AMF backend that offloads to the eAMF P-AKA module.
@@ -372,6 +561,32 @@ impl AmfAkaBackend for RemoteAmfAka {
         let body = self
             .client
             .call(env, "/eamf/derive-kamf", req.encode())
+            .map_err(to_nf_error)?;
+        body.try_into()
+            .map_err(|_| NfError::Backend("bad kamf response length".into()))
+    }
+
+    fn begin_derive_kamf(&mut self, env: &mut Env, req: &AmfAkaRequest) -> BackendOp<[u8; 32]> {
+        let (dest, request, token) = self
+            .client
+            .begin_call(env, "/eamf/derive-kamf", req.encode());
+        BackendOp::Call {
+            dest,
+            req: request,
+            token: Box::new(token),
+        }
+    }
+
+    fn finish_derive_kamf(
+        &mut self,
+        env: &mut Env,
+        token: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Result<[u8; 32], NfError> {
+        let token = downcast_token(token)?;
+        let body = self
+            .client
+            .finish_call(env, resp, token)
             .map_err(to_nf_error)?;
         body.try_into()
             .map_err(|_| NfError::Backend("bad kamf response length".into()))

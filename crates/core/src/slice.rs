@@ -32,10 +32,20 @@ use shield5g_nf::udm::UdmService;
 use shield5g_nf::udr::UdrService;
 use shield5g_nf::upf::UpfService;
 use shield5g_nf::{addr, NfType};
-use shield5g_sim::service::{Router, Service};
+use shield5g_sim::engine::Engine;
+use shield5g_sim::http::HttpRequest;
+use shield5g_sim::service::service_handle;
 use shield5g_sim::Env;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Worker threads per leaf service (UDR/UPF/NRF): effectively unbounded —
+/// these stores are not the contended resources under study.
+const LEAF_WORKERS: u32 = 64;
+
+/// Worker threads per OAI VNF (UDM/AUSF/AMF/SMF): the OAI HTTP servers
+/// run a small thread pool per NF.
+const VNF_WORKERS: u32 = 16;
 
 /// Where the sensitive AKA functions execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,8 +122,8 @@ impl Default for SliceConfig {
 
 /// A deployed slice.
 pub struct Slice {
-    /// The shared service router (the "network").
-    pub router: Rc<RefCell<Router>>,
+    /// The shared discrete-event engine (the "network").
+    pub engine: Rc<RefCell<Engine>>,
     /// The physical host everything runs on.
     pub host: Host,
     /// The OAI docker bridge between VNFs and modules.
@@ -128,7 +138,7 @@ pub struct Slice {
     pub hn_public: [u8; 32],
     /// Home-network key identifier.
     pub hn_key_id: u8,
-    /// Typed AMF handle (it is also registered on the router).
+    /// Typed AMF handle (it is also registered on the engine).
     pub amf: Rc<RefCell<AmfService>>,
     /// Typed NRF handle.
     pub nrf: Rc<RefCell<NrfService>>,
@@ -207,7 +217,7 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
         registry.push(vnf_image(vnf));
     }
     let bridge = Rc::new(RefCell::new(BridgeNetwork::new("br-oai")));
-    let router = Rc::new(RefCell::new(Router::new()));
+    let engine = Rc::new(RefCell::new(Engine::new()));
 
     // Subscribers.
     let subscribers: Vec<Subscriber> = (0..config.subscriber_count).map(Subscriber::test).collect();
@@ -296,6 +306,24 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
             backend_metrics.push((PakaKind::EUdm, udm_client.metrics()));
             backend_metrics.push((PakaKind::EAusf, ausf_client.metrics()));
             backend_metrics.push((PakaKind::EAmf, amf_client.metrics()));
+            // Each module is an engine endpoint whose worker count is the
+            // enclave's serving-thread budget: module concurrency (and the
+            // Fig. 8 thread-sweep knee) comes from event ordering.
+            {
+                let mut e = engine.borrow_mut();
+                for c in [&udm_client, &ausf_client, &amf_client] {
+                    let module = c.module();
+                    let (endpoint_addr, workers) = {
+                        let m = module.borrow();
+                        (m.kind().endpoint(), m.app_threads())
+                    };
+                    e.register(
+                        endpoint_addr,
+                        workers,
+                        Engine::leaf(service_handle(c.endpoint())),
+                    );
+                }
+            }
             modules = deployed;
             (
                 Box::new(RemoteUdmAka::new(udm_client)),
@@ -306,60 +334,55 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
     };
 
     // The VNF service chain.
-    let udm = UdmService::new(
-        hn_key.clone(),
-        SbiClient::new(router.clone()),
-        addr::UDR,
-        udm_backend,
-    );
-    let ausf = AusfService::new(SbiClient::new(router.clone()), addr::UDM, ausf_backend);
+    let udm = UdmService::new(hn_key.clone(), SbiClient::new(), addr::UDR, udm_backend);
+    let ausf = AusfService::new(SbiClient::new(), addr::UDM, ausf_backend);
     let amf = Rc::new(RefCell::new(AmfService::new(
-        SbiClient::new(router.clone()),
+        SbiClient::new(),
         addr::AUSF,
         addr::SMF,
         amf_backend,
         "001",
         "01",
     )));
-    let smf = SmfService::new(SbiClient::new(router.clone()), addr::UPF);
+    let smf = SmfService::new(SbiClient::new(), addr::UPF);
     let upf = UpfService::new();
     let nrf = Rc::new(RefCell::new(NrfService::new()));
 
     {
-        let mut r = router.borrow_mut();
-        r.register(addr::UDR, Rc::new(RefCell::new(udr)));
-        r.register(addr::UDM, Rc::new(RefCell::new(udm)));
-        r.register(addr::AUSF, Rc::new(RefCell::new(ausf)));
-        r.register(addr::AMF, amf.clone() as Rc<RefCell<dyn Service>>);
-        r.register(addr::SMF, Rc::new(RefCell::new(smf)));
-        r.register(addr::UPF, Rc::new(RefCell::new(upf)));
-        r.register(addr::NRF, nrf.clone() as Rc<RefCell<dyn Service>>);
+        let mut e = engine.borrow_mut();
+        e.register(addr::UDR, LEAF_WORKERS, Engine::leaf(service_handle(udr)));
+        e.register(addr::UDM, VNF_WORKERS, Rc::new(RefCell::new(udm)));
+        e.register(addr::AUSF, VNF_WORKERS, Rc::new(RefCell::new(ausf)));
+        e.register(addr::AMF, VNF_WORKERS, amf.clone());
+        e.register(addr::SMF, VNF_WORKERS, Rc::new(RefCell::new(smf)));
+        e.register(addr::UPF, LEAF_WORKERS, Engine::leaf(service_handle(upf)));
+        e.register(addr::NRF, LEAF_WORKERS, Engine::leaf(nrf.clone()));
     }
 
     // NRF registrations (mutual discovery, paper Fig. 2).
-    {
-        let client = SbiClient::new(router.clone());
-        for (nf_type, a) in [
-            (NfType::UDR, addr::UDR),
-            (NfType::UDM, addr::UDM),
-            (NfType::AUSF, addr::AUSF),
-            (NfType::AMF, addr::AMF),
-            (NfType::SMF, addr::SMF),
-            (NfType::UPF, addr::UPF),
-        ] {
-            client
-                .post(
-                    env,
-                    addr::NRF,
+    for (nf_type, a) in [
+        (NfType::UDR, addr::UDR),
+        (NfType::UDM, addr::UDM),
+        (NfType::AUSF, addr::AUSF),
+        (NfType::AMF, addr::AMF),
+        (NfType::SMF, addr::SMF),
+        (NfType::UPF, addr::UPF),
+    ] {
+        engine
+            .borrow_mut()
+            .dispatch_ok(
+                env,
+                addr::NRF,
+                HttpRequest::post(
                     "/nnrf-nfm/register",
                     NfProfile {
                         nf_type,
                         addr: a.to_owned(),
                     }
                     .encode(),
-                )
-                .map_err(CoreError::Nf)?;
-        }
+                ),
+            )
+            .map_err(|e| CoreError::Nf(shield5g_nf::NfError::Sim(e)))?;
     }
 
     env.log.record(
@@ -373,7 +396,7 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
     );
 
     Ok(Slice {
-        router,
+        engine,
         host,
         bridge,
         registry,
@@ -424,16 +447,16 @@ mod tests {
             snn_mcc: "001".into(),
             snn_mnc: "01".into(),
         };
-        let body = {
-            let router = slice.router.borrow();
-            router
-                .call_ok(
-                    env,
-                    addr::AUSF,
-                    HttpRequest::post("/nausf-auth/authenticate", req.encode()),
-                )
-                .unwrap()
-        };
+        let body = slice
+            .engine
+            .borrow_mut()
+            .dispatch_ok(
+                env,
+                addr::AUSF,
+                HttpRequest::post("/nausf-auth/authenticate", req.encode()),
+            )
+            .unwrap()
+            .body;
         let resp = AuthenticateResponse::decode(&body).unwrap();
         let mil = shield5g_crypto::milenage::Milenage::with_opc(&sub.k, &sub.opc);
         let snn = ServingNetworkName::new("001", "01");

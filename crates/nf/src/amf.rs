@@ -7,7 +7,7 @@
 //! requests to the SMF. Its K_AMF derivation is delegated to an
 //! [`AmfAkaBackend`] (the eAMF P-AKA module in the paper's deployments).
 
-use crate::backend::{AmfAkaBackend, AmfAkaRequest};
+use crate::backend::{AmfAkaBackend, AmfAkaRequest, BackendOp};
 use crate::messages::{AuthFailureCause, NasDownlink, NasUplink, Ngap, UeIdentity};
 use crate::nas_security::{NasSecurityContext, ProtectedNas, CIPHER_ALG_AES, INTEGRITY_ALG_HMAC};
 use crate::sbi::{
@@ -17,10 +17,12 @@ use crate::sbi::{
 use crate::NfError;
 use shield5g_crypto::ident::Guti;
 use shield5g_crypto::keys::derive_hxres_star;
+use shield5g_crypto::sqn::Auts;
+use shield5g_sim::engine::{EngineService, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
-use shield5g_sim::service::Service;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
+use std::any::Any;
 use std::collections::HashMap;
 
 /// NAS decode/validate/route overhead per message on the OAI C++ path.
@@ -136,13 +138,24 @@ impl AmfService {
         )
     }
 
+    /// Error mapping of the NGAP handler path.
+    fn ngap_error(e: NfError) -> HttpResponse {
+        match e {
+            NfError::AuthenticationRejected(why) => HttpResponse::error(403, why),
+            NfError::Sim(shield5g_sim::SimError::ServiceFailure { status, .. }) => {
+                HttpResponse::error(status, "upstream failure")
+            }
+            e => HttpResponse::error(400, e.to_string()),
+        }
+    }
+
     fn start_authentication(
         &mut self,
         env: &mut Env,
         ran_ue_id: u64,
         identity: UeIdentity,
         resync_attempts: u8,
-    ) -> Result<NasDownlink, NfError> {
+    ) -> Result<Step, NfError> {
         // A known GUTI maps to a SUPI carried in the SBI `known_supi`
         // field; unknown GUTIs would require an Identity Request (we
         // reject, forcing the UE to fall back to SUCI).
@@ -154,7 +167,7 @@ impl AmfService {
                     // TS 23.502 §4.2.2.2.2: the AMF cannot resolve the 5G-GUTI
                     // and asks the UE for its (concealed) permanent identity.
                     self.contexts.insert(ran_ue_id, UeState::AwaitingIdentity);
-                    return Ok(NasDownlink::IdentityRequest);
+                    return Ok(self.finish_ngap(ran_ue_id, &NasDownlink::IdentityRequest));
                 }
             },
         };
@@ -164,28 +177,17 @@ impl AmfService {
             snn_mcc: self.serving_mcc.clone(),
             snn_mnc: self.serving_mnc.clone(),
         };
-        let body = self.client.post(
-            env,
-            &self.ausf_addr,
-            "/nausf-auth/authenticate",
-            req.encode(),
-        )?;
-        let resp = AuthenticateResponse::decode(&body)?;
-        self.contexts.insert(
-            ran_ue_id,
-            UeState::AuthPending {
+        let out = self
+            .client
+            .send(env, "/nausf-auth/authenticate", req.encode());
+        Ok(Step::CallOut {
+            dest: self.ausf_addr.clone(),
+            req: out,
+            state: Box::new(AmfFlow::AwaitAusfAuth {
+                ran_ue_id,
                 identity,
-                auth_ctx_id: resp.auth_ctx_id,
-                rand: resp.se_av.rand,
-                hxres_star: resp.se_av.hxres_star,
                 resync_attempts,
-            },
-        );
-        Ok(NasDownlink::AuthenticationRequest {
-            rand: resp.se_av.rand,
-            autn: resp.se_av.autn,
-            abba: ABBA,
-            ngksi: 0,
+            }),
         })
     }
 
@@ -194,7 +196,7 @@ impl AmfService {
         env: &mut Env,
         ran_ue_id: u64,
         res_star: [u8; 16],
-    ) -> Result<NasDownlink, NfError> {
+    ) -> Result<Step, NfError> {
         let Some(UeState::AuthPending {
             auth_ctx_id,
             rand,
@@ -214,7 +216,7 @@ impl AmfService {
             self.contexts.remove(&ran_ue_id);
             env.log
                 .record(env.clock.now(), "aka", "SEAF HRES* check failed");
-            return Ok(NasDownlink::AuthenticationReject);
+            return Ok(self.finish_ngap(ran_ue_id, &NasDownlink::AuthenticationReject));
         }
 
         // AUSF confirmation releases K_SEAF and the SUPI.
@@ -222,39 +224,28 @@ impl AmfService {
             auth_ctx_id,
             res_star,
         };
-        let body = self.client.post(
-            env,
-            &self.ausf_addr,
-            "/nausf-auth/confirm",
-            confirm.encode(),
-        )?;
-        let resp = ConfirmResponse::decode(&body)?;
-        if !resp.success {
-            self.contexts.remove(&ran_ue_id);
-            return Ok(NasDownlink::AuthenticationReject);
-        }
-
-        // K_AMF via the (possibly enclave-hosted) backend; then NAS keys.
-        let kamf = self.backend.derive_kamf(
-            env,
-            &AmfAkaRequest {
-                kseaf: resp.kseaf,
-                supi: resp.supi.clone(),
-                abba: ABBA,
-            },
-        )?;
-        let sec = NasSecurityContext::from_kamf(&kamf, false);
-        self.contexts.insert(
-            ran_ue_id,
-            UeState::SecurityMode {
-                supi: resp.supi,
-                sec,
-            },
-        );
-        Ok(NasDownlink::SecurityModeCommand {
-            integrity_alg: INTEGRITY_ALG_HMAC,
-            ciphering_alg: CIPHER_ALG_AES,
+        let out = self
+            .client
+            .send(env, "/nausf-auth/confirm", confirm.encode());
+        Ok(Step::CallOut {
+            dest: self.ausf_addr.clone(),
+            req: out,
+            state: Box::new(AmfFlow::AwaitConfirm { ran_ue_id }),
         })
+    }
+
+    /// With K_AMF in hand: activate NAS security and command the UE.
+    fn enter_security_mode(&mut self, ran_ue_id: u64, supi: String, kamf: &[u8; 32]) -> Step {
+        let sec = NasSecurityContext::from_kamf(kamf, false);
+        self.contexts
+            .insert(ran_ue_id, UeState::SecurityMode { supi, sec });
+        self.finish_ngap(
+            ran_ue_id,
+            &NasDownlink::SecurityModeCommand {
+                integrity_alg: INTEGRITY_ALG_HMAC,
+                ciphering_alg: CIPHER_ALG_AES,
+            },
+        )
     }
 
     fn handle_auth_failure(
@@ -262,7 +253,7 @@ impl AmfService {
         env: &mut Env,
         ran_ue_id: u64,
         cause: AuthFailureCause,
-    ) -> Result<NasDownlink, NfError> {
+    ) -> Result<Step, NfError> {
         let Some(UeState::AuthPending {
             identity,
             rand,
@@ -278,84 +269,84 @@ impl AmfService {
             AuthFailureCause::MacFailure => {
                 env.log
                     .record(env.clock.now(), "aka", "UE reported MAC failure");
-                Ok(NasDownlink::RegistrationReject {
-                    cause: 3, /* illegal network */
-                })
+                Ok(self.finish_ngap(
+                    ran_ue_id,
+                    &NasDownlink::RegistrationReject {
+                        cause: 3, /* illegal network */
+                    },
+                ))
             }
             AuthFailureCause::SynchFailure(auts) => {
                 if resync_attempts >= 2 {
-                    return Ok(NasDownlink::RegistrationReject { cause: 111 });
+                    return Ok(self
+                        .finish_ngap(ran_ue_id, &NasDownlink::RegistrationReject { cause: 111 }));
                 }
-                // Recover the SUPI for the resync (SUCI path needs the UDM;
-                // we piggy-back on the AUSF resync endpoint which forwards
-                // identity resolution).
+                // Recover the SUPI for the resync. A known GUTI resolves
+                // locally; a SUCI must be de-concealed by the UDM/SIDF, so
+                // the AMF runs the identity through a `generate-auth-data`
+                // round first (which also returns the SUPI).
                 let supi = match &identity {
-                    UeIdentity::Suci(_) => {
-                        // The AUSF context already resolved the SUPI during
-                        // the failed round; simplest faithful option is to
-                        // resync by SUCI-resolved SUPI via a fresh auth
-                        // after the UDM handles the AUTS. The UDM needs the
-                        // SUPI, which it can re-derive from the SUCI — here
-                        // we pass the concealed identity onward.
-                        String::new()
-                    }
+                    UeIdentity::Suci(_) => String::new(),
                     UeIdentity::Guti(guti) => self
                         .guti_to_supi
                         .get(&guti.tmsi)
                         .cloned()
                         .unwrap_or_default(),
                 };
-                let resync = ResyncRequest {
-                    supi: if supi.is_empty() {
-                        // Resolve through a dedicated UDM round: the AUSF
-                        // resync endpoint accepts SUPI only; re-resolve via
-                        // identity. For the simulation, SUCI de-concealment
-                        // happens again inside the UDM when the next
-                        // authentication runs; the AUTS check needs the
-                        // subscriber, so we extract it via the sbi resync
-                        // with the SUCI-borne identity resolved below.
-                        self.resolve_supi_for_resync(env, &identity)?
-                    } else {
-                        supi
-                    },
-                    rand,
-                    auts,
-                };
-                self.client
-                    .post(env, &self.ausf_addr, "/nausf-auth/resync", resync.encode())?;
-                env.log.record(
-                    env.clock.now(),
-                    "aka",
-                    "SQN re-synchronised; restarting AKA",
-                );
-                self.start_authentication(env, ran_ue_id, identity, resync_attempts + 1)
+                if supi.is_empty() {
+                    let req = crate::sbi::UdmAuthGetRequest {
+                        identity: identity.clone(),
+                        known_supi: String::new(),
+                        snn_mcc: self.serving_mcc.clone(),
+                        snn_mnc: self.serving_mnc.clone(),
+                    };
+                    let out = self
+                        .client
+                        .send(env, "/nudm-ueau/generate-auth-data", req.encode());
+                    return Ok(Step::CallOut {
+                        dest: crate::addr::UDM.to_owned(),
+                        req: out,
+                        state: Box::new(AmfFlow::AwaitSupiResolve {
+                            ran_ue_id,
+                            identity,
+                            rand,
+                            auts,
+                            resync_attempts,
+                        }),
+                    });
+                }
+                self.send_resync(env, ran_ue_id, identity, supi, rand, &auts, resync_attempts)
             }
         }
     }
 
-    /// Resolves a SUPI for the resync path. SUCI de-concealment is the
-    /// UDM/SIDF's job; the AMF asks it indirectly by running the identity
-    /// through a fresh `generate-auth-data` (which also returns the SUPI).
-    fn resolve_supi_for_resync(
+    /// Pushes the AUTS to the AUSF resync endpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn send_resync(
         &mut self,
         env: &mut Env,
-        identity: &UeIdentity,
-    ) -> Result<String, NfError> {
-        let req = crate::sbi::UdmAuthGetRequest {
-            identity: identity.clone(),
-            known_supi: String::new(),
-            snn_mcc: self.serving_mcc.clone(),
-            snn_mnc: self.serving_mnc.clone(),
+        ran_ue_id: u64,
+        identity: UeIdentity,
+        supi: String,
+        rand: [u8; 16],
+        auts: &Auts,
+        resync_attempts: u8,
+    ) -> Result<Step, NfError> {
+        let resync = ResyncRequest {
+            supi,
+            rand,
+            auts: auts.clone(),
         };
-        // Route via AUSF→UDM path: the AUSF exposes only authenticate, so
-        // go straight to the UDM address known network-wide.
-        let body = self.client.post(
-            env,
-            crate::addr::UDM,
-            "/nudm-ueau/generate-auth-data",
-            req.encode(),
-        )?;
-        Ok(crate::sbi::UdmAuthGetResponse::decode(&body)?.supi)
+        let out = self.client.send(env, "/nausf-auth/resync", resync.encode());
+        Ok(Step::CallOut {
+            dest: self.ausf_addr.clone(),
+            req: out,
+            state: Box::new(AmfFlow::AwaitResync {
+                ran_ue_id,
+                identity,
+                resync_attempts,
+            }),
+        })
     }
 
     fn allocate_guti(&mut self, supi: &str) -> Guti {
@@ -374,7 +365,7 @@ impl AmfService {
         env: &mut Env,
         ran_ue_id: u64,
         pdu: &ProtectedNas,
-    ) -> Result<NasDownlink, NfError> {
+    ) -> Result<Step, NfError> {
         let state = self
             .contexts
             .remove(&ran_ue_id)
@@ -385,10 +376,9 @@ impl AmfService {
                 match NasUplink::decode(&plain)? {
                     NasUplink::SecurityModeComplete => {
                         let guti = self.allocate_guti(&supi);
-                        let out = NasDownlink::RegistrationAccept { guti };
                         self.contexts
                             .insert(ran_ue_id, UeState::AcceptSent { supi, sec, guti });
-                        Ok(out)
+                        Ok(self.finish_ngap(ran_ue_id, &NasDownlink::RegistrationAccept { guti }))
                     }
                     other => Err(NfError::Protocol(format!(
                         "expected SecurityModeComplete, got {other:?}"
@@ -413,7 +403,7 @@ impl AmfService {
                             .insert(ran_ue_id, UeState::Registered { supi, sec, guti });
                         // No downlink NAS needed; answer with a harmless
                         // context-setup echo (the gNB consumes it).
-                        Ok(NasDownlink::RegistrationAccept { guti })
+                        Ok(self.finish_ngap(ran_ue_id, &NasDownlink::RegistrationAccept { guti }))
                     }
                     other => Err(NfError::Protocol(format!(
                         "expected RegistrationComplete, got {other:?}"
@@ -431,7 +421,7 @@ impl AmfService {
                         // Invalidate the GUTI and drop the context; the
                         // accept still rides the (dying) security context,
                         // which `encode_downlink` picks up from the
-                        // tombstone before `process_ngap` clears it.
+                        // tombstone before `finish_ngap` clears it.
                         self.guti_to_supi.remove(&guti.tmsi);
                         self.deregistrations += 1;
                         self.pending_teardown.insert(ran_ue_id);
@@ -442,26 +432,35 @@ impl AmfService {
                         );
                         self.contexts
                             .insert(ran_ue_id, UeState::Registered { supi, sec, guti });
-                        Ok(NasDownlink::DeregistrationAccept)
+                        Ok(self.finish_ngap(ran_ue_id, &NasDownlink::DeregistrationAccept))
                     }
                     NasUplink::PduSessionEstablishmentRequest { pdu_session_id } => {
-                        let body = self.client.post(
+                        // Re-arm the context before yielding so the resumed
+                        // flow finds the security context for the downlink.
+                        self.contexts.insert(
+                            ran_ue_id,
+                            UeState::Registered {
+                                supi: supi.clone(),
+                                sec,
+                                guti,
+                            },
+                        );
+                        let out = self.client.send(
                             env,
-                            &self.smf_addr,
                             "/nsmf-pdusession/create",
                             CreateSessionRequest {
-                                supi: supi.clone(),
+                                supi,
                                 pdu_session_id,
                             }
                             .encode(),
-                        )?;
-                        let resp = CreateSessionResponse::decode(&body)?;
-                        self.pending_teid.insert(ran_ue_id, resp.upf_teid);
-                        self.contexts
-                            .insert(ran_ue_id, UeState::Registered { supi, sec, guti });
-                        Ok(NasDownlink::PduSessionEstablishmentAccept {
-                            pdu_session_id,
-                            ue_ip: resp.ue_ip,
+                        );
+                        Ok(Step::CallOut {
+                            dest: self.smf_addr.clone(),
+                            req: out,
+                            state: Box::new(AmfFlow::AwaitSmf {
+                                ran_ue_id,
+                                pdu_session_id,
+                            }),
                         })
                     }
                     other => Err(NfError::Protocol(format!(
@@ -489,7 +488,30 @@ impl AmfService {
         }
     }
 
-    fn process_ngap(&mut self, env: &mut Env, ngap: &Ngap) -> Result<Ngap, NfError> {
+    /// Wraps a downlink NAS message into the NGAP reply: protect under the
+    /// association's security context, apply any pending teardown, and
+    /// choose the NGAP frame (a freshly anchored PDU session rides down in
+    /// an `InitialContextSetup` so the gNB learns the GTP tunnel endpoint).
+    fn finish_ngap(&mut self, ran_ue_id: u64, msg: &NasDownlink) -> Step {
+        let nas = self.encode_downlink(ran_ue_id, msg);
+        // A deregistration tears the context down after the (protected)
+        // accept has been encoded.
+        if self.pending_teardown.remove(&ran_ue_id) {
+            self.contexts.remove(&ran_ue_id);
+        }
+        let ngap = if let Some(teid) = self.pending_teid.remove(&ran_ue_id) {
+            Ngap::InitialContextSetup {
+                ran_ue_id,
+                nas,
+                teid,
+            }
+        } else {
+            Ngap::DownlinkNasTransport { ran_ue_id, nas }
+        };
+        Step::Reply(HttpResponse::ok(ngap.encode()))
+    }
+
+    fn process_ngap(&mut self, env: &mut Env, ngap: &Ngap) -> Result<Step, NfError> {
         env.clock
             .advance(SimDuration::from_nanos(AMF_NAS_HANDLER_NANOS));
         let ran_ue_id = ngap.ran_ue_id();
@@ -504,19 +526,19 @@ impl AmfService {
                     | UeState::Registered { .. }
             )
         );
-        let downlink = if has_sec_context {
+        if has_sec_context {
             let pdu = ProtectedNas::decode(nas_bytes)?;
-            self.handle_secured_uplink(env, ran_ue_id, &pdu)?
+            self.handle_secured_uplink(env, ran_ue_id, &pdu)
         } else {
             match NasUplink::decode(nas_bytes)? {
                 NasUplink::RegistrationRequest { identity } => {
-                    self.start_authentication(env, ran_ue_id, identity, 0)?
+                    self.start_authentication(env, ran_ue_id, identity, 0)
                 }
                 NasUplink::AuthenticationResponse { res_star } => {
-                    self.handle_auth_response(env, ran_ue_id, res_star)?
+                    self.handle_auth_response(env, ran_ue_id, res_star)
                 }
                 NasUplink::AuthenticationFailure { cause } => {
-                    self.handle_auth_failure(env, ran_ue_id, cause)?
+                    self.handle_auth_failure(env, ran_ue_id, cause)
                 }
                 NasUplink::IdentityResponse { suci } => {
                     if !matches!(
@@ -526,49 +548,189 @@ impl AmfService {
                         return Err(NfError::Protocol("unsolicited identity response".into()));
                     }
                     self.contexts.remove(&ran_ue_id);
-                    self.start_authentication(env, ran_ue_id, UeIdentity::Suci(suci), 0)?
+                    self.start_authentication(env, ran_ue_id, UeIdentity::Suci(suci), 0)
                 }
-                other => {
-                    return Err(NfError::Protocol(format!(
-                        "unexpected plain NAS: {other:?}"
-                    )))
+                other => Err(NfError::Protocol(format!(
+                    "unexpected plain NAS: {other:?}"
+                ))),
+            }
+        }
+    }
+
+    /// Drives one resumed continuation after a downstream response event.
+    fn resume_flow(
+        &mut self,
+        env: &mut Env,
+        flow: AmfFlow,
+        resp: HttpResponse,
+    ) -> Result<Step, NfError> {
+        match flow {
+            AmfFlow::AwaitAusfAuth {
+                ran_ue_id,
+                identity,
+                resync_attempts,
+            } => {
+                let body = self.client.receive(env, &self.ausf_addr, resp)?;
+                let auth = AuthenticateResponse::decode(&body)?;
+                self.contexts.insert(
+                    ran_ue_id,
+                    UeState::AuthPending {
+                        identity,
+                        auth_ctx_id: auth.auth_ctx_id,
+                        rand: auth.se_av.rand,
+                        hxres_star: auth.se_av.hxres_star,
+                        resync_attempts,
+                    },
+                );
+                Ok(self.finish_ngap(
+                    ran_ue_id,
+                    &NasDownlink::AuthenticationRequest {
+                        rand: auth.se_av.rand,
+                        autn: auth.se_av.autn,
+                        abba: ABBA,
+                        ngksi: 0,
+                    },
+                ))
+            }
+            AmfFlow::AwaitConfirm { ran_ue_id } => {
+                let body = self.client.receive(env, &self.ausf_addr, resp)?;
+                let confirm = ConfirmResponse::decode(&body)?;
+                if !confirm.success {
+                    self.contexts.remove(&ran_ue_id);
+                    return Ok(self.finish_ngap(ran_ue_id, &NasDownlink::AuthenticationReject));
+                }
+                // K_AMF via the (possibly enclave-hosted) backend.
+                let req = AmfAkaRequest {
+                    kseaf: confirm.kseaf,
+                    supi: confirm.supi.clone(),
+                    abba: ABBA,
+                };
+                match self.backend.begin_derive_kamf(env, &req) {
+                    BackendOp::Done(kamf) => {
+                        Ok(self.enter_security_mode(ran_ue_id, confirm.supi, &kamf?))
+                    }
+                    BackendOp::Call { dest, req, token } => Ok(Step::CallOut {
+                        dest,
+                        req,
+                        state: Box::new(AmfFlow::AwaitKamf {
+                            ran_ue_id,
+                            supi: confirm.supi,
+                            token,
+                        }),
+                    }),
                 }
             }
-        };
-        let nas = self.encode_downlink(ran_ue_id, &downlink);
-        // A deregistration tears the context down after the (protected)
-        // accept has been encoded.
-        if self.pending_teardown.remove(&ran_ue_id) {
-            self.contexts.remove(&ran_ue_id);
-        }
-        // A freshly anchored PDU session rides down in an
-        // InitialContextSetup so the gNB learns the GTP tunnel endpoint.
-        if let Some(teid) = self.pending_teid.remove(&ran_ue_id) {
-            return Ok(Ngap::InitialContextSetup {
+            AmfFlow::AwaitKamf {
                 ran_ue_id,
-                nas,
-                teid,
-            });
+                supi,
+                token,
+            } => {
+                let kamf = self.backend.finish_derive_kamf(env, token, resp)?;
+                Ok(self.enter_security_mode(ran_ue_id, supi, &kamf))
+            }
+            AmfFlow::AwaitSupiResolve {
+                ran_ue_id,
+                identity,
+                rand,
+                auts,
+                resync_attempts,
+            } => {
+                let body = self.client.receive(env, crate::addr::UDM, resp)?;
+                let supi = crate::sbi::UdmAuthGetResponse::decode(&body)?.supi;
+                self.send_resync(env, ran_ue_id, identity, supi, rand, &auts, resync_attempts)
+            }
+            AmfFlow::AwaitResync {
+                ran_ue_id,
+                identity,
+                resync_attempts,
+            } => {
+                self.client.receive(env, &self.ausf_addr, resp)?;
+                env.log.record(
+                    env.clock.now(),
+                    "aka",
+                    "SQN re-synchronised; restarting AKA",
+                );
+                self.start_authentication(env, ran_ue_id, identity, resync_attempts + 1)
+            }
+            AmfFlow::AwaitSmf {
+                ran_ue_id,
+                pdu_session_id,
+            } => {
+                let body = self.client.receive(env, &self.smf_addr, resp)?;
+                let created = CreateSessionResponse::decode(&body)?;
+                self.pending_teid.insert(ran_ue_id, created.upf_teid);
+                Ok(self.finish_ngap(
+                    ran_ue_id,
+                    &NasDownlink::PduSessionEstablishmentAccept {
+                        pdu_session_id,
+                        ue_ip: created.ue_ip,
+                    },
+                ))
+            }
         }
-        Ok(Ngap::DownlinkNasTransport { ran_ue_id, nas })
     }
 }
 
-impl Service for AmfService {
-    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+/// Continuation state across the AMF's outbound SBI round trips.
+#[allow(clippy::enum_variant_names)] // every variant awaits a distinct peer
+enum AmfFlow {
+    /// Waiting for the AUSF's SE AV (authenticate).
+    AwaitAusfAuth {
+        ran_ue_id: u64,
+        identity: UeIdentity,
+        resync_attempts: u8,
+    },
+    /// Waiting for the AUSF's confirmation (K_SEAF release).
+    AwaitConfirm { ran_ue_id: u64 },
+    /// Waiting for the eAMF module's K_AMF derivation.
+    AwaitKamf {
+        ran_ue_id: u64,
+        supi: String,
+        token: Box<dyn Any>,
+    },
+    /// Waiting for a UDM round that de-conceals the SUCI for a resync.
+    AwaitSupiResolve {
+        ran_ue_id: u64,
+        identity: UeIdentity,
+        rand: [u8; 16],
+        auts: Auts,
+        resync_attempts: u8,
+    },
+    /// Waiting for the AUSF resync acknowledgement.
+    AwaitResync {
+        ran_ue_id: u64,
+        identity: UeIdentity,
+        resync_attempts: u8,
+    },
+    /// Waiting for the SMF's PDU-session anchor.
+    AwaitSmf { ran_ue_id: u64, pdu_session_id: u8 },
+}
+
+impl EngineService for AmfService {
+    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
         if req.path != "/ngap" {
-            return HttpResponse::error(404, format!("no handler for {}", req.path));
+            return Step::Reply(HttpResponse::error(
+                404,
+                format!("no handler for {}", req.path),
+            ));
         }
         match Ngap::decode(&req.body)
             .map_err(NfError::from)
             .and_then(|ngap| self.process_ngap(env, &ngap))
         {
-            Ok(out) => HttpResponse::ok(out.encode()),
-            Err(NfError::AuthenticationRejected(why)) => HttpResponse::error(403, why),
-            Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure { status, .. })) => {
-                HttpResponse::error(status, "upstream failure")
-            }
-            Err(e) => HttpResponse::error(400, e.to_string()),
+            Ok(step) => step,
+            Err(e) => Step::Reply(Self::ngap_error(e)),
+        }
+    }
+
+    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+        let flow = match state.downcast::<AmfFlow>() {
+            Ok(f) => *f,
+            Err(_) => return Step::Reply(HttpResponse::error(500, "amf: foreign state")),
+        };
+        match self.resume_flow(env, flow, resp) {
+            Ok(step) => step,
+            Err(e) => Step::Reply(Self::ngap_error(e)),
         }
     }
 }
@@ -580,14 +742,13 @@ mod tests {
     // unit tests here cover the plumbing edges.
     use super::*;
     use crate::backend::LocalAmfAka;
-    use shield5g_sim::service::Router;
+    use shield5g_sim::engine::Engine;
     use std::cell::RefCell;
     use std::rc::Rc;
 
     fn amf() -> AmfService {
-        let router = Rc::new(RefCell::new(Router::new()));
         AmfService::new(
-            SbiClient::new(router),
+            SbiClient::new(),
             crate::addr::AUSF,
             crate::addr::SMF,
             Box::new(LocalAmfAka::new()),
@@ -596,18 +757,34 @@ mod tests {
         )
     }
 
+    /// Runs a request straight into the service (no engine) and expects it
+    /// to finish without yielding a downstream call.
+    fn reply(amf: &mut AmfService, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        match amf.start(env, req) {
+            Step::Reply(resp) => resp,
+            Step::CallOut { dest, .. } => panic!("expected a reply, got a call to {dest}"),
+        }
+    }
+
     #[test]
     fn non_ngap_path_is_404() {
         let mut env = Env::new(1);
         let mut amf = amf();
-        assert_eq!(amf.handle(&mut env, HttpRequest::get("/other")).status, 404);
+        assert_eq!(
+            reply(&mut amf, &mut env, HttpRequest::get("/other")).status,
+            404
+        );
     }
 
     #[test]
     fn garbage_ngap_is_400() {
         let mut env = Env::new(1);
         let mut amf = amf();
-        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", vec![0xff, 0xff]));
+        let resp = reply(
+            &mut amf,
+            &mut env,
+            HttpRequest::post("/ngap", vec![0xff, 0xff]),
+        );
         assert_eq!(resp.status, 400);
     }
 
@@ -617,14 +794,19 @@ mod tests {
         let mut amf = amf();
         let nas = NasUplink::AuthenticationResponse { res_star: [0; 16] }.encode();
         let ngap = Ngap::UplinkNasTransport { ran_ue_id: 9, nas }.encode();
-        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        let resp = reply(&mut amf, &mut env, HttpRequest::post("/ngap", ngap));
         assert_eq!(resp.status, 400);
     }
 
     #[test]
     fn registration_to_unreachable_ausf_fails_cleanly() {
+        // The AMF is registered on an engine with no AUSF endpoint: the
+        // engine synthesizes a 502 for the callout and the AMF maps the
+        // failure to a clean client-side error.
         let mut env = Env::new(1);
-        let mut amf = amf();
+        let mut engine = Engine::new();
+        let amf = Rc::new(RefCell::new(amf()));
+        engine.register(crate::addr::AMF, 4, amf.clone());
         let suci = shield5g_crypto::ident::Supi::parse("imsi-001010000000001")
             .unwrap()
             .conceal_null();
@@ -633,9 +815,11 @@ mod tests {
         }
         .encode();
         let ngap = Ngap::InitialUeMessage { ran_ue_id: 1, nas }.encode();
-        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        let resp = engine
+            .dispatch(&mut env, crate::addr::AMF, HttpRequest::post("/ngap", ngap))
+            .unwrap();
         assert_eq!(resp.status, 400);
-        assert!(!amf.is_registered(1));
+        assert!(!amf.borrow().is_registered(1));
     }
 
     #[test]
@@ -647,7 +831,7 @@ mod tests {
         }
         .encode();
         let ngap = Ngap::InitialUeMessage { ran_ue_id: 1, nas }.encode();
-        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        let resp = reply(&mut amf, &mut env, HttpRequest::post("/ngap", ngap));
         assert!(resp.is_success());
         let downlink = Ngap::decode(&resp.body).unwrap();
         assert_eq!(
@@ -665,7 +849,7 @@ mod tests {
             .conceal_null();
         let nas = NasUplink::IdentityResponse { suci }.encode();
         let ngap = Ngap::UplinkNasTransport { ran_ue_id: 9, nas }.encode();
-        let resp = amf.handle(&mut env, HttpRequest::post("/ngap", ngap));
+        let resp = reply(&mut amf, &mut env, HttpRequest::post("/ngap", ngap));
         assert_eq!(resp.status, 400);
     }
 }

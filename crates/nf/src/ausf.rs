@@ -6,17 +6,18 @@
 //! stores XRES*/K_SEAF, and performs the final RES* confirmation
 //! (TS 33.501 §6.1.3.2 step 10/11).
 
-use crate::backend::{decode_he_av, AusfAkaBackend, AusfAkaRequest};
+use crate::backend::{decode_he_av, AusfAkaBackend, AusfAkaRequest, BackendOp};
 use crate::sbi::{
     AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse, ResyncRequest,
     SbiClient, UdmAuthGetRequest, UdmAuthGetResponse,
 };
 use crate::NfError;
-use shield5g_crypto::keys::{SeAv, ServingNetworkName};
+use shield5g_crypto::keys::{HeAv, SeAv, ServingNetworkName};
+use shield5g_sim::engine::{EngineService, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
-use shield5g_sim::service::Service;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
+use std::any::Any;
 use std::collections::HashMap;
 
 /// AUSF handler parsing/auth-service-authorisation overhead.
@@ -70,49 +71,33 @@ impl AusfService {
         self.contexts.len()
     }
 
-    fn authenticate(
+    /// Error mapping shared by the authenticate and resync handler paths.
+    fn upstream_error(e: NfError) -> HttpResponse {
+        match e {
+            NfError::Sim(shield5g_sim::SimError::ServiceFailure { status, .. }) => {
+                HttpResponse::error(status, "upstream failure")
+            }
+            e => HttpResponse::error(400, e.to_string()),
+        }
+    }
+
+    /// Issues the SE AV once XRES*/K_SEAF are known.
+    fn finish_authenticate(
         &mut self,
         env: &mut Env,
-        req: &AuthenticateRequest,
-    ) -> Result<AuthenticateResponse, NfError> {
-        env.clock
-            .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS));
-        // Forward to UDM for the HE AV.
-        let udm_req = UdmAuthGetRequest {
-            identity: req.identity.clone(),
-            known_supi: req.known_supi.clone(),
-            snn_mcc: req.snn_mcc.clone(),
-            snn_mnc: req.snn_mnc.clone(),
-        };
-        let body = self.client.post(
-            env,
-            &self.udm_addr,
-            "/nudm-ueau/generate-auth-data",
-            udm_req.encode(),
-        )?;
-        let udm_resp = UdmAuthGetResponse::decode(&body)?;
-        let he_av = decode_he_av(&udm_resp.he_av)?;
-
-        // SE parameters via the (possibly enclave-hosted) backend.
-        let snn = ServingNetworkName::new(&req.snn_mcc, &req.snn_mnc);
-        let se = self.backend.derive_se(
-            env,
-            &AusfAkaRequest {
-                rand: he_av.rand,
-                xres_star: he_av.xres_star,
-                kausf: he_av.kausf,
-                snn,
-            },
-        )?;
-
+        supi: String,
+        he_av: &HeAv,
+        hxres_star: [u8; 16],
+        kseaf: [u8; 32],
+    ) -> Step {
         let ctx_id = self.next_ctx;
         self.next_ctx += 1;
         self.contexts.insert(
             ctx_id,
             AuthContext {
-                supi: udm_resp.supi,
+                supi,
                 xres_star: he_av.xres_star,
-                kseaf: se.kseaf,
+                kseaf,
             },
         );
         env.log.record(
@@ -120,14 +105,17 @@ impl AusfService {
             "aka",
             format!("AUSF issued SE AV (ctx {ctx_id})"),
         );
-        Ok(AuthenticateResponse {
-            auth_ctx_id: ctx_id,
-            se_av: SeAv {
-                rand: he_av.rand,
-                autn: he_av.autn,
-                hxres_star: se.hxres_star,
-            },
-        })
+        Step::Reply(HttpResponse::ok(
+            AuthenticateResponse {
+                auth_ctx_id: ctx_id,
+                se_av: SeAv {
+                    rand: he_av.rand,
+                    autn: he_av.autn,
+                    hxres_star,
+                },
+            }
+            .encode(),
+        ))
     }
 
     fn confirm(&mut self, env: &mut Env, req: &ConfirmRequest) -> Result<ConfirmResponse, NfError> {
@@ -157,46 +145,131 @@ impl AusfService {
             })
         }
     }
-
-    fn resync(&mut self, env: &mut Env, req: &ResyncRequest) -> Result<(), NfError> {
-        env.clock
-            .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS / 2));
-        self.client
-            .post(env, &self.udm_addr, "/nudm-ueau/resync", req.encode())?;
-        Ok(())
-    }
 }
 
-impl Service for AusfService {
-    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+/// Continuation state across the AUSF's outbound round trips.
+#[allow(clippy::enum_variant_names)] // every variant awaits a distinct peer
+enum AusfFlow {
+    /// Waiting on the UDM's HE AV.
+    AwaitUdm { snn: ServingNetworkName },
+    /// Waiting on the remote AKA module's SE parameters.
+    AwaitSe {
+        supi: String,
+        he_av: HeAv,
+        token: Box<dyn Any>,
+    },
+    /// Waiting on the UDM's resync acknowledgement.
+    AwaitUdmResync,
+}
+
+impl EngineService for AusfService {
+    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
         match req.path.as_str() {
             "/nausf-auth/authenticate" => {
-                match AuthenticateRequest::decode(&req.body)
-                    .and_then(|r| self.authenticate(env, &r))
-                {
-                    Ok(resp) => HttpResponse::ok(resp.encode()),
-                    Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
-                        status, ..
-                    })) => HttpResponse::error(status, "upstream failure"),
-                    Err(e) => HttpResponse::error(400, e.to_string()),
+                env.clock
+                    .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS));
+                let decoded = match AuthenticateRequest::decode(&req.body) {
+                    Ok(r) => r,
+                    Err(e) => return Step::Reply(Self::upstream_error(e)),
+                };
+                // Forward to UDM for the HE AV.
+                let udm_req = UdmAuthGetRequest {
+                    identity: decoded.identity.clone(),
+                    known_supi: decoded.known_supi.clone(),
+                    snn_mcc: decoded.snn_mcc.clone(),
+                    snn_mnc: decoded.snn_mnc.clone(),
+                };
+                let snn = ServingNetworkName::new(&decoded.snn_mcc, &decoded.snn_mnc);
+                let out = self
+                    .client
+                    .send(env, "/nudm-ueau/generate-auth-data", udm_req.encode());
+                Step::CallOut {
+                    dest: self.udm_addr.clone(),
+                    req: out,
+                    state: Box::new(AusfFlow::AwaitUdm { snn }),
                 }
             }
             "/nausf-auth/confirm" => {
                 match ConfirmRequest::decode(&req.body).and_then(|r| self.confirm(env, &r)) {
-                    Ok(resp) => HttpResponse::ok(resp.encode()),
-                    Err(e) => HttpResponse::error(400, e.to_string()),
+                    Ok(resp) => Step::Reply(HttpResponse::ok(resp.encode())),
+                    Err(e) => Step::Reply(HttpResponse::error(400, e.to_string())),
                 }
             }
             "/nausf-auth/resync" => {
-                match ResyncRequest::decode(&req.body).and_then(|r| self.resync(env, &r)) {
-                    Ok(()) => HttpResponse::ok(Vec::new()),
-                    Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
-                        status, ..
-                    })) => HttpResponse::error(status, "upstream failure"),
-                    Err(e) => HttpResponse::error(400, e.to_string()),
+                env.clock
+                    .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS / 2));
+                match ResyncRequest::decode(&req.body) {
+                    Ok(decoded) => {
+                        let out = self.client.send(env, "/nudm-ueau/resync", decoded.encode());
+                        Step::CallOut {
+                            dest: self.udm_addr.clone(),
+                            req: out,
+                            state: Box::new(AusfFlow::AwaitUdmResync),
+                        }
+                    }
+                    Err(e) => Step::Reply(Self::upstream_error(e)),
                 }
             }
-            other => HttpResponse::error(404, format!("no handler for {other}")),
+            other => Step::Reply(HttpResponse::error(404, format!("no handler for {other}"))),
+        }
+    }
+
+    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+        let flow = match state.downcast::<AusfFlow>() {
+            Ok(f) => *f,
+            Err(_) => return Step::Reply(HttpResponse::error(500, "ausf: foreign state")),
+        };
+        match flow {
+            AusfFlow::AwaitUdm { snn } => {
+                let body = match self.client.receive(env, &self.udm_addr, resp) {
+                    Ok(b) => b,
+                    Err(e) => return Step::Reply(Self::upstream_error(e)),
+                };
+                let udm_resp = match UdmAuthGetResponse::decode(&body) {
+                    Ok(r) => r,
+                    Err(e) => return Step::Reply(Self::upstream_error(e)),
+                };
+                let he_av = match decode_he_av(&udm_resp.he_av) {
+                    Ok(av) => av,
+                    Err(e) => return Step::Reply(Self::upstream_error(e)),
+                };
+                // SE parameters via the (possibly enclave-hosted) backend.
+                let aka_req = AusfAkaRequest {
+                    rand: he_av.rand,
+                    xres_star: he_av.xres_star,
+                    kausf: he_av.kausf,
+                    snn,
+                };
+                match self.backend.begin_derive_se(env, &aka_req) {
+                    BackendOp::Done(Ok(se)) => self.finish_authenticate(
+                        env,
+                        udm_resp.supi,
+                        &he_av,
+                        se.hxres_star,
+                        se.kseaf,
+                    ),
+                    BackendOp::Done(Err(e)) => Step::Reply(Self::upstream_error(e)),
+                    BackendOp::Call { dest, req, token } => Step::CallOut {
+                        dest,
+                        req,
+                        state: Box::new(AusfFlow::AwaitSe {
+                            supi: udm_resp.supi,
+                            he_av,
+                            token,
+                        }),
+                    },
+                }
+            }
+            AusfFlow::AwaitSe { supi, he_av, token } => {
+                match self.backend.finish_derive_se(env, token, resp) {
+                    Ok(se) => self.finish_authenticate(env, supi, &he_av, se.hxres_star, se.kseaf),
+                    Err(e) => Step::Reply(Self::upstream_error(e)),
+                }
+            }
+            AusfFlow::AwaitUdmResync => match self.client.receive(env, &self.udm_addr, resp) {
+                Ok(_) => Step::Reply(HttpResponse::ok(Vec::new())),
+                Err(e) => Step::Reply(Self::upstream_error(e)),
+            },
         }
     }
 }
@@ -212,7 +285,8 @@ mod tests {
     use shield5g_crypto::ident::Supi;
     use shield5g_crypto::keys::derive_hxres_star;
     use shield5g_crypto::milenage::Milenage;
-    use shield5g_sim::service::{service_handle, Router};
+    use shield5g_sim::engine::Engine;
+    use shield5g_sim::service::service_handle;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -220,40 +294,34 @@ mod tests {
     const OPC: [u8; 16] = [0xcd; 16];
     const SUPI: &str = "imsi-001010000000001";
 
-    fn world() -> (Env, Rc<RefCell<Router>>, HomeNetworkKeyPair) {
+    fn world() -> (Env, Engine, HomeNetworkKeyPair) {
         let mut env = Env::new(4);
-        let router = Rc::new(RefCell::new(Router::new()));
+        let mut engine = Engine::new();
         let mut udr = UdrService::new();
         udr.provision(SUPI, OPC, [0x80, 0]);
-        router
-            .borrow_mut()
-            .register(crate::addr::UDR, service_handle(udr));
+        engine.register(crate::addr::UDR, 4, Engine::leaf(service_handle(udr)));
         let hn = HomeNetworkKeyPair::from_private(1, env.rng.bytes());
         let mut udm_backend = LocalUdmAka::new();
         udm_backend.provision(SUPI, K);
         let udm = UdmService::new(
             hn.clone(),
-            SbiClient::new(router.clone()),
+            SbiClient::new(),
             crate::addr::UDR,
             Box::new(udm_backend),
         );
-        router
-            .borrow_mut()
-            .register(crate::addr::UDM, service_handle(udm));
+        engine.register(crate::addr::UDM, 4, Rc::new(RefCell::new(udm)));
         let ausf = AusfService::new(
-            SbiClient::new(router.clone()),
+            SbiClient::new(),
             crate::addr::UDM,
             Box::new(LocalAusfAka::new()),
         );
-        router
-            .borrow_mut()
-            .register(crate::addr::AUSF, service_handle(ausf));
-        (env, router, hn)
+        engine.register(crate::addr::AUSF, 4, Rc::new(RefCell::new(ausf)));
+        (env, engine, hn)
     }
 
     fn authenticate(
         env: &mut Env,
-        router: &Rc<RefCell<Router>>,
+        engine: &mut Engine,
         hn: &HomeNetworkKeyPair,
     ) -> AuthenticateResponse {
         let supi = Supi::parse(SUPI).unwrap();
@@ -265,15 +333,14 @@ mod tests {
             snn_mcc: "001".into(),
             snn_mnc: "01".into(),
         };
-        let body = {
-            let r = router.borrow();
-            r.call_ok(
+        let body = engine
+            .dispatch_ok(
                 env,
                 crate::addr::AUSF,
                 HttpRequest::post("/nausf-auth/authenticate", req.encode()),
             )
             .unwrap()
-        };
+            .body;
         AuthenticateResponse::decode(&body).unwrap()
     }
 
@@ -288,8 +355,8 @@ mod tests {
 
     #[test]
     fn full_authenticate_confirm_round() {
-        let (mut env, router, hn) = world();
-        let auth = authenticate(&mut env, &router, &hn);
+        let (mut env, mut engine, hn) = world();
+        let auth = authenticate(&mut env, &mut engine, &hn);
         // SEAF check: HXRES* must match the hash of the honest response.
         let res_star = ue_answer(&auth.se_av.rand, &auth.se_av.autn);
         assert_eq!(
@@ -301,15 +368,14 @@ mod tests {
             auth_ctx_id: auth.auth_ctx_id,
             res_star,
         };
-        let body = {
-            let r = router.borrow();
-            r.call_ok(
+        let body = engine
+            .dispatch_ok(
                 &mut env,
                 crate::addr::AUSF,
                 HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
             )
             .unwrap()
-        };
+            .body;
         let resp = ConfirmResponse::decode(&body).unwrap();
         assert!(resp.success);
         assert_eq!(resp.supi, SUPI);
@@ -318,21 +384,20 @@ mod tests {
 
     #[test]
     fn wrong_res_star_rejected() {
-        let (mut env, router, hn) = world();
-        let auth = authenticate(&mut env, &router, &hn);
+        let (mut env, mut engine, hn) = world();
+        let auth = authenticate(&mut env, &mut engine, &hn);
         let confirm = ConfirmRequest {
             auth_ctx_id: auth.auth_ctx_id,
             res_star: [0xEE; 16],
         };
-        let body = {
-            let r = router.borrow();
-            r.call_ok(
+        let body = engine
+            .dispatch_ok(
                 &mut env,
                 crate::addr::AUSF,
                 HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
             )
             .unwrap()
-        };
+            .body;
         let resp = ConfirmResponse::decode(&body).unwrap();
         assert!(!resp.success);
         assert_eq!(
@@ -343,45 +408,43 @@ mod tests {
 
     #[test]
     fn confirm_context_is_single_use() {
-        let (mut env, router, hn) = world();
-        let auth = authenticate(&mut env, &router, &hn);
+        let (mut env, mut engine, hn) = world();
+        let auth = authenticate(&mut env, &mut engine, &hn);
         let res_star = ue_answer(&auth.se_av.rand, &auth.se_av.autn);
         let confirm = ConfirmRequest {
             auth_ctx_id: auth.auth_ctx_id,
             res_star,
         };
-        {
-            let r = router.borrow();
-            r.call_ok(
+        engine
+            .dispatch_ok(
                 &mut env,
                 crate::addr::AUSF,
                 HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
             )
             .unwrap();
-            // Second use of the same context fails.
-            let resp = r
-                .call(
-                    &mut env,
-                    crate::addr::AUSF,
-                    HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
-                )
-                .unwrap();
-            assert_eq!(resp.status, 400);
-        }
+        // Second use of the same context fails.
+        let resp = engine
+            .dispatch(
+                &mut env,
+                crate::addr::AUSF,
+                HttpRequest::post("/nausf-auth/confirm", confirm.encode()),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 400);
     }
 
     #[test]
     fn distinct_authentications_get_distinct_challenges() {
-        let (mut env, router, hn) = world();
-        let a1 = authenticate(&mut env, &router, &hn);
-        let a2 = authenticate(&mut env, &router, &hn);
+        let (mut env, mut engine, hn) = world();
+        let a1 = authenticate(&mut env, &mut engine, &hn);
+        let a2 = authenticate(&mut env, &mut engine, &hn);
         assert_ne!(a1.se_av.rand, a2.se_av.rand);
         assert_ne!(a1.auth_ctx_id, a2.auth_ctx_id);
     }
 
     #[test]
     fn unknown_subscriber_propagates_404() {
-        let (mut env, router, hn) = world();
+        let (mut env, mut engine, hn) = world();
         let supi = Supi::new(shield5g_crypto::ident::Plmn::test_network(), "0000000042").unwrap();
         let suci = supi.conceal_profile_a(1, hn.public(), &[7; 32]);
         let req = AuthenticateRequest {
@@ -390,15 +453,13 @@ mod tests {
             snn_mcc: "001".into(),
             snn_mnc: "01".into(),
         };
-        let resp = {
-            let r = router.borrow();
-            r.call(
+        let resp = engine
+            .dispatch(
                 &mut env,
                 crate::addr::AUSF,
                 HttpRequest::post("/nausf-auth/authenticate", req.encode()),
             )
-            .unwrap()
-        };
+            .unwrap();
         assert_eq!(resp.status, 404);
     }
 }

@@ -7,24 +7,28 @@ use shield5g_crypto::ident::{Guti, Plmn, ProtectionScheme, Suci};
 use shield5g_crypto::keys::SeAv;
 use shield5g_crypto::sqn::Auts;
 use shield5g_sim::codec::{Reader, Writer};
-use shield5g_sim::http::HttpRequest;
+use shield5g_sim::engine;
+use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::latency::LinkProfile;
-use shield5g_sim::service::Router;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Per-record TLS processing on persistent SBI connections (encrypt +
 /// MAC on one side, verify + decrypt on the other).
 const TLS_RECORD_NANOS: u64 = 2_100;
 
-/// An HTTP client for NF-to-NF calls: charges the bridge link for request
-/// and response bytes plus TLS record protection, then delivers through
-/// the shared router.
+/// The send/receive halves of an NF-to-NF HTTP call.
+///
+/// Under the discrete-event engine an SBI round trip is split at the
+/// scheduler boundary: [`SbiClient::send`] charges the send-side cost
+/// (TLS record protection plus the request's link transfer) and builds
+/// the request carried by a `Step::CallOut`; when the response event
+/// resumes the caller, [`SbiClient::receive`] charges the receive-side
+/// cost and maps transport-level failures. The two halves together charge
+/// exactly what the old nested synchronous `post` did, so closed-loop
+/// latencies are unchanged — only the waiting is now mechanistic.
 #[derive(Clone)]
 pub struct SbiClient {
-    router: Rc<RefCell<Router>>,
     profile: LinkProfile,
 }
 
@@ -36,12 +40,17 @@ impl std::fmt::Debug for SbiClient {
     }
 }
 
+impl Default for SbiClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SbiClient {
     /// A client over the docker-bridge profile (co-located VNFs).
     #[must_use]
-    pub fn new(router: Rc<RefCell<Router>>) -> Self {
+    pub fn new() -> Self {
         SbiClient {
-            router,
             profile: LinkProfile::docker_bridge(),
         }
     }
@@ -53,35 +62,47 @@ impl SbiClient {
         self
     }
 
-    /// The shared router handle.
-    #[must_use]
-    pub fn router(&self) -> Rc<RefCell<Router>> {
-        self.router.clone()
+    /// Charges the send-side cost of a POST (TLS record + request bytes
+    /// on the link) and returns the request to hand to the scheduler in a
+    /// `Step::CallOut`.
+    pub fn send(&self, env: &mut Env, path: &str, body: Vec<u8>) -> HttpRequest {
+        let req = HttpRequest::post(path, body);
+        env.clock.advance(SimDuration::from_nanos(TLS_RECORD_NANOS));
+        self.profile.transfer(env, req.wire_len());
+        req
     }
 
-    /// POSTs `body` to `addr` at `path`, returning the response body.
+    /// Charges the receive-side cost of the response to an earlier
+    /// [`SbiClient::send`] and unwraps the body.
     ///
     /// # Errors
     ///
-    /// Returns [`NfError::Sim`] for transport failures and non-2xx
-    /// responses.
-    pub fn post(
+    /// * [`NfError::Sim`] with `UnknownEndpoint` when the engine found
+    ///   nobody at `addr` (connection refused), or `ReentrantCall` when
+    ///   the call chain looped back into `addr`.
+    /// * [`NfError::Sim`] with `ServiceFailure` for any non-2xx status,
+    ///   including admission-control sheds (503).
+    pub fn receive(
         &self,
         env: &mut Env,
         addr: &str,
-        path: &str,
-        body: Vec<u8>,
+        resp: HttpResponse,
     ) -> Result<Vec<u8>, NfError> {
-        let req = HttpRequest::post(path, body);
-        let req_len = req.wire_len();
-        env.clock.advance(SimDuration::from_nanos(TLS_RECORD_NANOS));
-        self.profile.transfer(env, req_len);
-        let resp = {
-            let router = self.router.borrow();
-            router.call(env, addr, req)?
-        };
         env.clock.advance(SimDuration::from_nanos(TLS_RECORD_NANOS));
         self.profile.transfer(env, resp.wire_len());
+        match resp.header(engine::ERROR_HEADER) {
+            Some("unknown-endpoint" | "unknown-root") => {
+                return Err(NfError::Sim(shield5g_sim::SimError::UnknownEndpoint(
+                    addr.to_owned(),
+                )));
+            }
+            Some("loop") => {
+                return Err(NfError::Sim(shield5g_sim::SimError::ReentrantCall(
+                    addr.to_owned(),
+                )));
+            }
+            _ => {}
+        }
         if resp.is_success() {
             Ok(resp.body)
         } else {
@@ -627,6 +648,7 @@ impl CreateSessionResponse {
 mod tests {
     use super::*;
     use shield5g_crypto::ident::Supi;
+    use shield5g_sim::engine::Engine;
     use shield5g_sim::http::HttpResponse;
     use shield5g_sim::service::{service_handle, Service};
 
@@ -743,16 +765,25 @@ mod tests {
         }
     }
 
+    fn round_trip(
+        engine: &mut Engine,
+        env: &mut Env,
+        addr: &str,
+        body: Vec<u8>,
+    ) -> Result<Vec<u8>, NfError> {
+        let client = SbiClient::new();
+        let req = client.send(env, "/x", body);
+        let resp = engine.dispatch(env, addr, req).map_err(NfError::Sim)?;
+        client.receive(env, addr, resp)
+    }
+
     #[test]
     fn sbi_client_charges_clock_and_delivers() {
         let mut env = Env::new(1);
-        let router = Rc::new(RefCell::new(Router::new()));
-        router.borrow_mut().register("echo", service_handle(Echo));
-        let client = SbiClient::new(router);
+        let mut engine = Engine::new();
+        engine.register("echo", 1, Engine::leaf(service_handle(Echo)));
         let t0 = env.clock.now();
-        let body = client
-            .post(&mut env, "echo", "/x", b"payload".to_vec())
-            .unwrap();
+        let body = round_trip(&mut engine, &mut env, "echo", b"payload".to_vec()).unwrap();
         assert_eq!(body, b"payload");
         let spent = env.clock.now() - t0;
         // Two bridge traversals + TLS records: tens of microseconds.
@@ -763,19 +794,36 @@ mod tests {
     #[test]
     fn sbi_client_maps_failures() {
         let mut env = Env::new(2);
-        let router = Rc::new(RefCell::new(Router::new()));
-        router.borrow_mut().register("sad", service_handle(Sad));
-        let client = SbiClient::new(router);
+        let mut engine = Engine::new();
+        engine.register("sad", 1, Engine::leaf(service_handle(Sad)));
         assert!(matches!(
-            client.post(&mut env, "sad", "/x", Vec::new()),
+            round_trip(&mut engine, &mut env, "sad", Vec::new()),
             Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
                 status: 500,
                 ..
             }))
         ));
         assert!(matches!(
-            client.post(&mut env, "ghost", "/x", Vec::new()),
+            round_trip(&mut engine, &mut env, "ghost", Vec::new()),
             Err(NfError::Sim(shield5g_sim::SimError::UnknownEndpoint(_)))
+        ));
+    }
+
+    #[test]
+    fn sbi_receive_maps_engine_synthesized_responses() {
+        let mut env = Env::new(3);
+        let client = SbiClient::new();
+        let unknown = HttpResponse::error(502, "unknown endpoint x")
+            .with_header(shield5g_sim::engine::ERROR_HEADER, "unknown-endpoint");
+        assert!(matches!(
+            client.receive(&mut env, "x", unknown),
+            Err(NfError::Sim(shield5g_sim::SimError::UnknownEndpoint(_)))
+        ));
+        let looped = HttpResponse::error(508, "call loop through x")
+            .with_header(shield5g_sim::engine::ERROR_HEADER, "loop");
+        assert!(matches!(
+            client.receive(&mut env, "x", looped),
+            Err(NfError::Sim(shield5g_sim::SimError::ReentrantCall(_)))
         ));
     }
 

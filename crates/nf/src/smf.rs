@@ -5,10 +5,11 @@
 use crate::sbi::{CreateSessionRequest, CreateSessionResponse, SbiClient};
 use crate::NfError;
 use shield5g_sim::codec::{Reader, Writer};
+use shield5g_sim::engine::{EngineService, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
-use shield5g_sim::service::Service;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
+use std::any::Any;
 use std::collections::HashMap;
 
 /// SMF session-establishment handler time.
@@ -97,66 +98,82 @@ impl SmfService {
         self.sessions.len()
     }
 
-    fn create(
-        &mut self,
-        env: &mut Env,
-        req: &CreateSessionRequest,
-    ) -> Result<CreateSessionResponse, NfError> {
+    fn start_create(&mut self, env: &mut Env, req: &CreateSessionRequest) -> Step {
         env.clock
             .advance(SimDuration::from_nanos(SMF_HANDLER_NANOS));
         if let Some(existing) = self.sessions.get(&(req.supi.clone(), req.pdu_session_id)) {
             // Idempotent re-establishment returns the same anchor.
-            return Ok(CreateSessionResponse {
-                ue_ip: existing.ue_ip,
-                upf_teid: existing.teid,
-            });
+            return Step::Reply(HttpResponse::ok(
+                CreateSessionResponse {
+                    ue_ip: existing.ue_ip,
+                    upf_teid: existing.teid,
+                }
+                .encode(),
+            ));
         }
         let ue_ip = [10, 0, 0, self.next_ip_suffix];
         self.next_ip_suffix = self.next_ip_suffix.wrapping_add(1).max(2);
         let teid = self.next_teid;
         self.next_teid += 1;
         // Program the UPF over N4.
-        self.client.post(
-            env,
-            &self.upf_addr,
-            "/n4/establish",
-            N4Establish { teid, ue_ip }.encode(),
-        )?;
-        self.sessions.insert(
-            (req.supi.clone(), req.pdu_session_id),
-            SmfSession {
-                supi: req.supi.clone(),
-                pdu_session_id: req.pdu_session_id,
-                ue_ip,
-                teid,
+        let out = self
+            .client
+            .send(env, "/n4/establish", N4Establish { teid, ue_ip }.encode());
+        Step::CallOut {
+            dest: self.upf_addr.clone(),
+            req: out,
+            state: Box::new(SmfFlow::AwaitUpf {
+                session: SmfSession {
+                    supi: req.supi.clone(),
+                    pdu_session_id: req.pdu_session_id,
+                    ue_ip,
+                    teid,
+                },
+            }),
+        }
+    }
+}
+
+/// Continuation state across the SMF's N4 round trip.
+enum SmfFlow {
+    /// Waiting for the UPF to acknowledge the N4 establishment.
+    AwaitUpf { session: SmfSession },
+}
+
+impl EngineService for SmfService {
+    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
+        match req.path.as_str() {
+            "/nsmf-pdusession/create" => match CreateSessionRequest::decode(&req.body) {
+                Ok(decoded) => self.start_create(env, &decoded),
+                Err(e) => Step::Reply(HttpResponse::error(400, e.to_string())),
             },
-        );
+            other => Step::Reply(HttpResponse::error(404, format!("no handler for {other}"))),
+        }
+    }
+
+    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+        let SmfFlow::AwaitUpf { session } = match state.downcast::<SmfFlow>() {
+            Ok(f) => *f,
+            Err(_) => return Step::Reply(HttpResponse::error(500, "smf: foreign state")),
+        };
+        if let Err(e) = self.client.receive(env, &self.upf_addr, resp) {
+            return Step::Reply(HttpResponse::error(400, e.to_string()));
+        }
+        let reply = CreateSessionResponse {
+            ue_ip: session.ue_ip,
+            upf_teid: session.teid,
+        };
         env.log.record(
             env.clock.now(),
             "session",
             format!(
                 "SMF anchored PDU session {} for {} at 10.0.0.{}",
-                req.pdu_session_id, req.supi, ue_ip[3]
+                session.pdu_session_id, session.supi, session.ue_ip[3]
             ),
         );
-        Ok(CreateSessionResponse {
-            ue_ip,
-            upf_teid: teid,
-        })
-    }
-}
-
-impl Service for SmfService {
-    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
-        match req.path.as_str() {
-            "/nsmf-pdusession/create" => {
-                match CreateSessionRequest::decode(&req.body).and_then(|r| self.create(env, &r)) {
-                    Ok(resp) => HttpResponse::ok(resp.encode()),
-                    Err(e) => HttpResponse::error(400, e.to_string()),
-                }
-            }
-            other => HttpResponse::error(404, format!("no handler for {other}")),
-        }
+        self.sessions
+            .insert((session.supi.clone(), session.pdu_session_id), session);
+        Step::Reply(HttpResponse::ok(reply.encode()))
     }
 }
 
@@ -164,50 +181,45 @@ impl Service for SmfService {
 mod tests {
     use super::*;
     use crate::upf::UpfService;
-    use shield5g_sim::service::{service_handle, Router};
+    use shield5g_sim::engine::Engine;
+    use shield5g_sim::service::service_handle;
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn world() -> (Env, Rc<RefCell<Router>>) {
+    fn world() -> (Env, Engine) {
         let env = Env::new(9);
-        let router = Rc::new(RefCell::new(Router::new()));
-        router
-            .borrow_mut()
-            .register(crate::addr::UPF, service_handle(UpfService::new()));
-        let smf = SmfService::new(SbiClient::new(router.clone()), crate::addr::UPF);
-        router
-            .borrow_mut()
-            .register(crate::addr::SMF, service_handle(smf));
-        (env, router)
+        let mut engine = Engine::new();
+        engine.register(
+            crate::addr::UPF,
+            4,
+            Engine::leaf(service_handle(UpfService::new())),
+        );
+        let smf = SmfService::new(SbiClient::new(), crate::addr::UPF);
+        engine.register(crate::addr::SMF, 4, Rc::new(RefCell::new(smf)));
+        (env, engine)
     }
 
-    fn create(
-        env: &mut Env,
-        router: &Rc<RefCell<Router>>,
-        supi: &str,
-        id: u8,
-    ) -> CreateSessionResponse {
+    fn create(env: &mut Env, engine: &mut Engine, supi: &str, id: u8) -> CreateSessionResponse {
         let req = CreateSessionRequest {
             supi: supi.into(),
             pdu_session_id: id,
         };
-        let body = {
-            let r = router.borrow();
-            r.call_ok(
+        let body = engine
+            .dispatch_ok(
                 env,
                 crate::addr::SMF,
                 HttpRequest::post("/nsmf-pdusession/create", req.encode()),
             )
             .unwrap()
-        };
+            .body;
         CreateSessionResponse::decode(&body).unwrap()
     }
 
     #[test]
     fn creates_session_with_unique_ips() {
-        let (mut env, router) = world();
-        let s1 = create(&mut env, &router, "imsi-1", 1);
-        let s2 = create(&mut env, &router, "imsi-2", 1);
+        let (mut env, mut engine) = world();
+        let s1 = create(&mut env, &mut engine, "imsi-1", 1);
+        let s2 = create(&mut env, &mut engine, "imsi-2", 1);
         assert_ne!(s1.ue_ip, s2.ue_ip);
         assert_ne!(s1.upf_teid, s2.upf_teid);
         assert_eq!(s1.ue_ip[0], 10);
@@ -215,9 +227,9 @@ mod tests {
 
     #[test]
     fn re_establishment_is_idempotent() {
-        let (mut env, router) = world();
-        let s1 = create(&mut env, &router, "imsi-1", 5);
-        let s2 = create(&mut env, &router, "imsi-1", 5);
+        let (mut env, mut engine) = world();
+        let s1 = create(&mut env, &mut engine, "imsi-1", 5);
+        let s2 = create(&mut env, &mut engine, "imsi-1", 5);
         assert_eq!(s1, s2);
     }
 
@@ -232,12 +244,10 @@ mod tests {
 
     #[test]
     fn unknown_path_404() {
-        let (mut env, router) = world();
-        let resp = {
-            let r = router.borrow();
-            r.call(&mut env, crate::addr::SMF, HttpRequest::get("/nope"))
-                .unwrap()
-        };
+        let (mut env, mut engine) = world();
+        let resp = engine
+            .dispatch(&mut env, crate::addr::SMF, HttpRequest::get("/nope"))
+            .unwrap();
         assert_eq!(resp.status, 404);
     }
 }

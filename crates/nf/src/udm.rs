@@ -6,7 +6,7 @@
 //! for the monolithic baseline, the eUDM P-AKA module in the paper's
 //! deployments) → return SUPI + HE AV to the AUSF.
 
-use crate::backend::{encode_he_av, UdmAkaBackend, UdmAkaRequest};
+use crate::backend::{encode_he_av, BackendOp, UdmAkaBackend, UdmAkaRequest};
 use crate::messages::UeIdentity;
 use crate::sbi::{
     ResyncRequest, SbiClient, UdmAuthGetRequest, UdmAuthGetResponse, UdrAuthDataRequest,
@@ -15,10 +15,11 @@ use crate::sbi::{
 use crate::NfError;
 use shield5g_crypto::ecies::HomeNetworkKeyPair;
 use shield5g_crypto::keys::ServingNetworkName;
+use shield5g_sim::engine::{EngineService, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
-use shield5g_sim::service::Service;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
+use std::any::Any;
 
 /// ECIES Profile A de-concealment compute time (X25519 + KDF + AES-CTR on
 /// the OAI C++ path).
@@ -91,24 +92,73 @@ impl UdmService {
         }
     }
 
-    fn generate_auth_data(
+    /// Error mapping of the auth-data handler path.
+    fn auth_error(e: NfError) -> HttpResponse {
+        match e {
+            NfError::Sim(shield5g_sim::SimError::ServiceFailure { status: 404, .. }) => {
+                HttpResponse::error(404, "subscriber not found")
+            }
+            NfError::SubscriberUnknown(s) => {
+                HttpResponse::error(404, format!("unknown subscriber {s}"))
+            }
+            NfError::Crypto(e) => HttpResponse::error(403, e.to_string()),
+            e => HttpResponse::error(400, e.to_string()),
+        }
+    }
+
+    /// Error mapping of the resync handler path.
+    fn resync_error(e: NfError) -> HttpResponse {
+        match e {
+            NfError::Crypto(e) => HttpResponse::error(403, e.to_string()),
+            e => HttpResponse::error(400, e.to_string()),
+        }
+    }
+
+    /// Issues the UDR subscription-data fetch shared by both flows.
+    fn fetch_auth_data(&mut self, env: &mut Env, supi: &str, next: UdmFlow) -> Step {
+        let req = self.client.send(
+            env,
+            "/nudr-dr/auth-data",
+            UdrAuthDataRequest {
+                supi: supi.to_owned(),
+            }
+            .encode(),
+        );
+        Step::CallOut {
+            dest: self.udr_addr.clone(),
+            req,
+            state: Box::new(next),
+        }
+    }
+
+    fn finish_av(&mut self, env: &mut Env, supi: String, av: &shield5g_crypto::keys::HeAv) -> Step {
+        env.log.record(
+            env.clock.now(),
+            "aka",
+            format!("UDM generated HE AV for {supi}"),
+        );
+        Step::Reply(HttpResponse::ok(
+            UdmAuthGetResponse {
+                supi,
+                he_av: encode_he_av(av),
+            }
+            .encode(),
+        ))
+    }
+
+    /// After the subscription data arrives: draw RAND and delegate the
+    /// sensitive computation to the backend.
+    fn start_av(
         &mut self,
         env: &mut Env,
         req: &UdmAuthGetRequest,
-    ) -> Result<UdmAuthGetResponse, NfError> {
-        env.clock
-            .advance(SimDuration::from_nanos(UDM_HANDLER_NANOS));
-        let supi = self.resolve_supi(env, req)?;
-
-        // Fetch OPc / fresh SQN / AMF field from the UDR.
-        let udr_resp = self.client.post(
-            env,
-            &self.udr_addr,
-            "/nudr-dr/auth-data",
-            UdrAuthDataRequest { supi: supi.clone() }.encode(),
-        )?;
-        let auth_data = UdrAuthDataResponse::decode(&udr_resp)?;
-
+        supi: String,
+        body: &[u8],
+    ) -> Step {
+        let auth_data = match UdrAuthDataResponse::decode(body) {
+            Ok(d) => d,
+            Err(e) => return Step::Reply(Self::auth_error(e)),
+        };
         // RAND is drawn in the UDM (paper Fig. 5: RAND is an *input* to
         // the eUDM P-AKA module).
         let rand: [u8; 16] = env.rng.bytes();
@@ -120,82 +170,154 @@ impl UdmService {
             amf_field: auth_data.amf_field,
             snn: ServingNetworkName::new(&req.snn_mcc, &req.snn_mnc),
         };
-        let av = self.backend.generate_av(env, &aka_req)?;
-        env.log.record(
-            env.clock.now(),
-            "aka",
-            format!("UDM generated HE AV for {supi}"),
-        );
-        Ok(UdmAuthGetResponse {
-            supi,
-            he_av: encode_he_av(&av),
-        })
+        match self.backend.begin_generate_av(env, &aka_req) {
+            BackendOp::Done(Ok(av)) => self.finish_av(env, supi, &av),
+            BackendOp::Done(Err(e)) => Step::Reply(Self::auth_error(e)),
+            BackendOp::Call { dest, req, token } => Step::CallOut {
+                dest,
+                req,
+                state: Box::new(UdmFlow::AwaitAv { supi, token }),
+            },
+        }
     }
 
-    fn handle_resync(&mut self, env: &mut Env, req: &ResyncRequest) -> Result<(), NfError> {
-        env.clock
-            .advance(SimDuration::from_nanos(UDM_HANDLER_NANOS));
-        // Need the OPc to check MAC-S; fetch subscription data (the extra
-        // SQN this burns is inconsequential).
-        let udr_resp = self.client.post(
+    /// After MAC-S checked out: push SQN_MS back to the UDR.
+    fn push_resync(&mut self, env: &mut Env, supi: String, sqn_ms: [u8; 6]) -> Step {
+        let req = self.client.send(
             env,
-            &self.udr_addr,
-            "/nudr-dr/auth-data",
-            UdrAuthDataRequest {
-                supi: req.supi.clone(),
-            }
-            .encode(),
-        )?;
-        let auth_data = UdrAuthDataResponse::decode(&udr_resp)?;
-        let sqn_ms =
-            self.backend
-                .resynchronise(env, &req.supi, &auth_data.opc, &req.rand, &req.auts)?;
-        self.client.post(
-            env,
-            &self.udr_addr,
             "/nudr-dr/resync",
             UdrResyncRequest {
-                supi: req.supi.clone(),
+                supi: supi.clone(),
                 sqn_ms,
             }
             .encode(),
-        )?;
-        env.log.record(
-            env.clock.now(),
-            "aka",
-            format!("UDM re-synchronised SQN for {}", req.supi),
         );
-        Ok(())
+        Step::CallOut {
+            dest: self.udr_addr.clone(),
+            req,
+            state: Box::new(UdmFlow::AwaitUdrResync { supi }),
+        }
     }
 }
 
-impl Service for UdmService {
-    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+/// Continuation state across the UDM's outbound round trips.
+enum UdmFlow {
+    /// Auth-data flow: waiting on the UDR subscription fetch.
+    AwaitAuthData {
+        req: UdmAuthGetRequest,
+        supi: String,
+    },
+    /// Auth-data flow: waiting on the remote AKA module.
+    AwaitAv { supi: String, token: Box<dyn Any> },
+    /// Resync flow: waiting on the UDR subscription fetch (OPc for MAC-S).
+    ResyncAuthData { req: ResyncRequest },
+    /// Resync flow: waiting on the remote AKA module's AUTS verdict.
+    AwaitModuleResync { supi: String, token: Box<dyn Any> },
+    /// Resync flow: waiting on the UDR SQN update.
+    AwaitUdrResync { supi: String },
+}
+
+impl EngineService for UdmService {
+    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
         match req.path.as_str() {
             "/nudm-ueau/generate-auth-data" => {
-                match UdmAuthGetRequest::decode(&req.body)
-                    .and_then(|r| self.generate_auth_data(env, &r))
-                {
-                    Ok(resp) => HttpResponse::ok(resp.encode()),
-                    Err(NfError::Sim(shield5g_sim::SimError::ServiceFailure {
-                        status: 404,
-                        ..
-                    })) => HttpResponse::error(404, "subscriber not found"),
-                    Err(NfError::SubscriberUnknown(s)) => {
-                        HttpResponse::error(404, format!("unknown subscriber {s}"))
-                    }
-                    Err(NfError::Crypto(e)) => HttpResponse::error(403, e.to_string()),
-                    Err(e) => HttpResponse::error(400, e.to_string()),
-                }
+                env.clock
+                    .advance(SimDuration::from_nanos(UDM_HANDLER_NANOS));
+                let decoded = match UdmAuthGetRequest::decode(&req.body) {
+                    Ok(r) => r,
+                    Err(e) => return Step::Reply(Self::auth_error(e)),
+                };
+                let supi = match self.resolve_supi(env, &decoded) {
+                    Ok(s) => s,
+                    Err(e) => return Step::Reply(Self::auth_error(e)),
+                };
+                // Fetch OPc / fresh SQN / AMF field from the UDR.
+                self.fetch_auth_data(
+                    env,
+                    &supi.clone(),
+                    UdmFlow::AwaitAuthData { req: decoded, supi },
+                )
             }
             "/nudm-ueau/resync" => {
-                match ResyncRequest::decode(&req.body).and_then(|r| self.handle_resync(env, &r)) {
-                    Ok(()) => HttpResponse::ok(Vec::new()),
-                    Err(NfError::Crypto(e)) => HttpResponse::error(403, e.to_string()),
-                    Err(e) => HttpResponse::error(400, e.to_string()),
+                env.clock
+                    .advance(SimDuration::from_nanos(UDM_HANDLER_NANOS));
+                let decoded = match ResyncRequest::decode(&req.body) {
+                    Ok(r) => r,
+                    Err(e) => return Step::Reply(Self::resync_error(e)),
+                };
+                // Need the OPc to check MAC-S; fetch subscription data
+                // (the extra SQN this burns is inconsequential).
+                let supi = decoded.supi.clone();
+                self.fetch_auth_data(env, &supi, UdmFlow::ResyncAuthData { req: decoded })
+            }
+            other => Step::Reply(HttpResponse::error(404, format!("no handler for {other}"))),
+        }
+    }
+
+    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+        let flow = match state.downcast::<UdmFlow>() {
+            Ok(f) => *f,
+            Err(_) => return Step::Reply(HttpResponse::error(500, "udm: foreign state")),
+        };
+        match flow {
+            UdmFlow::AwaitAuthData { req, supi } => {
+                let body = match self.client.receive(env, &self.udr_addr, resp) {
+                    Ok(b) => b,
+                    Err(e) => return Step::Reply(Self::auth_error(e)),
+                };
+                self.start_av(env, &req, supi, &body)
+            }
+            UdmFlow::AwaitAv { supi, token } => {
+                match self.backend.finish_generate_av(env, token, resp) {
+                    Ok(av) => self.finish_av(env, supi, &av),
+                    Err(e) => Step::Reply(Self::auth_error(e)),
                 }
             }
-            other => HttpResponse::error(404, format!("no handler for {other}")),
+            UdmFlow::ResyncAuthData { req } => {
+                let body = match self.client.receive(env, &self.udr_addr, resp) {
+                    Ok(b) => b,
+                    Err(e) => return Step::Reply(Self::resync_error(e)),
+                };
+                let auth_data = match UdrAuthDataResponse::decode(&body) {
+                    Ok(d) => d,
+                    Err(e) => return Step::Reply(Self::resync_error(e)),
+                };
+                let supi = req.supi.clone();
+                match self.backend.begin_resynchronise(
+                    env,
+                    &req.supi,
+                    &auth_data.opc,
+                    &req.rand,
+                    &req.auts,
+                ) {
+                    BackendOp::Done(Ok(sqn_ms)) => self.push_resync(env, supi, sqn_ms),
+                    BackendOp::Done(Err(e)) => Step::Reply(Self::resync_error(e)),
+                    BackendOp::Call { dest, req, token } => Step::CallOut {
+                        dest,
+                        req,
+                        state: Box::new(UdmFlow::AwaitModuleResync { supi, token }),
+                    },
+                }
+            }
+            UdmFlow::AwaitModuleResync { supi, token } => {
+                match self.backend.finish_resynchronise(env, token, resp) {
+                    Ok(sqn_ms) => self.push_resync(env, supi, sqn_ms),
+                    Err(e) => Step::Reply(Self::resync_error(e)),
+                }
+            }
+            UdmFlow::AwaitUdrResync { supi } => {
+                match self.client.receive(env, &self.udr_addr, resp) {
+                    Ok(_) => {
+                        env.log.record(
+                            env.clock.now(),
+                            "aka",
+                            format!("UDM re-synchronised SQN for {supi}"),
+                        );
+                        Step::Reply(HttpResponse::ok(Vec::new()))
+                    }
+                    Err(e) => Step::Reply(Self::resync_error(e)),
+                }
+            }
         }
     }
 }
@@ -207,7 +329,8 @@ mod tests {
     use crate::udr::UdrService;
     use shield5g_crypto::ident::{Plmn, Supi};
     use shield5g_crypto::milenage::Milenage;
-    use shield5g_sim::service::{service_handle, Router};
+    use shield5g_sim::engine::Engine;
+    use shield5g_sim::service::service_handle;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -215,27 +338,23 @@ mod tests {
     const OPC: [u8; 16] = [0xcd; 16];
     const SUPI: &str = "imsi-001010000000001";
 
-    fn world() -> (Env, Rc<RefCell<Router>>, HomeNetworkKeyPair) {
+    fn world() -> (Env, Engine, HomeNetworkKeyPair) {
         let mut env = Env::new(3);
-        let router = Rc::new(RefCell::new(Router::new()));
+        let mut engine = Engine::new();
         let mut udr = UdrService::new();
         udr.provision(SUPI, OPC, [0x80, 0]);
-        router
-            .borrow_mut()
-            .register(crate::addr::UDR, service_handle(udr));
+        engine.register(crate::addr::UDR, 4, Engine::leaf(service_handle(udr)));
         let hn = HomeNetworkKeyPair::from_private(1, env.rng.bytes());
         let mut backend = LocalUdmAka::new();
         backend.provision(SUPI, K);
         let udm = UdmService::new(
             hn.clone(),
-            SbiClient::new(router.clone()),
+            SbiClient::new(),
             crate::addr::UDR,
             Box::new(backend),
         );
-        router
-            .borrow_mut()
-            .register(crate::addr::UDM, service_handle(udm));
-        (env, router, hn)
+        engine.register(crate::addr::UDM, 4, Rc::new(RefCell::new(udm)));
+        (env, engine, hn)
     }
 
     fn auth_get(identity: UeIdentity) -> Vec<u8> {
@@ -250,13 +369,12 @@ mod tests {
 
     #[test]
     fn generates_av_from_profile_a_suci() {
-        let (mut env, router, hn) = world();
+        let (mut env, mut engine, hn) = world();
         let supi = Supi::parse(SUPI).unwrap();
         let eph: [u8; 32] = env.rng.bytes();
         let suci = supi.conceal_profile_a(1, hn.public(), &eph);
-        let body = {
-            let r = router.borrow();
-            r.call_ok(
+        let body = engine
+            .dispatch_ok(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post(
@@ -265,7 +383,7 @@ mod tests {
                 ),
             )
             .unwrap()
-        };
+            .body;
         let resp = UdmAuthGetResponse::decode(&body).unwrap();
         assert_eq!(resp.supi, SUPI);
         // The AV verifies on a USIM with the same credentials.
@@ -279,12 +397,11 @@ mod tests {
 
     #[test]
     fn unknown_subscriber_suci_is_404() {
-        let (mut env, router, hn) = world();
+        let (mut env, mut engine, hn) = world();
         let supi = Supi::new(Plmn::test_network(), "0000000099").unwrap();
         let suci = supi.conceal_profile_a(1, hn.public(), &[9; 32]);
-        let resp = {
-            let r = router.borrow();
-            r.call(
+        let resp = engine
+            .dispatch(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post(
@@ -292,21 +409,19 @@ mod tests {
                     auth_get(UeIdentity::Suci(suci)),
                 ),
             )
-            .unwrap()
-        };
+            .unwrap();
         assert_eq!(resp.status, 404);
     }
 
     #[test]
     fn tampered_suci_rejected_403() {
-        let (mut env, router, hn) = world();
+        let (mut env, mut engine, hn) = world();
         let supi = Supi::parse(SUPI).unwrap();
         let mut suci = supi.conceal_profile_a(1, hn.public(), &[9; 32]);
         let n = suci.scheme_output.len();
         suci.scheme_output[n - 1] ^= 1; // corrupt the MAC
-        let resp = {
-            let r = router.borrow();
-            r.call(
+        let resp = engine
+            .dispatch(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post(
@@ -314,56 +429,52 @@ mod tests {
                     auth_get(UeIdentity::Suci(suci)),
                 ),
             )
-            .unwrap()
-        };
+            .unwrap();
         assert_eq!(resp.status, 403);
     }
 
     #[test]
     fn guti_identity_requires_known_supi() {
-        let (mut env, router, _hn) = world();
+        let (mut env, mut engine, _hn) = world();
         let req = UdmAuthGetRequest {
             identity: UeIdentity::Guti(shield5g_crypto::ident::Guti::new(1, 1, 1, 1)),
             known_supi: String::new(),
             snn_mcc: "001".into(),
             snn_mnc: "01".into(),
         };
-        let resp = {
-            let r = router.borrow();
-            r.call(
+        let resp = engine
+            .dispatch(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post("/nudm-ueau/generate-auth-data", req.encode()),
             )
-            .unwrap()
-        };
+            .unwrap();
         assert_eq!(resp.status, 400);
     }
 
     #[test]
     fn guti_identity_with_known_supi_works() {
-        let (mut env, router, _hn) = world();
+        let (mut env, mut engine, _hn) = world();
         let req = UdmAuthGetRequest {
             identity: UeIdentity::Guti(shield5g_crypto::ident::Guti::new(1, 1, 1, 1)),
             known_supi: SUPI.into(),
             snn_mcc: "001".into(),
             snn_mnc: "01".into(),
         };
-        let body = {
-            let r = router.borrow();
-            r.call_ok(
+        let body = engine
+            .dispatch_ok(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post("/nudm-ueau/generate-auth-data", req.encode()),
             )
             .unwrap()
-        };
+            .body;
         assert_eq!(UdmAuthGetResponse::decode(&body).unwrap().supi, SUPI);
     }
 
     #[test]
     fn resync_flow_updates_udr() {
-        let (mut env, router, _hn) = world();
+        let (mut env, mut engine, _hn) = world();
         let mil = Milenage::with_opc(&K, &OPC);
         let rand = [0x23; 16];
         let sqn_ms = shield5g_crypto::sqn::sqn_to_bytes(700 << 5);
@@ -373,15 +484,13 @@ mod tests {
             rand,
             auts,
         };
-        let resp = {
-            let r = router.borrow();
-            r.call(
+        let resp = engine
+            .dispatch(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post("/nudm-ueau/resync", req.encode()),
             )
-            .unwrap()
-        };
+            .unwrap();
         assert!(
             resp.is_success(),
             "resync failed: {:?}",
@@ -391,7 +500,7 @@ mod tests {
 
     #[test]
     fn forged_auts_rejected() {
-        let (mut env, router, _hn) = world();
+        let (mut env, mut engine, _hn) = world();
         let req = ResyncRequest {
             supi: SUPI.into(),
             rand: [0x23; 16],
@@ -400,15 +509,13 @@ mod tests {
                 mac_s: [2; 8],
             },
         };
-        let resp = {
-            let r = router.borrow();
-            r.call(
+        let resp = engine
+            .dispatch(
                 &mut env,
                 crate::addr::UDM,
                 HttpRequest::post("/nudm-ueau/resync", req.encode()),
             )
-            .unwrap()
-        };
+            .unwrap();
         assert_eq!(resp.status, 403);
     }
 }

@@ -6,9 +6,9 @@ use shield5g_crypto::ident::Plmn;
 use shield5g_nf::addr;
 use shield5g_nf::messages::Ngap;
 use shield5g_nf::upf::GtpPacket;
+use shield5g_sim::engine::Engine;
 use shield5g_sim::http::HttpRequest;
 use shield5g_sim::latency::LinkProfile;
-use shield5g_sim::service::Router;
 use shield5g_sim::Env;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -25,7 +25,7 @@ const HARQ_RETX_PROB: f64 = 0.05;
 
 /// A gNB instance.
 pub struct Gnb {
-    router: Rc<RefCell<Router>>,
+    engine: Rc<RefCell<Engine>>,
     radio: LinkProfile,
     backhaul: LinkProfile,
     broadcast_plmn: Plmn,
@@ -44,9 +44,9 @@ impl std::fmt::Debug for Gnb {
 impl Gnb {
     /// A USRP-backed OAI gNB broadcasting `plmn` (the OTA radio profile).
     #[must_use]
-    pub fn usrp(router: Rc<RefCell<Router>>, plmn: Plmn) -> Self {
+    pub fn usrp(engine: Rc<RefCell<Engine>>, plmn: Plmn) -> Self {
         Gnb {
-            router,
+            engine,
             radio: LinkProfile::radio_5g(),
             backhaul: LinkProfile::backhaul(),
             broadcast_plmn: plmn,
@@ -58,9 +58,9 @@ impl Gnb {
     /// A gNBSIM-style RAN entity: co-located with the core, no radio
     /// (what the paper's mass experiments use).
     #[must_use]
-    pub fn simulated(router: Rc<RefCell<Router>>, plmn: Plmn) -> Self {
+    pub fn simulated(engine: Rc<RefCell<Engine>>, plmn: Plmn) -> Self {
         Gnb {
-            router,
+            engine,
             radio: LinkProfile::instant(),
             backhaul: LinkProfile::loopback(),
             broadcast_plmn: plmn,
@@ -135,10 +135,10 @@ impl Gnb {
         };
         let body = ngap.encode();
         self.backhaul.transfer(env, body.len());
-        let resp = {
-            let router = self.router.borrow();
-            router.call(env, addr::AMF, HttpRequest::post("/ngap", body))?
-        };
+        let resp =
+            self.engine
+                .borrow_mut()
+                .dispatch(env, addr::AMF, HttpRequest::post("/ngap", body))?;
         if !resp.is_success() {
             return Err(RanError::Rejected {
                 stage: "ngap",
@@ -180,10 +180,11 @@ impl Gnb {
         }
         .encode();
         self.backhaul.transfer(env, pkt.len());
-        let resp = {
-            let router = self.router.borrow();
-            router.call(env, addr::UPF, HttpRequest::post("/gtp/uplink", pkt))?
-        };
+        let resp = self.engine.borrow_mut().dispatch(
+            env,
+            addr::UPF,
+            HttpRequest::post("/gtp/uplink", pkt),
+        )?;
         if !resp.is_success() {
             return Err(RanError::Rejected {
                 stage: "gtp",
@@ -203,8 +204,8 @@ mod tests {
     #[test]
     fn plmn_mismatch_blocks_attach() {
         let mut env = Env::new(1);
-        let router = Rc::new(RefCell::new(Router::new()));
-        let mut gnb = Gnb::usrp(router, Plmn::test_network());
+        let engine = Rc::new(RefCell::new(Engine::new()));
+        let mut gnb = Gnb::usrp(engine, Plmn::test_network());
         let foreign = Plmn::new("310", "260").unwrap();
         let err = gnb.rrc_connect(&mut env, &foreign).unwrap_err();
         assert!(matches!(err, RanError::NetworkNotFound { .. }));
@@ -213,8 +214,8 @@ mod tests {
     #[test]
     fn rrc_connect_allocates_ids_and_takes_time() {
         let mut env = Env::new(2);
-        let router = Rc::new(RefCell::new(Router::new()));
-        let mut gnb = Gnb::usrp(router, Plmn::test_network());
+        let engine = Rc::new(RefCell::new(Engine::new()));
+        let mut gnb = Gnb::usrp(engine, Plmn::test_network());
         let t0 = env.clock.now();
         let id1 = gnb.rrc_connect(&mut env, &Plmn::test_network()).unwrap();
         let id2 = gnb.rrc_connect(&mut env, &Plmn::test_network()).unwrap();
@@ -230,8 +231,8 @@ mod tests {
     #[test]
     fn simulated_gnb_is_fast() {
         let mut env = Env::new(3);
-        let router = Rc::new(RefCell::new(Router::new()));
-        let mut gnb = Gnb::simulated(router, Plmn::test_network());
+        let engine = Rc::new(RefCell::new(Engine::new()));
+        let mut gnb = Gnb::simulated(engine, Plmn::test_network());
         let t0 = env.clock.now();
         gnb.rrc_connect(&mut env, &Plmn::test_network()).unwrap();
         let spent = env.clock.now() - t0;
@@ -244,8 +245,8 @@ mod tests {
     #[test]
     fn nas_to_unreachable_amf_fails() {
         let mut env = Env::new(4);
-        let router = Rc::new(RefCell::new(Router::new()));
-        let mut gnb = Gnb::simulated(router, Plmn::test_network());
+        let engine = Rc::new(RefCell::new(Engine::new()));
+        let mut gnb = Gnb::simulated(engine, Plmn::test_network());
         let id = gnb.rrc_connect(&mut env, &Plmn::test_network()).unwrap();
         assert!(gnb.nas_exchange(&mut env, id, vec![1, 2], true).is_err());
     }

@@ -37,7 +37,7 @@ impl GnbSim {
     #[must_use]
     pub fn new(slice: &Slice) -> Self {
         GnbSim {
-            gnb: Gnb::simulated(slice.router.clone(), Plmn::test_network()),
+            gnb: Gnb::simulated(slice.engine.clone(), Plmn::test_network()),
         }
     }
 

@@ -81,7 +81,7 @@ impl OtaTestbed {
             },
         )
         .expect("slice deploys");
-        let gnb = Gnb::usrp(slice.router.clone(), Plmn::test_network());
+        let gnb = Gnb::usrp(slice.engine.clone(), Plmn::test_network());
         let sub = &slice.subscribers[0];
         let usim = Usim::program(
             sub.supi.clone(),

@@ -424,9 +424,8 @@ mod tests {
     #[test]
     fn wrong_os_build_cannot_register() {
         let mut env = Env::new(1);
-        let router =
-            std::rc::Rc::new(std::cell::RefCell::new(shield5g_sim::service::Router::new()));
-        let mut gnb = Gnb::usrp(router, Plmn::test_network());
+        let engine = std::rc::Rc::new(std::cell::RefCell::new(shield5g_sim::engine::Engine::new()));
+        let mut gnb = Gnb::usrp(engine, Plmn::test_network());
         let mut ue = CotsUe::oneplus8(usim()).with_os_build("Oxygen 10.0.1");
         assert!(matches!(
             ue.register(&mut env, &mut gnb),
@@ -437,9 +436,8 @@ mod tests {
     #[test]
     fn pdu_session_requires_registration() {
         let mut env = Env::new(2);
-        let router =
-            std::rc::Rc::new(std::cell::RefCell::new(shield5g_sim::service::Router::new()));
-        let mut gnb = Gnb::usrp(router, Plmn::test_network());
+        let engine = std::rc::Rc::new(std::cell::RefCell::new(shield5g_sim::engine::Engine::new()));
+        let mut gnb = Gnb::usrp(engine, Plmn::test_network());
         let mut ue = CotsUe::oneplus8(usim());
         assert!(ue.establish_session(&mut env, &mut gnb).is_err());
         assert!(ue.send_data(&mut env, &mut gnb, b"ping").is_err());

@@ -5,20 +5,22 @@
 //! one enclave and multiplying. Here every row comes from an actual pool:
 //! distinct enclave replicas, consistent-hash SUPI routing, bounded
 //! admission queues, and (optionally) the batched AV pre-generation
-//! cache. Replica service times are *measured* on the real modules; the
-//! open-loop schedule (who waits, who sheds, when each request finishes)
-//! is then computed in virtual time from those measurements, mirroring
-//! the `concurrency_sweep` methodology in `shield5g-core`.
+//! cache. Each replica is a discrete-event endpoint on the simulation
+//! engine: the harness routes every Poisson arrival by SUPI and schedules
+//! it on the owner's address, so who waits, who sheds, and when each
+//! request finishes all emerge from event ordering over the modules'
+//! *measured* service occupancies — never from an analytic schedule.
 
 use crate::avcache::{AvCache, AvCacheConfig};
 use crate::metrics::{PoolReport, RunRecorder};
-use crate::pool::{EnclavePool, PoolConfig};
-use crate::queue::{Admission, QueueConfig};
+use crate::pool::{replica_addr, EnclavePool, PoolConfig};
+use crate::queue::QueueConfig;
 use shield5g_core::paka::PakaKind;
 use shield5g_core::stats::Summary;
 use shield5g_crypto::keys::ServingNetworkName;
 use shield5g_nf::backend::{decode_he_av_batch, sqn_add, UdmAkaBatchRequest, UdmAkaRequest};
 use shield5g_ran::workload::{poisson_registrations, test_supi, WorkloadSpec};
+use shield5g_sim::engine::{Completion, Engine};
 use shield5g_sim::http::HttpRequest;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
@@ -103,12 +105,50 @@ pub fn pool_sweep(seed: u64, cfg: &SweepConfig) -> PoolReport {
         },
     );
 
+    let mut engine = Engine::new();
+    pool.register_on(&mut engine);
+
     let mut cache = cfg.cache.map(AvCache::new);
     // Cache-off bookkeeping: the UDM's per-subscriber SQN generator.
     let mut sqn_counters: HashMap<String, [u8; 6]> = HashMap::new();
     let mut recorder = RunRecorder::new();
+    // Tag → SUPI of every scheduled (in-flight) request, so completions
+    // can refill the cache for the right subscriber.
+    let mut in_flight: HashMap<u64, String> = HashMap::new();
+
+    let settle = |recorder: &mut RunRecorder,
+                  cache: &mut Option<AvCache>,
+                  in_flight: &mut HashMap<u64, String>,
+                  done: Vec<Completion>| {
+        for completion in done {
+            let supi = in_flight
+                .remove(&completion.tag)
+                .expect("completion for unscheduled tag");
+            if completion.shed() {
+                recorder.shed();
+                continue;
+            }
+            assert!(
+                completion.response.is_success(),
+                "pool request failed: {}",
+                String::from_utf8_lossy(&completion.response.body)
+            );
+            if let Some(c) = cache.as_mut() {
+                let avs = decode_he_av_batch(&completion.response.body).expect("batch wire");
+                c.put_batch(&supi, avs);
+                // The missing request consumes the batch head itself.
+                let _ = c.pop_uncounted(&supi);
+            }
+            recorder.served(completion.submitted, completion.queued, completion.finished);
+        }
+    };
 
     for arrival in &trace {
+        // Drain everything that finished before this arrival so the
+        // frontend cache reflects completed batch refills.
+        let done = engine.run_until(&mut env, arrival.at);
+        settle(&mut recorder, &mut cache, &mut in_flight, done);
+
         recorder.arrival(arrival.at);
 
         // Frontend cache check — hits never reach a replica, so they
@@ -121,34 +161,18 @@ pub fn pool_sweep(seed: u64, cfg: &SweepConfig) -> PoolReport {
             }
         }
 
-        let (id, admission) = pool.admit(&arrival.supi, arrival.at);
-        let Admission::Admitted { start, queued } = admission else {
-            recorder.shed();
-            continue;
-        };
-
-        // Measure the real service occupancy on the routed replica.
+        let id = pool.route(&arrival.supi);
         let request = match cache.as_ref() {
             Some(c) => batch_request(&mut env, c, &arrival.supi),
             None => single_request(&mut env, &mut sqn_counters, &arrival.supi),
         };
-        let (response, _, occupancy) = pool.serve_on(&mut env, id, request);
-        assert!(
-            response.is_success(),
-            "pool request failed: {}",
-            String::from_utf8_lossy(&response.body)
-        );
-        if let Some(c) = cache.as_mut() {
-            let avs = decode_he_av_batch(&response.body).expect("batch wire");
-            c.put_batch(&arrival.supi, avs);
-            // The missing request consumes the batch head itself.
-            let _ = c.pop_uncounted(&arrival.supi);
-        }
-
-        let finish = start + occupancy;
-        pool.complete(id, finish);
-        recorder.served(arrival.at, queued, finish);
+        let tag = engine.schedule_request(arrival.at, &replica_addr(pool.kind(), id), request);
+        in_flight.insert(tag, arrival.supi.clone());
     }
+    let done = engine.run_until_idle(&mut env);
+    settle(&mut recorder, &mut cache, &mut in_flight, done);
+    assert!(in_flight.is_empty(), "requests left in flight");
+    pool.absorb_engine(&engine);
 
     recorder.finish(&pool, cache.map(|c| c.stats()))
 }

@@ -181,12 +181,11 @@ impl RunRecorder {
             .iter()
             .map(|r| {
                 let delta = r.counters_delta();
-                let (full, deadline) = r.queue().shed();
                 ReplicaLoadStats {
                     replica: r.id,
                     served: r.served(),
-                    shed: full + deadline,
-                    depth_peak: r.queue().depth_peak(),
+                    shed: r.shed_total(),
+                    depth_peak: r.depth_peak(),
                     eenter_delta: delta.eenter,
                     eexit_delta: delta.eexit,
                     aex_delta: delta.aex,

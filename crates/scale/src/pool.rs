@@ -19,9 +19,37 @@ use shield5g_hmee::counters::SgxCounters;
 use shield5g_hmee::platform::SgxPlatform;
 use shield5g_infra::host::Host;
 use shield5g_infra::image::Registry;
+use shield5g_sim::engine::{AdmissionPolicy, Engine};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
+use shield5g_sim::service::{service_handle, Service};
 use shield5g_sim::time::{SimDuration, SimTime};
 use shield5g_sim::Env;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Engine address of one pool replica: each replica is its own endpoint
+/// with its own worker budget and admission policy, so the open-loop
+/// harness routes by SUPI and then schedules on the owner's address.
+#[must_use]
+pub fn replica_addr(kind: PakaKind, id: ReplicaId) -> String {
+    format!("{}-r{id}", kind.endpoint())
+}
+
+/// The engine-facing face of one replica: serves requests on the
+/// replica's enclave module and counts them on the shared tally the pool
+/// reports from.
+struct ReplicaService {
+    module: Rc<RefCell<PakaModule>>,
+    served: Rc<Cell<u64>>,
+}
+
+impl Service for ReplicaService {
+    fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        let (response, _metrics) = self.module.borrow_mut().serve(env, req);
+        self.served.set(self.served.get() + 1);
+        response
+    }
+}
 
 /// Lifecycle state of one pool replica.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,19 +101,23 @@ pub struct Replica {
     pub spawned_at: SimTime,
     /// Virtual time the replica finished preheating.
     pub serving_since: Option<SimTime>,
-    module: PakaModule,
+    module: Rc<RefCell<PakaModule>>,
     queue: ReplicaQueue,
     /// Counter snapshot at the end of preheat — deltas from here are
     /// pure request-serving cost, excluding boot and warm-up.
     baseline: Option<SgxCounters>,
-    served: u64,
+    served: Rc<Cell<u64>>,
+    /// Shed counts (full, deadline) absorbed from an engine run.
+    engine_shed: (u64, u64),
+    /// Peak in-flight depth absorbed from an engine run.
+    engine_depth_peak: usize,
 }
 
 impl Replica {
-    /// Requests served by this replica.
+    /// Requests served by this replica (direct serves and engine serves).
     #[must_use]
     pub fn served(&self) -> u64 {
-        self.served
+        self.served.get()
     }
 
     /// Transition counters accumulated since preheat finished.
@@ -93,6 +125,7 @@ impl Replica {
     pub fn counters_delta(&self) -> SgxCounters {
         let now = self
             .module
+            .borrow()
             .sgx_stats()
             .expect("pool replicas are SGX deployments");
         match &self.baseline {
@@ -101,10 +134,30 @@ impl Replica {
         }
     }
 
-    /// The replica's admission queue.
+    /// The replica's admission queue (closed-loop/synchronous path).
     #[must_use]
     pub fn queue(&self) -> &ReplicaQueue {
         &self.queue
+    }
+
+    /// Requests shed at this replica, across both the synchronous queue
+    /// and any absorbed engine run.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        let (full, deadline) = self.queue.shed();
+        full + deadline + self.engine_shed.0 + self.engine_shed.1
+    }
+
+    /// Peak in-flight depth observed, across both admission paths.
+    #[must_use]
+    pub fn depth_peak(&self) -> usize {
+        self.queue.depth_peak().max(self.engine_depth_peak)
+    }
+
+    /// Shared handle to the replica's enclave module.
+    #[must_use]
+    pub fn module(&self) -> Rc<RefCell<PakaModule>> {
+        self.module.clone()
     }
 }
 
@@ -189,10 +242,12 @@ impl EnclavePool {
             state: ReplicaState::Preheating,
             spawned_at,
             serving_since: None,
-            module,
+            module: Rc::new(RefCell::new(module)),
             queue: ReplicaQueue::new(self.cfg.queue),
             baseline: None,
-            served: 0,
+            served: Rc::new(Cell::new(0)),
+            engine_shed: (0, 0),
+            engine_depth_peak: 0,
         };
         Self::preheat(env, self.kind, &mut replica);
         self.replicas.push(replica);
@@ -213,9 +268,54 @@ impl EnclavePool {
             }
             PakaKind::EAusf | PakaKind::EAmf => shield5g_core::harness::standard_request(kind),
         };
-        let _ = replica.module.serve(env, warmup);
-        replica.baseline = replica.module.sgx_stats();
+        let _ = replica.module.borrow_mut().serve(env, warmup);
+        replica.baseline = replica.module.borrow().sgx_stats();
         replica.state = ReplicaState::Standby;
+    }
+
+    /// Registers every *ready* replica as its own engine endpoint
+    /// (address [`replica_addr`], worker count = the module's
+    /// serving-thread budget, admission policy = the pool's queue
+    /// config). The open-loop harness then schedules routed arrivals and
+    /// lets queueing, overlap, and shedding fall out of event ordering.
+    pub fn register_on(&self, engine: &mut Engine) {
+        for replica in self
+            .replicas
+            .iter()
+            .filter(|r| r.state == ReplicaState::Ready)
+        {
+            let addr = replica_addr(self.kind, replica.id);
+            let workers = replica.module.borrow().app_threads();
+            engine.register(
+                addr.clone(),
+                workers,
+                Engine::leaf(service_handle(ReplicaService {
+                    module: replica.module.clone(),
+                    served: replica.served.clone(),
+                })),
+            );
+            engine.set_policy(
+                &addr,
+                AdmissionPolicy {
+                    capacity: Some(self.cfg.queue.capacity),
+                    deadline: Some(self.cfg.queue.deadline),
+                },
+            );
+        }
+    }
+
+    /// Copies per-endpoint shed counters and depth peaks from a finished
+    /// engine run back onto the replicas, so [`Replica::shed_total`] and
+    /// [`Replica::depth_peak`] report engine-run ground truth.
+    pub fn absorb_engine(&mut self, engine: &Engine) {
+        let kind = self.kind;
+        for replica in &mut self.replicas {
+            let addr = replica_addr(kind, replica.id);
+            if engine.knows(&addr) {
+                replica.engine_shed = engine.shed_counts(&addr);
+                replica.engine_depth_peak = engine.depth_peak(&addr);
+            }
+        }
     }
 
     /// Moves a standby replica onto the routing ring (the fast scale-up
@@ -321,8 +421,8 @@ impl EnclavePool {
             "serving needs a ready replica"
         );
         let t0 = env.clock.now();
-        let (response, metrics) = replica.module.serve(env, request);
-        replica.served += 1;
+        let (response, metrics) = replica.module.borrow_mut().serve(env, request);
+        replica.served.set(replica.served.get() + 1);
         (response, metrics, env.clock.now() - t0)
     }
 
@@ -337,7 +437,10 @@ impl EnclavePool {
     pub fn provision_subscriber(&mut self, env: &mut Env, supi: &str, k: [u8; 16]) {
         self.provisioned.push((supi.to_owned(), k));
         for replica in &mut self.replicas {
-            replica.module.provision_subscriber_key(env, supi, k);
+            replica
+                .module
+                .borrow_mut()
+                .provision_subscriber_key(env, supi, k);
         }
     }
 
@@ -346,7 +449,7 @@ impl EnclavePool {
     /// request serving alone.
     pub fn rebaseline(&mut self) {
         for replica in &mut self.replicas {
-            replica.baseline = replica.module.sgx_stats();
+            replica.baseline = replica.module.borrow().sgx_stats();
         }
     }
 

@@ -180,6 +180,28 @@ mod tests {
         let _ = HashRing::new(8).route("imsi-001010000000001");
     }
 
+    #[test]
+    fn grow_then_shrink_restores_supi_affinity() {
+        // Scale-up followed by retirement of the same replica must return
+        // every SUPI to its original owner: per-subscriber SQN windows
+        // and cached AVs on the survivors are valid again, not just
+        // "some replica's" state. A ring that rebuilt its points on
+        // membership change (mod-N, rendezvous-reseeded, …) would fail.
+        let mut ring = ring_of(3);
+        let before: Vec<(String, ReplicaId)> = keys(300)
+            .into_iter()
+            .map(|s| {
+                let r = ring.route(&s);
+                (s, r)
+            })
+            .collect();
+        ring.add(3);
+        ring.remove(3);
+        for (supi, owner) in before {
+            assert_eq!(ring.route(&supi), owner, "{supi} lost its affinity");
+        }
+    }
+
     proptest::proptest! {
         /// A fixed ring always routes a SUPI to the same replica —
         /// replica affinity is what keeps SQN state consistent.
@@ -219,6 +241,54 @@ mod tests {
             for (s, &owner) in supis.iter().zip(&before) {
                 let now = ring.route(s);
                 proptest::prop_assert!(now == owner || now == n);
+            }
+        }
+
+        /// Retiring a replica n → n−1 moves *only* the retired replica's
+        /// keys; every survivor keeps its SUPIs (and therefore its SQN
+        /// windows and cached AVs). The retired replica's keys scatter
+        /// across the survivors instead of piling onto one successor.
+        #[test]
+        fn ring_retirement_remaps_only_retired_keys(
+            n in 2u32..10,
+            victim_pick in 0u32..10,
+            key_seed in 0u32..1_000,
+        ) {
+            const K: u32 = 400;
+            let victim = victim_pick % n;
+            let mut ring = ring_of(n);
+            let supis: Vec<String> = (0..K)
+                .map(|i| shield5g_ran::workload::test_supi(key_seed * K + i))
+                .collect();
+            let before: Vec<ReplicaId> = supis.iter().map(|s| ring.route(s)).collect();
+            let victim_keys = before.iter().filter(|&&o| o == victim).count();
+            ring.remove(victim);
+            let mut moved = 0usize;
+            for (s, &owner) in supis.iter().zip(&before) {
+                let now = ring.route(s);
+                proptest::prop_assert_ne!(now, victim);
+                if owner == victim {
+                    moved += 1;
+                } else {
+                    proptest::prop_assert_eq!(now, owner);
+                }
+            }
+            proptest::prop_assert_eq!(moved, victim_keys);
+            // With ≥3 survivors and enough orphans, vnode interleaving
+            // must scatter them — a single-successor takeover (plain
+            // sorted-id fallback) would concentrate every orphan.
+            if n >= 4 && victim_keys >= 32 {
+                let mut inherited = std::collections::HashMap::new();
+                for (s, &owner) in supis.iter().zip(&before) {
+                    if owner == victim {
+                        *inherited.entry(ring.route(s)).or_insert(0u32) += 1;
+                    }
+                }
+                proptest::prop_assert!(
+                    inherited.len() >= 2,
+                    "all {} orphans of replica {} landed on one successor",
+                    victim_keys, victim
+                );
             }
         }
     }

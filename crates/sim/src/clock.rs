@@ -36,6 +36,18 @@ impl Clock {
         SimTime::from_nanos(new)
     }
 
+    /// Sets the clock to an absolute instant.
+    ///
+    /// The discrete-event [`crate::engine::Engine`] rewinds the shared
+    /// clock to each event's timestamp before running its handler, so
+    /// concurrent request contexts each compute on their own local
+    /// timeline. Outside the engine's event loop, prefer
+    /// [`Clock::advance`] — rewinding time mid-measurement invalidates
+    /// interval arithmetic.
+    pub fn set(&self, t: SimTime) {
+        self.nanos.store(t.as_nanos(), Ordering::Relaxed);
+    }
+
     /// Measures the virtual time consumed by `f`.
     pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, SimDuration) {
         let start = self.now();
@@ -68,6 +80,16 @@ mod tests {
         let b = a.clone();
         a.advance(SimDuration::from_millis(1));
         assert_eq!(b.now(), SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn set_moves_time_in_both_directions() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_millis(5));
+        c.set(SimTime::from_nanos(1_000));
+        assert_eq!(c.now(), SimTime::from_nanos(1_000));
+        c.set(SimTime::from_nanos(9_000));
+        assert_eq!(c.now(), SimTime::from_nanos(9_000));
     }
 
     #[test]

@@ -1,0 +1,905 @@
+//! The deterministic discrete-event simulation engine.
+//!
+//! Every network call in a simulated world is an *event* on a single
+//! binary-heap queue keyed by `(virtual_time, seq)` — the sequence number
+//! breaks ties deterministically, so two runs with the same seed replay
+//! the exact same event order. Services run as resumable request
+//! contexts: a handler that needs a downstream SBI call returns
+//! [`Step::CallOut`] and yields back to the scheduler instead of
+//! recursing, and the engine resumes it when the response event fires.
+//!
+//! Concurrency is *mechanistic*, not analytic: each endpoint holds a
+//! fixed pool of worker threads (for an enclave module, `sgx.max_threads`
+//! minus Gramine's helper threads). A busy worker charges its enclave
+//! transitions and crypto time exclusively on its own context's timeline
+//! — the engine rewinds the shared [`crate::clock::Clock`] to each
+//! event's timestamp before running it — and excess arrivals wait in the
+//! endpoint's FIFO. Queueing delay, the Fig. 8 thread sweep, and
+//! admission shedding all emerge from event ordering.
+//!
+//! Two driving modes:
+//!
+//! * **Closed loop** — [`Engine::dispatch`] injects one root request and
+//!   runs the event loop until it completes (the Fig. 8–10 rep-at-a-time
+//!   experiments, and the gNB's synchronous N2 exchange).
+//! * **Open loop** — [`Engine::schedule_request`] posts arrivals at
+//!   absolute virtual times; [`Engine::run_until`] /
+//!   [`Engine::run_until_idle`] then crank the event loop and return
+//!   [`Completion`]s (the pool-scaling experiments).
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::service::{Env, ServiceHandle};
+use crate::time::{SimDuration, SimTime};
+use crate::SimError;
+use std::any::Any;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Response header the engine sets on synthesized (non-service) replies:
+/// `unknown-endpoint` for a call to an unregistered address, `loop` for a
+/// call that would re-enter an endpoint already on the context's call
+/// chain.
+pub const ERROR_HEADER: &str = "x-sim-error";
+
+/// Response header set on replies synthesized by admission control:
+/// `queue-full` when the endpoint's bounded queue was full at arrival,
+/// `deadline` when the request's wait exceeded the admission deadline
+/// before a worker freed up.
+pub const SHED_HEADER: &str = "x-sim-shed";
+
+/// What a service segment does next.
+pub enum Step {
+    /// The request is answered; the worker is released and the response
+    /// travels back to the caller (or completes the root context).
+    Reply(HttpResponse),
+    /// The service needs a downstream round trip. The context keeps its
+    /// worker (thread-per-request, as in OAI's NFs); `state` is handed
+    /// back verbatim to [`EngineService::resume`] with the response.
+    CallOut {
+        /// Destination endpoint address.
+        dest: String,
+        /// The outbound request. Send-side latency (TLS record, link
+        /// transfer) must already be charged: the arrival is scheduled at
+        /// the clock instant this step is returned.
+        req: HttpRequest,
+        /// Continuation state, returned to `resume` untouched.
+        state: Box<dyn Any>,
+    },
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Reply(r) => f.debug_tuple("Reply").field(&r.status).finish(),
+            Step::CallOut { dest, req, .. } => f
+                .debug_struct("CallOut")
+                .field("dest", dest)
+                .field("path", &req.path)
+                .finish(),
+        }
+    }
+}
+
+/// A service in continuation-passing form: `start` handles a fresh
+/// request, `resume` continues after a downstream response. Handlers
+/// never touch the engine — they advance the clock for their own compute
+/// and return a [`Step`]; the scheduler owns all routing.
+pub trait EngineService {
+    /// Begins handling `req`. Called once per request, with the clock set
+    /// to the instant the request reached a free worker.
+    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step;
+
+    /// Continues after the downstream response to an earlier
+    /// [`Step::CallOut`]. `state` is the continuation state that call
+    /// carried. Response-side latency (link transfer, TLS record) is
+    /// charged here by the service's client helper.
+    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step;
+}
+
+/// Shared handle to an engine service.
+pub type EngineServiceHandle = Rc<RefCell<dyn EngineService>>;
+
+/// Compatibility shim: adapts a plain synchronous [`crate::service::Service`]
+/// (a *leaf* — it never calls out) to the engine trait.
+struct LeafService {
+    inner: ServiceHandle,
+}
+
+impl EngineService for LeafService {
+    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
+        Step::Reply(self.inner.borrow_mut().handle(env, req))
+    }
+
+    fn resume(&mut self, _env: &mut Env, _state: Box<dyn Any>, _resp: HttpResponse) -> Step {
+        Step::Reply(HttpResponse::error(500, "leaf service cannot resume"))
+    }
+}
+
+/// Admission-control policy of one endpoint. Defaults to unbounded: every
+/// arrival waits as long as it takes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmissionPolicy {
+    /// Maximum in-flight requests (serving + waiting); arrivals beyond it
+    /// are shed with a synthesized 503 (`x-sim-shed: queue-full`).
+    pub capacity: Option<usize>,
+    /// Maximum queueing delay: when a worker finally frees up for a
+    /// request that has already waited longer than this, the request is
+    /// shed (503, `x-sim-shed: deadline`) instead of served — the
+    /// caller's supervision timer has long expired.
+    pub deadline: Option<SimDuration>,
+}
+
+/// A finished root request from the open-loop API.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// Caller-chosen tag from [`Engine::schedule_request`].
+    pub tag: u64,
+    /// The final response (may be engine-synthesized: check
+    /// [`SHED_HEADER`] / [`ERROR_HEADER`]).
+    pub response: HttpResponse,
+    /// When the request was injected.
+    pub submitted: SimTime,
+    /// When the response was ready.
+    pub finished: SimTime,
+    /// Time spent waiting for a worker at the root endpoint.
+    pub queued: SimDuration,
+}
+
+impl Completion {
+    /// True when admission control shed this request.
+    #[must_use]
+    pub fn shed(&self) -> bool {
+        self.response.header(SHED_HEADER).is_some()
+    }
+}
+
+struct Endpoint {
+    service: EngineServiceHandle,
+    workers: u32,
+    busy: u32,
+    waiting: VecDeque<u64>,
+    policy: AdmissionPolicy,
+    shed_full: u64,
+    shed_deadline: u64,
+    depth_peak: usize,
+}
+
+struct ParentLink {
+    ctx: u64,
+    state: Box<dyn Any>,
+}
+
+struct Ctx {
+    dest: String,
+    path: String,
+    req: Option<HttpRequest>,
+    parent: Option<ParentLink>,
+    tag: u64,
+    submitted: SimTime,
+    arrived: SimTime,
+    queued: SimDuration,
+    ancestors: Vec<String>,
+}
+
+enum EventKind {
+    /// A request context reaches its destination endpoint.
+    Arrive { ctx: u64 },
+    /// A queued context is granted a worker.
+    Begin { ctx: u64 },
+    /// A worker frees up. Releases are events (not inline bookkeeping) so
+    /// that a worker busy until virtual time `t` stays busy for every
+    /// arrival popping before `t` — same-instant arrival order decides
+    /// who queues, deterministically.
+    Release { dest: String },
+    /// A response travels back: resume the parent or complete the root.
+    Deliver { ctx: u64, resp: HttpResponse },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event scheduler and endpoint registry of one world.
+pub struct Engine {
+    endpoints: HashMap<String, Endpoint>,
+    heap: BinaryHeap<Reverse<Event>>,
+    ctxs: HashMap<u64, Ctx>,
+    next_ctx: u64,
+    next_seq: u64,
+    completions: Vec<Completion>,
+    trace: Vec<String>,
+    trace_enabled: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("endpoints", &self.endpoints.len())
+            .field("pending_events", &self.heap.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            endpoints: HashMap::new(),
+            heap: BinaryHeap::new(),
+            ctxs: HashMap::new(),
+            next_ctx: 1,
+            next_seq: 0,
+            completions: Vec::new(),
+            trace: Vec::new(),
+            trace_enabled: true,
+        }
+    }
+
+    /// Wraps a synchronous leaf service (UDR, UPF, a P-AKA module
+    /// endpoint) for registration.
+    #[must_use]
+    pub fn leaf(inner: ServiceHandle) -> EngineServiceHandle {
+        Rc::new(RefCell::new(LeafService { inner }))
+    }
+
+    /// Registers (or replaces) `service` at `addr` with a pool of
+    /// `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0`.
+    pub fn register(
+        &mut self,
+        addr: impl Into<String>,
+        workers: u32,
+        service: EngineServiceHandle,
+    ) {
+        assert!(workers > 0, "an endpoint needs at least one worker");
+        self.endpoints.insert(
+            addr.into(),
+            Endpoint {
+                service,
+                workers,
+                busy: 0,
+                waiting: VecDeque::new(),
+                policy: AdmissionPolicy::default(),
+                shed_full: 0,
+                shed_deadline: 0,
+                depth_peak: 0,
+            },
+        );
+    }
+
+    /// Sets the admission policy of an already-registered endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is not registered.
+    pub fn set_policy(&mut self, addr: &str, policy: AdmissionPolicy) {
+        self.endpoints
+            .get_mut(addr)
+            .unwrap_or_else(|| panic!("set_policy on unknown endpoint {addr}"))
+            .policy = policy;
+    }
+
+    /// Removes an endpoint; returns whether it existed.
+    pub fn deregister(&mut self, addr: &str) -> bool {
+        self.endpoints.remove(addr).is_some()
+    }
+
+    /// Whether `addr` is registered.
+    #[must_use]
+    pub fn knows(&self, addr: &str) -> bool {
+        self.endpoints.contains_key(addr)
+    }
+
+    /// All registered addresses, sorted.
+    #[must_use]
+    pub fn addresses(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.endpoints.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// `(queue-full, deadline)` shed counters of an endpoint.
+    #[must_use]
+    pub fn shed_counts(&self, addr: &str) -> (u64, u64) {
+        self.endpoints
+            .get(addr)
+            .map_or((0, 0), |e| (e.shed_full, e.shed_deadline))
+    }
+
+    /// Peak in-flight depth (serving + waiting) seen at an endpoint.
+    #[must_use]
+    pub fn depth_peak(&self, addr: &str) -> usize {
+        self.endpoints.get(addr).map_or(0, |e| e.depth_peak)
+    }
+
+    /// Disables (or re-enables) event tracing — long open-loop sweeps
+    /// don't need the per-event transcript.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+        if !enabled {
+            self.trace.clear();
+        }
+    }
+
+    /// The event trace so far: one line per scheduler decision, in
+    /// execution order (`t=<nanos> seq=<n> <kind> <endpoint> <path>`).
+    /// Byte-identical across same-seed runs.
+    #[must_use]
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Injects one request at the current clock instant and runs the
+    /// event loop until it completes, leaving the clock at the completion
+    /// instant — the synchronous, closed-loop call form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEndpoint`] when `addr` is not
+    /// registered. Downstream failures arrive as ordinary non-2xx
+    /// responses.
+    pub fn dispatch(
+        &mut self,
+        env: &mut Env,
+        addr: &str,
+        req: HttpRequest,
+    ) -> Result<HttpResponse, SimError> {
+        let tag = self.schedule_request(env.clock.now(), addr, req);
+        loop {
+            if let Some(pos) = self.completions.iter().position(|c| c.tag == tag) {
+                let done = self.completions.swap_remove(pos);
+                env.clock.set(done.finished);
+                if done.response.header(ERROR_HEADER) == Some("unknown-root") {
+                    return Err(SimError::UnknownEndpoint(addr.to_owned()));
+                }
+                return Ok(done.response);
+            }
+            let ev = self
+                .heap
+                .pop()
+                .expect("root context pending but event queue empty")
+                .0;
+            self.process(env, ev);
+        }
+    }
+
+    /// Like [`Engine::dispatch`] but maps non-2xx responses to
+    /// [`SimError::ServiceFailure`].
+    ///
+    /// # Errors
+    ///
+    /// Everything `dispatch` returns, plus `ServiceFailure` for non-2xx.
+    pub fn dispatch_ok(
+        &mut self,
+        env: &mut Env,
+        addr: &str,
+        req: HttpRequest,
+    ) -> Result<HttpResponse, SimError> {
+        let resp = self.dispatch(env, addr, req)?;
+        if resp.is_success() {
+            Ok(resp)
+        } else {
+            Err(SimError::ServiceFailure {
+                endpoint: addr.to_owned(),
+                status: resp.status,
+            })
+        }
+    }
+
+    /// Posts an open-loop arrival at absolute virtual time `at` and
+    /// returns its completion tag.
+    pub fn schedule_request(&mut self, at: SimTime, addr: &str, req: HttpRequest) -> u64 {
+        let id = self.next_ctx;
+        self.next_ctx += 1;
+        self.ctxs.insert(
+            id,
+            Ctx {
+                dest: addr.to_owned(),
+                path: req.path.clone(),
+                req: Some(req),
+                parent: None,
+                tag: id,
+                submitted: at,
+                arrived: at,
+                queued: SimDuration::ZERO,
+                ancestors: Vec::new(),
+            },
+        );
+        self.push_event(at, EventKind::Arrive { ctx: id });
+        id
+    }
+
+    /// Runs every event with `at <= until`, leaves the clock at `until`,
+    /// and drains the completions so far.
+    pub fn run_until(&mut self, env: &mut Env, until: SimTime) -> Vec<Completion> {
+        while self.heap.peek().is_some_and(|Reverse(ev)| ev.at <= until) {
+            let ev = self.heap.pop().expect("peeked event").0;
+            self.process(env, ev);
+        }
+        env.clock.set(until);
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Runs until no events remain and drains the completions.
+    pub fn run_until_idle(&mut self, env: &mut Env) -> Vec<Completion> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            self.process(env, ev);
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn note(&mut self, at: SimTime, kind: &str, dest: &str, detail: &str) {
+        if self.trace_enabled {
+            self.trace.push(format!(
+                "t={} seq={} {kind} {dest} {detail}",
+                at.as_nanos(),
+                self.trace.len()
+            ));
+        }
+    }
+
+    fn process(&mut self, env: &mut Env, ev: Event) {
+        env.clock.set(ev.at);
+        match ev.kind {
+            EventKind::Arrive { ctx } => self.on_arrive(env, ctx),
+            EventKind::Begin { ctx } => self.run_begin(env, ctx),
+            EventKind::Release { dest } => self.release_worker(&dest, ev.at),
+            EventKind::Deliver { ctx, resp } => self.on_deliver(env, ctx, resp),
+        }
+    }
+
+    fn on_arrive(&mut self, env: &mut Env, id: u64) {
+        let now = env.clock.now();
+        let (dest, path, looped) = {
+            let ctx = self.ctxs.get(&id).expect("arriving context exists");
+            (
+                ctx.dest.clone(),
+                ctx.path.clone(),
+                ctx.ancestors.contains(&ctx.dest),
+            )
+        };
+        self.note(now, "arrive", &dest, &path);
+        if looped {
+            let resp = HttpResponse::error(508, format!("call loop through {dest}"))
+                .with_header(ERROR_HEADER, "loop");
+            self.push_event(now, EventKind::Deliver { ctx: id, resp });
+            return;
+        }
+        let Some(ep) = self.endpoints.get_mut(&dest) else {
+            // Roots get a distinct marker so `dispatch` can surface a hard
+            // error; nested callers see an ordinary 502 they can map.
+            let is_root = self.ctxs.get(&id).is_some_and(|c| c.parent.is_none());
+            let marker = if is_root {
+                "unknown-root"
+            } else {
+                "unknown-endpoint"
+            };
+            let resp = HttpResponse::error(502, format!("unknown endpoint {dest}"))
+                .with_header(ERROR_HEADER, marker);
+            self.push_event(now, EventKind::Deliver { ctx: id, resp });
+            return;
+        };
+        if let Some(cap) = ep.policy.capacity {
+            if ep.busy as usize + ep.waiting.len() >= cap {
+                ep.shed_full += 1;
+                self.note(now, "shed-full", &dest, &path);
+                let resp = HttpResponse::error(503, "admission queue full")
+                    .with_header(SHED_HEADER, "queue-full");
+                self.push_event(now, EventKind::Deliver { ctx: id, resp });
+                return;
+            }
+        }
+        let ep = self.endpoints.get_mut(&dest).expect("endpoint exists");
+        ep.depth_peak = ep.depth_peak.max(ep.busy as usize + ep.waiting.len() + 1);
+        if ep.busy < ep.workers {
+            ep.busy += 1;
+            self.run_begin(env, id);
+        } else {
+            ep.waiting.push_back(id);
+            self.note(now, "queue", &dest, &path);
+        }
+    }
+
+    /// Runs the `start` segment of a context that has been granted a
+    /// worker (its endpoint's `busy` already counts it).
+    fn run_begin(&mut self, env: &mut Env, id: u64) {
+        let now = env.clock.now();
+        let (dest, path, wait, req) = {
+            let ctx = self.ctxs.get_mut(&id).expect("beginning context exists");
+            ctx.queued = now - ctx.arrived;
+            (
+                ctx.dest.clone(),
+                ctx.path.clone(),
+                ctx.queued,
+                ctx.req.take().expect("request not yet started"),
+            )
+        };
+        let deadline = self.endpoints.get(&dest).and_then(|e| e.policy.deadline);
+        if deadline.is_some_and(|d| wait > d) {
+            let ep = self.endpoints.get_mut(&dest).expect("endpoint exists");
+            ep.shed_deadline += 1;
+            self.note(now, "shed-deadline", &dest, &path);
+            self.push_event(now, EventKind::Release { dest: dest.clone() });
+            let resp = HttpResponse::error(503, "admission deadline exceeded")
+                .with_header(SHED_HEADER, "deadline");
+            self.push_event(now, EventKind::Deliver { ctx: id, resp });
+            return;
+        }
+        self.note(now, "begin", &dest, &path);
+        let service = self
+            .endpoints
+            .get(&dest)
+            .expect("endpoint exists")
+            .service
+            .clone();
+        let step = service.borrow_mut().start(env, req);
+        self.apply_step(env, id, step);
+    }
+
+    fn apply_step(&mut self, env: &mut Env, id: u64, step: Step) {
+        let now = env.clock.now();
+        match step {
+            Step::Reply(resp) => {
+                let dest = self.ctxs.get(&id).expect("replying context").dest.clone();
+                self.note(now, "reply", &dest, &resp.status.to_string());
+                self.push_event(now, EventKind::Release { dest });
+                self.push_event(now, EventKind::Deliver { ctx: id, resp });
+            }
+            Step::CallOut { dest, req, state } => {
+                let child = self.next_ctx;
+                self.next_ctx += 1;
+                let (ancestors, tag, submitted) = {
+                    let parent = self.ctxs.get(&id).expect("calling context");
+                    let mut chain = parent.ancestors.clone();
+                    chain.push(parent.dest.clone());
+                    (chain, parent.tag, parent.submitted)
+                };
+                self.note(now, "callout", &dest, &req.path);
+                self.ctxs.insert(
+                    child,
+                    Ctx {
+                        dest,
+                        path: req.path.clone(),
+                        req: Some(req),
+                        parent: Some(ParentLink { ctx: id, state }),
+                        tag,
+                        submitted,
+                        arrived: now,
+                        queued: SimDuration::ZERO,
+                        ancestors,
+                    },
+                );
+                self.push_event(now, EventKind::Arrive { ctx: child });
+            }
+        }
+    }
+
+    /// Frees one worker at `dest` and hands it to the head waiter, if
+    /// any. The waiter's `Begin` fires at `now` (same instant, later
+    /// sequence number — deterministic).
+    fn release_worker(&mut self, dest: &str, now: SimTime) {
+        let Some(ep) = self.endpoints.get_mut(dest) else {
+            return; // deregistered while the request was in flight
+        };
+        ep.busy = ep.busy.saturating_sub(1);
+        if let Some(next) = ep.waiting.pop_front() {
+            ep.busy += 1;
+            self.push_event(now, EventKind::Begin { ctx: next });
+        }
+    }
+
+    fn on_deliver(&mut self, env: &mut Env, id: u64, resp: HttpResponse) {
+        let now = env.clock.now();
+        let ctx = self.ctxs.remove(&id).expect("delivered context exists");
+        match ctx.parent {
+            None => {
+                self.note(now, "complete", &ctx.dest, &resp.status.to_string());
+                self.completions.push(Completion {
+                    tag: ctx.tag,
+                    response: resp,
+                    submitted: ctx.submitted,
+                    finished: now,
+                    queued: ctx.queued,
+                });
+            }
+            Some(link) => {
+                let parent_dest = self
+                    .ctxs
+                    .get(&link.ctx)
+                    .expect("parent context exists")
+                    .dest
+                    .clone();
+                self.note(now, "resume", &parent_dest, &ctx.path);
+                let Some(ep) = self.endpoints.get(&parent_dest) else {
+                    // Parent's endpoint was deregistered mid-flight: the
+                    // whole chain collapses with a synthesized error.
+                    let resp = HttpResponse::error(502, format!("unknown endpoint {parent_dest}"))
+                        .with_header(ERROR_HEADER, "unknown-endpoint");
+                    self.push_event(
+                        now,
+                        EventKind::Deliver {
+                            ctx: link.ctx,
+                            resp,
+                        },
+                    );
+                    return;
+                };
+                let service = ep.service.clone();
+                let step = service.borrow_mut().resume(env, link.state, resp);
+                self.apply_step(env, link.ctx, step);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_handle, Service};
+
+    /// A leaf that charges a fixed service time and echoes the body.
+    struct SlowEcho {
+        nanos: u64,
+    }
+
+    impl Service for SlowEcho {
+        fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+            env.clock.advance(SimDuration::from_nanos(self.nanos));
+            HttpResponse::ok(req.body)
+        }
+    }
+
+    /// A relay that forwards to `next` and tags the response.
+    struct Relay {
+        next: String,
+    }
+
+    impl EngineService for Relay {
+        fn start(&mut self, _env: &mut Env, req: HttpRequest) -> Step {
+            Step::CallOut {
+                dest: self.next.clone(),
+                req,
+                state: Box::new(()),
+            }
+        }
+
+        fn resume(&mut self, _env: &mut Env, _state: Box<dyn Any>, resp: HttpResponse) -> Step {
+            Step::Reply(resp)
+        }
+    }
+
+    fn engine_with_echo(workers: u32, nanos: u64) -> Engine {
+        let mut engine = Engine::new();
+        engine.register(
+            "echo",
+            workers,
+            Engine::leaf(service_handle(SlowEcho { nanos })),
+        );
+        engine
+    }
+
+    #[test]
+    fn dispatch_round_trips_a_leaf() {
+        let mut env = Env::new(1);
+        let mut engine = engine_with_echo(1, 5_000);
+        let t0 = env.clock.now();
+        let resp = engine
+            .dispatch(&mut env, "echo", HttpRequest::post("/x", b"hi".to_vec()))
+            .unwrap();
+        assert_eq!(resp.body, b"hi");
+        assert_eq!(env.clock.now() - t0, SimDuration::from_nanos(5_000));
+    }
+
+    #[test]
+    fn unknown_root_endpoint_errors() {
+        let mut env = Env::new(2);
+        let mut engine = Engine::new();
+        let err = engine
+            .dispatch(&mut env, "ghost", HttpRequest::get("/"))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownEndpoint(e) if e == "ghost"));
+    }
+
+    #[test]
+    fn nested_unknown_endpoint_synthesizes_502() {
+        let mut env = Env::new(3);
+        let mut engine = Engine::new();
+        engine.register(
+            "front",
+            1,
+            Rc::new(RefCell::new(Relay {
+                next: "ghost".into(),
+            })),
+        );
+        let resp = engine
+            .dispatch(&mut env, "front", HttpRequest::get("/"))
+            .unwrap();
+        assert_eq!(resp.status, 502);
+        assert_eq!(resp.header(ERROR_HEADER), Some("unknown-endpoint"));
+    }
+
+    #[test]
+    fn call_loops_are_cut_with_508() {
+        let mut env = Env::new(4);
+        let mut engine = Engine::new();
+        engine.register("a", 1, Rc::new(RefCell::new(Relay { next: "b".into() })));
+        engine.register("b", 1, Rc::new(RefCell::new(Relay { next: "a".into() })));
+        let resp = engine
+            .dispatch(&mut env, "a", HttpRequest::get("/loop"))
+            .unwrap();
+        assert_eq!(resp.status, 508);
+        assert_eq!(resp.header(ERROR_HEADER), Some("loop"));
+    }
+
+    #[test]
+    fn single_worker_serializes_simultaneous_arrivals() {
+        let mut env = Env::new(5);
+        let mut engine = engine_with_echo(1, 10_000);
+        let t0 = env.clock.now();
+        let tags: Vec<u64> = (0..4)
+            .map(|i| engine.schedule_request(t0, "echo", HttpRequest::post("/x", vec![i])))
+            .collect();
+        let mut done = engine.run_until_idle(&mut env);
+        done.sort_by_key(|c| c.tag);
+        // K simultaneous arrivals at one worker: response times grow
+        // monotonically — queueing is mechanistic.
+        let times: Vec<SimDuration> = done.iter().map(|c| c.finished - c.submitted).collect();
+        for pair in times.windows(2) {
+            assert!(pair[1] > pair[0], "{times:?}");
+        }
+        assert_eq!(times[0], SimDuration::from_nanos(10_000));
+        assert_eq!(times[3], SimDuration::from_nanos(40_000));
+        assert_eq!(done[3].queued, SimDuration::from_nanos(30_000));
+        let _ = tags;
+    }
+
+    #[test]
+    fn enough_workers_overlap_simultaneous_arrivals() {
+        let mut env = Env::new(6);
+        let mut engine = engine_with_echo(4, 10_000);
+        let t0 = env.clock.now();
+        for i in 0..4 {
+            engine.schedule_request(t0, "echo", HttpRequest::post("/x", vec![i]));
+        }
+        let done = engine.run_until_idle(&mut env);
+        for c in &done {
+            assert_eq!(c.finished - c.submitted, SimDuration::from_nanos(10_000));
+            assert_eq!(c.queued, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn capacity_policy_sheds_excess_arrivals() {
+        let mut env = Env::new(7);
+        let mut engine = engine_with_echo(1, 10_000);
+        engine.set_policy(
+            "echo",
+            AdmissionPolicy {
+                capacity: Some(2),
+                deadline: None,
+            },
+        );
+        let t0 = env.clock.now();
+        for i in 0..5 {
+            engine.schedule_request(t0, "echo", HttpRequest::post("/x", vec![i]));
+        }
+        let done = engine.run_until_idle(&mut env);
+        let shed = done.iter().filter(|c| c.shed()).count();
+        assert_eq!(shed, 3);
+        assert_eq!(engine.shed_counts("echo"), (3, 0));
+        // Shed replies are synthesized at arrival — no service time.
+        for c in done.iter().filter(|c| c.shed()) {
+            assert_eq!(c.finished, c.submitted);
+            assert_eq!(c.response.status, 503);
+        }
+    }
+
+    #[test]
+    fn deadline_policy_sheds_stale_waiters() {
+        let mut env = Env::new(8);
+        let mut engine = engine_with_echo(1, 10_000);
+        engine.set_policy(
+            "echo",
+            AdmissionPolicy {
+                capacity: None,
+                deadline: Some(SimDuration::from_nanos(15_000)),
+            },
+        );
+        let t0 = env.clock.now();
+        for i in 0..4 {
+            engine.schedule_request(t0, "echo", HttpRequest::post("/x", vec![i]));
+        }
+        let done = engine.run_until_idle(&mut env);
+        // Waits are 0 / 10 / 20 / 30 µs-ish: the last two exceed 15 µs.
+        assert_eq!(done.iter().filter(|c| c.shed()).count(), 2);
+        assert_eq!(engine.shed_counts("echo"), (0, 2));
+    }
+
+    #[test]
+    fn run_until_processes_only_due_events() {
+        let mut env = Env::new(9);
+        let mut engine = engine_with_echo(1, 1_000);
+        engine.schedule_request(SimTime::from_nanos(100), "echo", HttpRequest::get("/a"));
+        engine.schedule_request(SimTime::from_nanos(50_000), "echo", HttpRequest::get("/b"));
+        let first = engine.run_until(&mut env, SimTime::from_nanos(10_000));
+        assert_eq!(first.len(), 1);
+        assert_eq!(env.clock.now(), SimTime::from_nanos(10_000));
+        let rest = engine.run_until_idle(&mut env);
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut env = Env::new(seed);
+            let mut engine = engine_with_echo(2, 7_000);
+            engine.register(
+                "front",
+                2,
+                Rc::new(RefCell::new(Relay {
+                    next: "echo".into(),
+                })),
+            );
+            for i in 0u64..3 {
+                engine.schedule_request(
+                    SimTime::from_nanos(i * 500),
+                    "front",
+                    HttpRequest::post("/x", vec![u8::try_from(i).unwrap()]),
+                );
+            }
+            engine.run_until_idle(&mut env);
+            engine.trace().join("\n")
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn deregistered_endpoint_mid_topology_fails_closed() {
+        let mut env = Env::new(10);
+        let mut engine = engine_with_echo(1, 1_000);
+        assert!(engine.deregister("echo"));
+        assert!(!engine.deregister("echo"));
+        assert!(!engine.knows("echo"));
+        let err = engine
+            .dispatch(&mut env, "echo", HttpRequest::get("/"))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownEndpoint(_)));
+    }
+}

@@ -191,6 +191,22 @@ impl HttpResponse {
         (200..300).contains(&self.status)
     }
 
+    /// Adds a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up a header value (case-insensitive name).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Serialises to wire bytes, appending `Content-Length`.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {

@@ -18,8 +18,12 @@
 //!   interfaces (message sizes drive the paper's L_T results).
 //! * [`tls`] — a TLS-like secure channel with a real X25519 handshake and
 //!   AES-CTR + HMAC record protection.
-//! * [`service`] — the `Service` trait, the endpoint [`service::Router`]
-//!   and the per-world [`Env`] (clock + RNG + log).
+//! * [`service`] — the leaf `Service` trait and the per-world [`Env`]
+//!   (clock + RNG + log).
+//! * [`engine`] — the deterministic discrete-event scheduler: every
+//!   network call is an event on a `(virtual_time, seq)`-ordered queue,
+//!   services yield at outbound-call points, and per-endpoint worker
+//!   pools make queueing and admission shedding emerge mechanistically.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod engine;
 pub mod http;
 pub mod latency;
 pub mod log;
@@ -70,8 +75,8 @@ pub enum SimError {
         /// HTTP status code returned.
         status: u16,
     },
-    /// Recursive routing to an endpoint already being served
-    /// (single-threaded worlds cannot re-enter a service).
+    /// A request chain tried to call an endpoint already on its own call
+    /// path — the engine cuts such loops instead of recursing forever.
     ReentrantCall(String),
 }
 

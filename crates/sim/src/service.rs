@@ -1,19 +1,26 @@
-//! The service abstraction: a per-world [`Env`] (clock, RNG, log), the
-//! [`Service`] trait implemented by every simulated network function, and
-//! the [`Router`] that delivers requests between endpoints.
+//! The service abstraction: a per-world [`Env`] (clock, RNG, log) and the
+//! synchronous [`Service`] trait implemented by *leaf* network functions —
+//! services that answer a request without making downstream calls (UDR,
+//! UPF, NRF, and the sealed P-AKA module endpoints).
 //!
-//! Worlds are single-threaded and synchronous: a "network call" is a nested
-//! [`Router::call`] that charges the virtual clock on the way in and out.
-//! This mirrors the paper's measurement setup, which registers UEs
-//! back-to-back (§V-A2) rather than concurrently.
+//! Worlds used to be strictly synchronous: a "network call" was a nested
+//! `Router::call` charging one shared clock on the way in and out, which
+//! could only model back-to-back registrations. Routing now lives in the
+//! discrete-event [`crate::engine::Engine`]: services that call out
+//! (UDM, AUSF, AMF, SMF) implement the continuation-style
+//! [`crate::engine::EngineService`] and yield a
+//! [`crate::engine::Step::CallOut`] back to the scheduler at each outbound
+//! SBI hop, so concurrent requests genuinely overlap — each one computes
+//! on its own timeline while busy workers and bounded queues produce
+//! queueing delay mechanistically. Leaf services keep this simple
+//! [`Service::handle`] form and are adapted with
+//! [`crate::engine::Engine::leaf`].
 
 use crate::clock::Clock;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::log::EventLog;
 use crate::rng::DetRng;
-use crate::SimError;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Shared per-world context threaded through every simulated operation.
@@ -39,7 +46,9 @@ impl Env {
     }
 }
 
-/// A simulated network service reachable through a [`Router`].
+/// A simulated leaf network service: handles each request to completion
+/// without downstream calls. Register it on an engine with
+/// [`crate::engine::Engine::leaf`].
 pub trait Service {
     /// Handles one request, charging `env.clock` for the work performed.
     fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse;
@@ -53,101 +62,9 @@ pub fn service_handle(svc: impl Service + 'static) -> ServiceHandle {
     Rc::new(RefCell::new(svc))
 }
 
-/// Routes requests to registered endpoints by address string
-/// (e.g. `"udm.oai"`, `"eudm-paka.oai"`).
-#[derive(Clone, Default)]
-pub struct Router {
-    endpoints: HashMap<String, ServiceHandle>,
-}
-
-impl std::fmt::Debug for Router {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut names: Vec<&str> = self.endpoints.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        f.debug_struct("Router").field("endpoints", &names).finish()
-    }
-}
-
-impl Router {
-    /// Creates an empty router.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Registers (or replaces) the service at `addr`.
-    pub fn register(&mut self, addr: impl Into<String>, svc: ServiceHandle) {
-        self.endpoints.insert(addr.into(), svc);
-    }
-
-    /// Removes the service at `addr`, returning whether one was present.
-    pub fn deregister(&mut self, addr: &str) -> bool {
-        self.endpoints.remove(addr).is_some()
-    }
-
-    /// Whether an endpoint is registered.
-    #[must_use]
-    pub fn knows(&self, addr: &str) -> bool {
-        self.endpoints.contains_key(addr)
-    }
-
-    /// Registered endpoint addresses, sorted.
-    #[must_use]
-    pub fn addresses(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.endpoints.keys().cloned().collect();
-        v.sort_unstable();
-        v
-    }
-
-    /// Delivers `req` to the endpoint at `addr`.
-    ///
-    /// # Errors
-    ///
-    /// * [`SimError::UnknownEndpoint`] when nothing is registered there.
-    /// * [`SimError::ReentrantCall`] when the endpoint is already on the
-    ///   call stack (a service cannot call itself through the network in a
-    ///   single-threaded world).
-    pub fn call(
-        &self,
-        env: &mut Env,
-        addr: &str,
-        req: HttpRequest,
-    ) -> Result<HttpResponse, SimError> {
-        let svc = self
-            .endpoints
-            .get(addr)
-            .ok_or_else(|| SimError::UnknownEndpoint(addr.to_owned()))?
-            .clone();
-        let mut guard = svc
-            .try_borrow_mut()
-            .map_err(|_| SimError::ReentrantCall(addr.to_owned()))?;
-        Ok(guard.handle(env, req))
-    }
-
-    /// Like [`Router::call`] but converts non-2xx statuses into
-    /// [`SimError::ServiceFailure`], returning just the body.
-    pub fn call_ok(
-        &self,
-        env: &mut Env,
-        addr: &str,
-        req: HttpRequest,
-    ) -> Result<Vec<u8>, SimError> {
-        let resp = self.call(env, addr, req)?;
-        if resp.is_success() {
-            Ok(resp.body)
-        } else {
-            Err(SimError::ServiceFailure {
-                endpoint: addr.to_owned(),
-                status: resp.status,
-            })
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::HttpRequest;
     use crate::time::SimDuration;
 
     struct Echo;
@@ -159,93 +76,23 @@ mod tests {
         }
     }
 
-    struct Failing;
-
-    impl Service for Failing {
-        fn handle(&mut self, _env: &mut Env, _req: HttpRequest) -> HttpResponse {
-            HttpResponse::error(503, "overloaded")
-        }
-    }
-
     #[test]
-    fn routes_to_registered_endpoint() {
+    fn service_handle_shares_one_instance() {
         let mut env = Env::new(0);
-        let mut router = Router::new();
-        router.register("echo", service_handle(Echo));
-        let resp = router
-            .call(&mut env, "echo", HttpRequest::post("/x", b"hi".to_vec()))
-            .unwrap();
+        let h = service_handle(Echo);
+        let h2 = h.clone();
+        let resp = h2
+            .borrow_mut()
+            .handle(&mut env, HttpRequest::post("/x", b"hi".to_vec()));
         assert_eq!(resp.body, b"hi");
         assert_eq!(env.clock.now().as_nanos(), 1_000);
     }
 
     #[test]
-    fn unknown_endpoint_errors() {
-        let mut env = Env::new(0);
-        let router = Router::new();
-        assert!(matches!(
-            router.call(&mut env, "ghost", HttpRequest::get("/")),
-            Err(SimError::UnknownEndpoint(_))
-        ));
-    }
-
-    #[test]
-    fn call_ok_maps_failure_status() {
-        let mut env = Env::new(0);
-        let mut router = Router::new();
-        router.register("sad", service_handle(Failing));
-        assert!(matches!(
-            router.call_ok(&mut env, "sad", HttpRequest::get("/")),
-            Err(SimError::ServiceFailure { status: 503, .. })
-        ));
-    }
-
-    #[test]
-    fn deregister_removes() {
-        let mut router = Router::new();
-        router.register("echo", service_handle(Echo));
-        assert!(router.knows("echo"));
-        assert!(router.deregister("echo"));
-        assert!(!router.knows("echo"));
-        assert!(!router.deregister("echo"));
-    }
-
-    #[test]
-    fn addresses_are_sorted() {
-        let mut router = Router::new();
-        router.register("b", service_handle(Echo));
-        router.register("a", service_handle(Echo));
-        assert_eq!(router.addresses(), vec!["a".to_owned(), "b".to_owned()]);
-    }
-
-    struct SelfCaller {
-        router: Rc<RefCell<Router>>,
-    }
-
-    impl Service for SelfCaller {
-        fn handle(&mut self, env: &mut Env, _req: HttpRequest) -> HttpResponse {
-            let router = self.router.borrow();
-            match router.call(env, "loop", HttpRequest::get("/")) {
-                Err(SimError::ReentrantCall(_)) => HttpResponse::ok(b"detected".to_vec()),
-                _ => HttpResponse::error(500, "reentrancy not detected"),
-            }
-        }
-    }
-
-    #[test]
-    fn reentrant_call_is_rejected() {
-        let mut env = Env::new(0);
-        let shared = Rc::new(RefCell::new(Router::new()));
-        let svc = service_handle(SelfCaller {
-            router: shared.clone(),
-        });
-        shared.borrow_mut().register("loop", svc);
-        let resp = {
-            let router = shared.borrow();
-            router
-                .call(&mut env, "loop", HttpRequest::get("/"))
-                .unwrap()
-        };
-        assert_eq!(resp.body, b"detected");
+    fn env_clones_share_clock() {
+        let env = Env::new(7);
+        let other = env.clone();
+        env.clock.advance(SimDuration::from_micros(3));
+        assert_eq!(other.clock.now().as_nanos(), 3_000);
     }
 }

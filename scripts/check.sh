@@ -20,4 +20,8 @@ cargo build --offline --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> bench smoke (pool_scaling + ablation_optimizations, one rep)"
+SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench pool_scaling
+SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench ablation_optimizations
+
 echo "All checks passed."

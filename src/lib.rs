@@ -18,7 +18,7 @@
 //! * [`crypto`] — AES/SHA/HMAC/MILENAGE/X25519/SUCI and the 5G key
 //!   hierarchy, all validated against published test vectors.
 //! * [`sim`] — virtual time, deterministic randomness, HTTP/TLS wire
-//!   models, the service router.
+//!   models, the discrete-event simulation engine.
 //! * [`hmee`] — the SGX-class enclave simulator (encrypted EPC, lifecycle
 //!   measurement, transition accounting, attestation, sealing).
 //! * [`libos`] — the Gramine-style LibOS and GSC image pipeline.

@@ -24,7 +24,7 @@ fn ausf_outage_rejects_registrations_cleanly() {
     )
     .unwrap();
     // Take the AUSF down mid-operation.
-    assert!(slice.router.borrow_mut().deregister(addr::AUSF));
+    assert!(slice.engine.borrow_mut().deregister(addr::AUSF));
     let mut sim = GnbSim::new(&slice);
     let mut ue = sim.ue_for(&slice, 0);
     let result = ue.register(&mut env, sim.gnb_mut());
@@ -270,16 +270,15 @@ fn amf_survives_nas_garbage_without_panicking() {
             nas: garbage,
         }
         .encode();
-        let resp = {
-            let router = slice.router.borrow();
-            router
-                .call(
-                    &mut env,
-                    addr::AMF,
-                    shield5g::sim::http::HttpRequest::post("/ngap", ngap),
-                )
-                .unwrap()
-        };
+        let resp = slice
+            .engine
+            .borrow_mut()
+            .dispatch(
+                &mut env,
+                addr::AMF,
+                shield5g::sim::http::HttpRequest::post("/ngap", ngap),
+            )
+            .unwrap();
         assert!(!resp.is_success(), "garbage NAS must be rejected");
     }
     // The AMF still works afterwards.

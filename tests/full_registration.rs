@@ -115,7 +115,7 @@ fn subscriber_with_wrong_key_is_rejected() {
     );
     let mut ue = shield5g::ran::ue::CotsUe::sim_ue(usim);
     let mut gnb = shield5g::ran::gnb::Gnb::simulated(
-        slice.router.clone(),
+        slice.engine.clone(),
         shield5g::crypto::ident::Plmn::test_network(),
     );
     let result = ue.register(&mut env, &mut gnb);
@@ -142,7 +142,7 @@ fn unknown_subscriber_is_rejected_cleanly() {
     );
     let mut ue = shield5g::ran::ue::CotsUe::sim_ue(usim);
     let mut gnb = shield5g::ran::gnb::Gnb::simulated(
-        slice.router.clone(),
+        slice.engine.clone(),
         shield5g::crypto::ident::Plmn::test_network(),
     );
     assert!(matches!(
@@ -210,22 +210,64 @@ fn deregistered_guti_cannot_be_replayed() {
         nas,
     }
     .encode();
-    let resp = {
-        let router = slice.router.borrow();
-        router
-            .call(
-                &mut env,
-                shield5g::nf::addr::AMF,
-                shield5g::sim::http::HttpRequest::post("/ngap", ngap),
-            )
-            .unwrap()
-    };
+    let resp = slice
+        .engine
+        .borrow_mut()
+        .dispatch(
+            &mut env,
+            shield5g::nf::addr::AMF,
+            shield5g::sim::http::HttpRequest::post("/ngap", ngap),
+        )
+        .unwrap();
     assert!(resp.is_success());
     let downlink = shield5g::nf::messages::Ngap::decode(&resp.body).unwrap();
     assert_eq!(
         shield5g::nf::messages::NasDownlink::decode(downlink.nas()).unwrap(),
         shield5g::nf::messages::NasDownlink::IdentityRequest
     );
+}
+
+#[test]
+fn fig5_sequence_flows_through_the_engine() {
+    // Acceptance check for the discrete-event refactor: every SBI and
+    // module hop of the paper's Fig. 5 registration sequence must be an
+    // engine event (callout/resume), not a nested synchronous call. The
+    // engine trace is the ground truth: if any NF called another NF
+    // directly, its hop would be missing here.
+    let (mut env, slice) = world(AkaDeployment::Sgx(SgxConfig::default()), 12);
+    slice.engine.borrow_mut().set_trace(true);
+    let mut sim = GnbSim::new(&slice);
+    sim.register_ues(&mut env, &slice, 1).unwrap();
+    let engine = slice.engine.borrow();
+    let trace = engine.trace();
+    let pos = |needle: &str| {
+        trace
+            .iter()
+            .position(|line| line.contains(needle))
+            .unwrap_or_else(|| panic!("no `{needle}` in engine trace:\n{}", trace.join("\n")))
+    };
+    let arrive_amf = pos("arrive amf.oai /ngap");
+    let amf_to_ausf = pos("callout ausf.oai /nausf-auth");
+    let ausf_to_udm = pos("callout udm.oai /nudm-ueau");
+    let udm_to_udr = pos("callout udr.oai /nudr-dr");
+    let udm_to_eudm = pos("callout eudm-paka.oai /eudm/generate-av");
+    let ausf_to_eausf = pos("callout eausf-paka.oai /eausf/derive-se");
+    let amf_to_eamf = pos("callout eamf-paka.oai /eamf/derive-kamf");
+    // The challenge leg nests gNB→AMF→AUSF→UDM→{UDR, eUDM}, then the
+    // AUSF derives the SE AV in its own module.
+    assert!(arrive_amf < amf_to_ausf);
+    assert!(amf_to_ausf < ausf_to_udm);
+    assert!(ausf_to_udm < udm_to_udr);
+    assert!(udm_to_udr < udm_to_eudm);
+    assert!(udm_to_eudm < ausf_to_eausf);
+    // K_AMF derivation happens on the confirmation leg, after the
+    // challenge leg resolved.
+    assert!(ausf_to_eausf < amf_to_eamf);
+    // Each callout must resume its caller — continuation, not recursion.
+    assert!(pos("resume ausf.oai /nudm-ueau") > ausf_to_udm);
+    assert!(pos("resume udm.oai /nudr-dr") > udm_to_udr);
+    assert!(pos("resume udm.oai /eudm/generate-av") > udm_to_eudm);
+    assert!(pos("resume amf.oai /eamf/derive-kamf") > amf_to_eamf);
 }
 
 #[test]
