@@ -44,7 +44,7 @@ pub fn standard_request(kind: PakaKind) -> HttpRequest {
             "/eudm/generate-av",
             UdmAkaRequest {
                 supi: SUPI.into(),
-                opc: OPC,
+                opc: OPC.into(),
                 rand: [0x23; 16],
                 sqn: [0, 0, 0, 0, 0, 1],
                 amf_field: [0x80, 0],
@@ -57,7 +57,7 @@ pub fn standard_request(kind: PakaKind) -> HttpRequest {
             AusfAkaRequest {
                 rand: [0x23; 16],
                 xres_star: [0x5a; 16],
-                kausf: [0x11; 32],
+                kausf: [0x11; 32].into(),
                 snn,
             }
             .encode(),
@@ -65,7 +65,7 @@ pub fn standard_request(kind: PakaKind) -> HttpRequest {
         PakaKind::EAmf => HttpRequest::post(
             "/eamf/derive-kamf",
             AmfAkaRequest {
-                kseaf: [0x22; 32],
+                kseaf: [0x22; 32].into(),
                 supi: SUPI.into(),
                 abba: [0, 0],
             }

@@ -531,9 +531,9 @@ impl PakaModule {
             (PakaKind::EUdm, "/eudm/generate-av") => {
                 let req = UdmAkaRequest::decode(body)?;
                 let k = self.load_subscriber_key(env, &req.supi)?;
-                let mil = Milenage::with_opc(&k, &req.opc);
+                let mil = Milenage::with_opc(&k, req.opc.expose());
                 let av = generate_he_av(&mil, &req.rand, &req.sqn, &req.amf_field, &req.snn);
-                self.store_scratch(env, "scratch:kausf", &av.kausf);
+                self.store_scratch(env, "scratch:kausf", av.kausf.expose());
                 Ok(encode_he_av(&av))
             }
             (PakaKind::EUdm, "/eudm/generate-av-batch") => {
@@ -545,7 +545,7 @@ impl PakaModule {
                     )));
                 }
                 let k = self.load_subscriber_key(env, &req.supi)?;
-                let mil = Milenage::with_opc(&k, &req.opc);
+                let mil = Milenage::with_opc(&k, req.opc.expose());
                 let avs: Vec<_> = (0..req.count)
                     .map(|i| {
                         let sqn = sqn_add(&req.sqn_start, u64::from(i));
@@ -559,7 +559,7 @@ impl PakaModule {
                     let extra = env.rng.jitter(self.kind.func_nanos(), 0.05);
                     self.charge_compute(env, extra);
                 }
-                self.store_scratch(env, "scratch:kausf", &avs[avs.len() - 1].kausf);
+                self.store_scratch(env, "scratch:kausf", avs[avs.len() - 1].kausf.expose());
                 Ok(encode_he_av_batch(&avs))
             }
             (PakaKind::EUdm, "/eudm/resync") => {
@@ -581,14 +581,15 @@ impl PakaModule {
                 let req = AusfAkaRequest::decode(body)?;
                 let resp = AusfAkaResponse {
                     hxres_star: shield5g_crypto::keys::derive_hxres_star(&req.rand, &req.xres_star),
-                    kseaf: shield5g_crypto::keys::derive_kseaf(&req.kausf, &req.snn),
+                    kseaf: shield5g_crypto::keys::derive_kseaf(req.kausf.expose(), &req.snn).into(),
                 };
-                self.store_scratch(env, "scratch:kseaf", &resp.kseaf);
+                self.store_scratch(env, "scratch:kseaf", resp.kseaf.expose());
                 Ok(resp.encode())
             }
             (PakaKind::EAmf, "/eamf/derive-kamf") => {
                 let req = AmfAkaRequest::decode(body)?;
-                let kamf = shield5g_crypto::keys::derive_kamf(&req.kseaf, &req.supi, &req.abba);
+                let kamf =
+                    shield5g_crypto::keys::derive_kamf(req.kseaf.expose(), &req.supi, &req.abba);
                 self.store_scratch(env, "scratch:kamf", &kamf);
                 Ok(kamf.to_vec())
             }
@@ -857,7 +858,7 @@ mod tests {
     fn udm_request() -> HttpRequest {
         let req = UdmAkaRequest {
             supi: SUPI.into(),
-            opc: OPC,
+            opc: OPC.into(),
             rand: [0x23; 16],
             sqn: [0, 0, 0, 0, 0, 9],
             amf_field: [0x80, 0],
@@ -920,7 +921,7 @@ mod tests {
                     AusfAkaRequest {
                         rand: [1; 16],
                         xres_star: [2; 16],
-                        kausf: [3; 32],
+                        kausf: [3; 32].into(),
                         snn: ServingNetworkName::new("001", "01"),
                     }
                     .encode(),
@@ -928,7 +929,7 @@ mod tests {
                 PakaKind::EAmf => HttpRequest::post(
                     "/eamf/derive-kamf",
                     AmfAkaRequest {
-                        kseaf: [4; 32],
+                        kseaf: [4; 32].into(),
                         supi: SUPI.into(),
                         abba: [0, 0],
                     }
@@ -1015,7 +1016,7 @@ mod tests {
         let (mut env, mut module) = deploy(true, PakaKind::EUdm);
         let mut req = UdmAkaRequest {
             supi: "imsi-001010000000777".into(),
-            opc: OPC,
+            opc: OPC.into(),
             rand: [0; 16],
             sqn: [0; 6],
             amf_field: [0x80, 0],
@@ -1042,7 +1043,7 @@ mod tests {
         let req = AusfAkaRequest {
             rand: [1; 16],
             xres_star: [2; 16],
-            kausf: [3; 32],
+            kausf: [3; 32].into(),
             snn: ServingNetworkName::new("001", "01"),
         };
         let (resp, _) = module.serve(
@@ -1061,7 +1062,7 @@ mod tests {
     fn eamf_serves_kamf() {
         let (mut env, mut module) = deploy(false, PakaKind::EAmf);
         let req = AmfAkaRequest {
-            kseaf: [4; 32],
+            kseaf: [4; 32].into(),
             supi: SUPI.into(),
             abba: [0, 0],
         };
@@ -1082,7 +1083,7 @@ mod tests {
         let _ = module.serve(&mut env, udm_request()); // warm
         let req = UdmAkaBatchRequest {
             supi: SUPI.into(),
-            opc: OPC,
+            opc: OPC.into(),
             rand_seed: [0x77; 16],
             sqn_start: [0, 0, 0, 0, 1, 0],
             amf_field: [0x80, 0],
@@ -1118,7 +1119,7 @@ mod tests {
         for count in [0, MAX_AV_BATCH + 1] {
             let req = UdmAkaBatchRequest {
                 supi: SUPI.into(),
-                opc: OPC,
+                opc: OPC.into(),
                 rand_seed: [0; 16],
                 sqn_start: [0; 6],
                 amf_field: [0x80, 0],

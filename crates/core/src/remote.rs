@@ -12,6 +12,7 @@
 use crate::paka::{PakaKind, PakaModule, ServeMetrics};
 use crate::CoreError;
 use shield5g_crypto::keys::HeAv;
+use shield5g_crypto::secret::SecretBytes;
 use shield5g_crypto::sqn::Auts;
 use shield5g_infra::bridge::BridgeNetwork;
 use shield5g_nf::backend::BackendOp;
@@ -557,16 +558,26 @@ impl RemoteAmfAka {
 }
 
 impl AmfAkaBackend for RemoteAmfAka {
-    fn derive_kamf(&mut self, env: &mut Env, req: &AmfAkaRequest) -> Result<[u8; 32], NfError> {
+    fn derive_kamf(
+        &mut self,
+        env: &mut Env,
+        req: &AmfAkaRequest,
+    ) -> Result<SecretBytes<32>, NfError> {
         let body = self
             .client
             .call(env, "/eamf/derive-kamf", req.encode())
             .map_err(to_nf_error)?;
-        body.try_into()
-            .map_err(|_| NfError::Backend("bad kamf response length".into()))
+        let kamf: [u8; 32] = body
+            .try_into()
+            .map_err(|_| NfError::Backend("bad kamf response length".into()))?;
+        Ok(SecretBytes::new(kamf))
     }
 
-    fn begin_derive_kamf(&mut self, env: &mut Env, req: &AmfAkaRequest) -> BackendOp<[u8; 32]> {
+    fn begin_derive_kamf(
+        &mut self,
+        env: &mut Env,
+        req: &AmfAkaRequest,
+    ) -> BackendOp<SecretBytes<32>> {
         let (dest, request, token) = self
             .client
             .begin_call(env, "/eamf/derive-kamf", req.encode());
@@ -582,14 +593,16 @@ impl AmfAkaBackend for RemoteAmfAka {
         env: &mut Env,
         token: Box<dyn Any>,
         resp: HttpResponse,
-    ) -> Result<[u8; 32], NfError> {
+    ) -> Result<SecretBytes<32>, NfError> {
         let token = downcast_token(token)?;
         let body = self
             .client
             .finish_call(env, resp, token)
             .map_err(to_nf_error)?;
-        body.try_into()
-            .map_err(|_| NfError::Backend("bad kamf response length".into()))
+        let kamf: [u8; 32] = body
+            .try_into()
+            .map_err(|_| NfError::Backend("bad kamf response length".into()))?;
+        Ok(SecretBytes::new(kamf))
     }
 }
 
@@ -629,7 +642,7 @@ mod tests {
     fn av_request() -> UdmAkaRequest {
         UdmAkaRequest {
             supi: SUPI.into(),
-            opc: OPC,
+            opc: OPC.into(),
             rand: [0x23; 16],
             sqn: [0, 0, 0, 0, 0, 7],
             amf_field: [0x80, 0],
@@ -707,7 +720,7 @@ mod tests {
                 &AusfAkaRequest {
                     rand: [1; 16],
                     xres_star: [2; 16],
-                    kausf: [3; 32],
+                    kausf: [3; 32].into(),
                     snn: ServingNetworkName::new("001", "01"),
                 },
             )
@@ -723,7 +736,7 @@ mod tests {
             .derive_kamf(
                 &mut env2,
                 &AmfAkaRequest {
-                    kseaf: [4; 32],
+                    kseaf: [4; 32].into(),
                     supi: SUPI.into(),
                     abba: [0, 0],
                 },

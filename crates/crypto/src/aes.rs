@@ -93,6 +93,13 @@ impl std::fmt::Debug for Aes128 {
     }
 }
 
+impl Drop for Aes128 {
+    fn drop(&mut self) {
+        use crate::secret::Zeroize;
+        self.round_keys.zeroize();
+    }
+}
+
 impl Aes128 {
     /// Expands `key` into the 11-round AES-128 key schedule.
     #[must_use]

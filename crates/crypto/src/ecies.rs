@@ -18,6 +18,7 @@
 use crate::aes::Aes128;
 use crate::hmac::hmac_sha256;
 use crate::kdf::kdf_x963;
+use crate::secret::SecretBytes;
 use crate::x25519::{x25519, x25519_base};
 use crate::{ct_eq, CryptoError};
 
@@ -123,7 +124,7 @@ pub fn conceal(
 #[derive(Clone)]
 pub struct HomeNetworkKeyPair {
     id: u8,
-    private: [u8; 32],
+    private: SecretBytes<32>,
     public: [u8; 32],
 }
 
@@ -144,7 +145,7 @@ impl HomeNetworkKeyPair {
         let public = x25519_base(&private);
         HomeNetworkKeyPair {
             id,
-            private,
+            private: SecretBytes::new(private),
             public,
         }
     }
@@ -168,7 +169,7 @@ impl HomeNetworkKeyPair {
     /// Returns [`CryptoError::MacMismatch`] when the tag does not verify
     /// (wrong key, corrupted ciphertext, or a tampered ephemeral key).
     pub fn deconceal(&self, ct: &EciesCiphertext) -> Result<Vec<u8>, CryptoError> {
-        let shared = x25519(&self.private, &ct.ephemeral_public);
+        let shared = x25519(self.private.expose(), &ct.ephemeral_public);
         let (aes_key, icb, mac_key) = derive_key_data(&shared, &ct.ephemeral_public);
         let tag = hmac_sha256(&mac_key, &ct.ciphertext);
         if !ct_eq(&tag[..MAC_LEN], &ct.mac) {

@@ -9,6 +9,7 @@
 //! assert_eq!(tag.len(), 32);
 //! ```
 
+use crate::secret::SecretBytes;
 use crate::sha256::Sha256;
 
 /// SHA-256 block size in bytes.
@@ -23,10 +24,21 @@ pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
 }
 
 /// Incremental HMAC-SHA-256.
-#[derive(Clone, Debug)]
+///
+/// The derived key blocks (and the keyed inner hash state) are secret
+/// material: `Debug` is redacted and the outer pad zeroizes on drop.
+#[derive(Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
-    opad_key: [u8; BLOCK],
+    opad_key: SecretBytes<BLOCK>,
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacSha256")
+            .field("key", &"<redacted>")
+            .finish()
+    }
 }
 
 impl HmacSha256 {
@@ -48,7 +60,13 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad_key);
-        HmacSha256 { inner, opad_key }
+        use crate::secret::Zeroize;
+        key_block.zeroize();
+        ipad_key.zeroize();
+        HmacSha256 {
+            inner,
+            opad_key: SecretBytes::new(opad_key),
+        }
     }
 
     /// Absorbs message bytes.
@@ -61,7 +79,7 @@ impl HmacSha256 {
     pub fn finalize(self) -> [u8; 32] {
         let inner_digest = self.inner.finalize();
         let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        outer.update(self.opad_key.expose());
         outer.update(&inner_digest);
         outer.finalize()
     }

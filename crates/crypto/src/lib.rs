@@ -20,6 +20,8 @@
 //!   (TS 33.102 Annex C).
 //! * [`keys`] — the 5G key hierarchy: K_AUSF, K_SEAF, K_AMF, RES*/XRES*,
 //!   HXRES* and the HE/SE authentication vectors (TS 33.501 Annex A).
+//! * [`secret`] — [`SecretBytes`]/[`Secret`] containers for key material:
+//!   redacted `Debug`, constant-time equality, zeroize-on-drop.
 //!
 //! # Example
 //!
@@ -40,7 +42,7 @@
 //! let snn = ServingNetworkName::new("001", "01");
 //! let av = keys::generate_he_av(&mil, &rand, &sqn, &amf, &snn);
 //! assert_eq!(av.autn.len(), 16);
-//! assert_eq!(av.kausf.len(), 32);
+//! assert_eq!(av.kausf.expose().len(), 32);
 //! # }
 //! ```
 //!
@@ -61,9 +63,12 @@ pub mod ident;
 pub mod kdf;
 pub mod keys;
 pub mod milenage;
+pub mod secret;
 pub mod sha256;
 pub mod sqn;
 pub mod x25519;
+
+pub use secret::{Secret, SecretBytes, Zeroize};
 
 use std::error::Error;
 use std::fmt;

@@ -14,10 +14,11 @@
 //! let mil = Milenage::with_op(&[0x46; 16], &[0xcd; 16]);
 //! let out = mil.f2345(&[0x23; 16]);
 //! assert_eq!(out.res.len(), 8);
-//! assert_eq!(out.ck.len(), 16);
+//! assert_eq!(out.ck.expose().len(), 16);
 //! ```
 
 use crate::aes::Aes128;
+use crate::secret::SecretBytes;
 
 /// MILENAGE rotation amounts in bytes (`r1..r5` = 64, 0, 32, 64, 96 bits).
 const ROT: [usize; 5] = [8, 0, 4, 8, 12];
@@ -30,14 +31,14 @@ const C_LAST_BYTE: [u8; 5] = [0, 1, 2, 4, 8];
 ///
 /// TS 35.206 computes all four from the same intermediate `TEMP` block, so
 /// they are returned together (the paper's Table I "f2345" entry).
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct F2345Output {
     /// `f2`: the 64-bit signed response RES.
     pub res: [u8; 8],
-    /// `f3`: the 128-bit cipher key CK.
-    pub ck: [u8; 16],
-    /// `f4`: the 128-bit integrity key IK.
-    pub ik: [u8; 16],
+    /// `f3`: the 128-bit cipher key CK (zeroizes on drop).
+    pub ck: SecretBytes<16>,
+    /// `f4`: the 128-bit integrity key IK (zeroizes on drop).
+    pub ik: SecretBytes<16>,
     /// `f5`: the 48-bit anonymity key AK.
     pub ak: [u8; 6],
 }
@@ -54,7 +55,7 @@ impl std::fmt::Debug for F2345Output {
 #[derive(Clone)]
 pub struct Milenage {
     aes: Aes128,
-    opc: [u8; 16],
+    opc: SecretBytes<16>,
 }
 
 impl std::fmt::Debug for Milenage {
@@ -75,7 +76,10 @@ impl Milenage {
         for (o, p) in opc.iter_mut().zip(op.iter()) {
             *o ^= p;
         }
-        Milenage { aes, opc }
+        Milenage {
+            aes,
+            opc: SecretBytes::new(opc),
+        }
     }
 
     /// Builds an instance from the subscriber key and a pre-computed `OPc`.
@@ -87,20 +91,20 @@ impl Milenage {
     pub fn with_opc(k: &[u8; 16], opc: &[u8; 16]) -> Self {
         Milenage {
             aes: Aes128::new(k),
-            opc: *opc,
+            opc: SecretBytes::new(*opc),
         }
     }
 
     /// The derived (or provided) `OPc` value.
     #[must_use]
     pub fn opc(&self) -> &[u8; 16] {
-        &self.opc
+        self.opc.expose()
     }
 
     /// `TEMP = E_K(RAND ⊕ OPc)`.
     fn temp(&self, rand: &[u8; 16]) -> [u8; 16] {
         let mut t = *rand;
-        for (b, o) in t.iter_mut().zip(self.opc.iter()) {
+        for (b, o) in t.iter_mut().zip(self.opc.expose().iter()) {
             *b ^= o;
         }
         self.aes.encrypt_block_copy(&t)
@@ -109,14 +113,15 @@ impl Milenage {
     /// `OUT_i = E_K(rot(TEMP ⊕ OPc, r_i) ⊕ c_i) ⊕ OPc` for i in 2..=5.
     fn out_i(&self, temp: &[u8; 16], i: usize) -> [u8; 16] {
         debug_assert!((2..=5).contains(&i));
+        let opc = self.opc.expose();
         let mut x = [0u8; 16];
         let rot = ROT[i - 1];
         for j in 0..16 {
-            x[j] = temp[(j + rot) % 16] ^ self.opc[(j + rot) % 16];
+            x[j] = temp[(j + rot) % 16] ^ opc[(j + rot) % 16];
         }
         x[15] ^= C_LAST_BYTE[i - 1];
         let mut out = self.aes.encrypt_block_copy(&x);
-        for (o, p) in out.iter_mut().zip(self.opc.iter()) {
+        for (o, p) in out.iter_mut().zip(opc.iter()) {
             *o ^= p;
         }
         out
@@ -131,16 +136,17 @@ impl Milenage {
         in1[8..14].copy_from_slice(sqn);
         in1[14..16].copy_from_slice(amf);
         // rot(IN1 ⊕ OPc, r1) with r1 = 64 bits = 8 bytes.
+        let opc = self.opc.expose();
         let mut x = [0u8; 16];
         for j in 0..16 {
-            x[j] = in1[(j + ROT[0]) % 16] ^ self.opc[(j + ROT[0]) % 16];
+            x[j] = in1[(j + ROT[0]) % 16] ^ opc[(j + ROT[0]) % 16];
         }
         // c1 = 0, so only XOR TEMP in.
         for (b, t) in x.iter_mut().zip(temp.iter()) {
             *b ^= t;
         }
         let mut out = self.aes.encrypt_block_copy(&x);
-        for (o, p) in out.iter_mut().zip(self.opc.iter()) {
+        for (o, p) in out.iter_mut().zip(opc.iter()) {
             *o ^= p;
         }
         out
@@ -171,8 +177,8 @@ impl Milenage {
         let out4 = self.out_i(&temp, 4);
         F2345Output {
             res: out2[8..16].try_into().expect("8-byte slice"),
-            ck: out3,
-            ik: out4,
+            ck: SecretBytes::new(out3),
+            ik: SecretBytes::new(out4),
             ak: out2[0..6].try_into().expect("6-byte slice"),
         }
     }
@@ -221,8 +227,14 @@ mod tests {
         let (mil, rand, _, _) = test_set_1();
         let out = mil.f2345(&rand);
         assert_eq!(hex::encode(&out.res), "a54211d5e3ba50bf");
-        assert_eq!(hex::encode(&out.ck), "b40ba9a3c58b2a05bbf0d987b21bf8cb");
-        assert_eq!(hex::encode(&out.ik), "f769bcd751044604127672711c6d3441");
+        assert_eq!(
+            hex::encode(out.ck.expose()),
+            "b40ba9a3c58b2a05bbf0d987b21bf8cb"
+        );
+        assert_eq!(
+            hex::encode(out.ik.expose()),
+            "f769bcd751044604127672711c6d3441"
+        );
         assert_eq!(hex::encode(&out.ak), "aa689c648370");
     }
 

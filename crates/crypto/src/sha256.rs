@@ -32,13 +32,23 @@ const H0: [u32; 8] = [
 ///
 /// Supports streaming input via [`Sha256::update`]; [`Sha256::digest`] is a
 /// convenience for one-shot hashing.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Sha256 {
     state: [u32; 8],
     /// Bytes processed so far (for the length suffix).
     len: u64,
     buf: [u8; 64],
     buf_len: usize,
+}
+
+impl std::fmt::Debug for Sha256 {
+    // The chaining state may be keyed (HMAC inner hash): redact it.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sha256")
+            .field("len", &self.len)
+            .field("state", &"<redacted>")
+            .finish()
+    }
 }
 
 impl Default for Sha256 {

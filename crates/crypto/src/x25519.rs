@@ -27,8 +27,18 @@ const A24: u64 = 121_665;
 
 /// A field element modulo `2^255 - 19`, kept fully reduced (`< p`) after
 /// every operation. Limbs are little-endian.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 struct Fe([u64; 4]);
+
+impl std::fmt::Debug for Fe {
+    // Field elements carry private-scalar-derived ladder state: a derived
+    // Debug would print the limbs into any `{:?}` trace. (`Fe` must stay
+    // `Copy` for the ladder arithmetic, so it zeroizes via callers, not
+    // `Drop`.)
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Fe(<redacted>)")
+    }
+}
 
 impl Fe {
     const ZERO: Fe = Fe([0; 4]);

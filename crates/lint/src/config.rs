@@ -1,0 +1,99 @@
+//! The lint's knowledge of the repository: which types carry secrets,
+//! which files are enclave-side, and which crates feed the
+//! byte-exact simulation trace.
+
+/// A registered secret-bearing type.
+#[derive(Clone, Debug)]
+pub struct SecretType {
+    /// Path suffix of the file declaring the type (e.g. `crypto/src/keys.rs`).
+    pub path_suffix: String,
+    /// The type name as written at its `struct` declaration.
+    pub name: String,
+    /// Whether the type must zeroize its key material on drop (via
+    /// `SecretBytes`/`Secret` fields or an explicit `Drop` impl). Types
+    /// that must stay `Copy` (field-element arithmetic) opt out and are
+    /// only held to the redacted-`Debug` rule.
+    pub require_zeroize: bool,
+}
+
+/// Full lint configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Registered secret-bearing types (secret-hygiene rules SH001-003).
+    pub secret_types: Vec<SecretType>,
+    /// Path suffixes of enclave-side modules (rule EB001): code that the
+    /// paper runs inside an SGX enclave, where direct `std::fs`/`net`/
+    /// `time` calls would bypass the LibOS shim layer.
+    pub enclave_files: Vec<String>,
+    /// Path prefixes (relative to the repo root) of trace-affecting
+    /// crates (rules DT001/DT002): anything here feeds the byte-exact
+    /// deterministic simulation trace.
+    pub trace_dirs: Vec<String>,
+    /// Per-crate panic budget (rule PB001), loaded from the checked-in
+    /// baseline. Crates not listed have budget zero.
+    pub panic_budget: Vec<(String, usize)>,
+}
+
+fn s(v: &str) -> String {
+    v.to_owned()
+}
+
+impl Config {
+    /// The registry for this repository.
+    #[must_use]
+    pub fn repo_default() -> Self {
+        let secret = |suffix: &str, name: &str, require_zeroize: bool| SecretType {
+            path_suffix: s(suffix),
+            name: s(name),
+            require_zeroize,
+        };
+        Config {
+            secret_types: vec![
+                // crypto: the key hierarchy itself.
+                secret("crypto/src/keys.rs", "HeAv", true),
+                secret("crypto/src/keys.rs", "UeChallengeResult", true),
+                secret("crypto/src/milenage.rs", "Milenage", true),
+                secret("crypto/src/milenage.rs", "F2345Output", true),
+                secret("crypto/src/hmac.rs", "HmacSha256", true),
+                secret("crypto/src/ecies.rs", "HomeNetworkKeyPair", true),
+                secret("crypto/src/aes.rs", "Aes128", true),
+                // Redact-only: Fe must stay Copy for the x25519 ladder;
+                // Sha256's chaining state may be HMAC-keyed but the
+                // struct is moved-out by `finalize`.
+                secret("crypto/src/x25519.rs", "Fe", false),
+                secret("crypto/src/sha256.rs", "Sha256", false),
+                // nf: key material crossing the SBI / module wire.
+                secret("nf/src/backend.rs", "UdmAkaRequest", true),
+                secret("nf/src/backend.rs", "UdmAkaBatchRequest", true),
+                secret("nf/src/backend.rs", "AusfAkaRequest", true),
+                secret("nf/src/backend.rs", "AusfAkaResponse", true),
+                secret("nf/src/backend.rs", "AmfAkaRequest", true),
+                secret("nf/src/backend.rs", "LocalUdmAka", true),
+                secret("nf/src/ausf.rs", "AuthContext", true),
+                secret("nf/src/sbi.rs", "ConfirmResponse", true),
+                secret("nf/src/sbi.rs", "UdrAuthDataResponse", true),
+                secret("nf/src/nas_security.rs", "NasSecurityContext", true),
+                secret("nf/src/udr.rs", "SubscriberEntry", true),
+            ],
+            enclave_files: vec![
+                // The P-AKA module dispatch runs inside the enclave.
+                s("core/src/paka.rs"),
+                // The HMEE model: enclave-side runtime, sealing, EPC and
+                // attestation logic.
+                s("hmee/src/enclave.rs"),
+                s("hmee/src/seal.rs"),
+                s("hmee/src/attest.rs"),
+                s("hmee/src/epc.rs"),
+                // Everything in the crypto crate may execute enclave-side.
+                s("crypto/src/"),
+            ],
+            trace_dirs: vec![
+                s("crates/sim/src"),
+                s("crates/nf/src"),
+                s("crates/scale/src"),
+                s("crates/core/src"),
+            ],
+            panic_budget: Vec::new(),
+        }
+    }
+}

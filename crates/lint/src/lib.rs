@@ -1,0 +1,101 @@
+//! `shield5g-lint`: project-specific static analysis for the shield5g
+//! workspace.
+//!
+//! Four rule families, each guarding an invariant the compiler cannot:
+//!
+//! * **Secret hygiene** (SH001–SH003) — registered key-bearing types
+//!   must redact `Debug`/`Display`/`Serialize` output and zeroize on
+//!   drop (see `shield5g_crypto::secret`).
+//! * **Enclave boundary** (EB001) — enclave-side modules must not call
+//!   `std::fs`/`net`/`time`/`thread`/`process` directly; host-OS access
+//!   goes through the LibOS shim.
+//! * **Determinism** (DT001/DT002) — trace-affecting crates must not
+//!   read wall clocks, ambient randomness, or iterate default-hasher
+//!   maps; the engine's byte-exact trace depends on it.
+//! * **Panic budget** (PB001) — `.unwrap()`/`.expect(` in non-test code
+//!   is capped by a checked-in, ratchet-down baseline.
+//!
+//! Findings can be locally suppressed with a
+//! `// shield5g-lint: allow(RULE)` marker on the offending or the
+//! preceding line.
+//!
+//! The linter is dependency-free: a small lexer ([`lexer`]) blanks
+//! comments and literal bodies so the rules can use honest substring
+//! and word matching, with `#[cfg(test)]` spans excluded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use config::Config;
+use scan::FileAnalysis;
+use std::path::Path;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`SH001`, `EB001`, `DT002`, `PB001`, …).
+    pub rule: String,
+    /// Repo-relative path of the offending file (or crate for PB001).
+    pub path: String,
+    /// 1-based line number; 0 when the finding is file/crate level.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Result of a full lint run.
+pub struct Report {
+    /// All findings, ordered by rule then path.
+    pub findings: Vec<Finding>,
+    /// Per-crate panic-path counts (for baseline updates).
+    pub panic_counts: std::collections::BTreeMap<String, usize>,
+}
+
+/// Runs every per-file rule family over the given analyses.
+#[must_use]
+pub fn run_rules(analyses: &[FileAnalysis], config: &Config) -> Report {
+    let mut findings = Vec::new();
+    for analysis in analyses {
+        rules::secret_hygiene::check(analysis, config, &mut findings);
+        rules::enclave_boundary::check(analysis, config, &mut findings);
+        rules::determinism::check(analysis, config, &mut findings);
+    }
+    let panic_counts = rules::panic_budget::count(analyses);
+    rules::panic_budget::check(&panic_counts, &config.panic_budget, &mut findings);
+    findings.sort_by(|a, b| (&a.rule, &a.path, a.line).cmp(&(&b.rule, &b.path, b.line)));
+    Report {
+        findings,
+        panic_counts,
+    }
+}
+
+/// Lints the repository rooted at `root` with the project registry and
+/// the checked-in panic baseline.
+#[must_use]
+pub fn run_repo(root: &Path) -> Report {
+    let mut config = Config::repo_default();
+    let baseline_path = root.join("crates/lint/panic_baseline.txt");
+    if let Ok(text) = std::fs::read_to_string(&baseline_path) {
+        config.panic_budget = rules::panic_budget::parse_baseline(&text);
+    }
+    let analyses: Vec<FileAnalysis> = scan::collect_files(root)
+        .iter()
+        .filter_map(|p| FileAnalysis::load(root, p))
+        .collect();
+    run_rules(&analyses, &config)
+}

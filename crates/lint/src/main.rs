@@ -1,0 +1,74 @@
+//! CLI for `shield5g-lint`.
+//!
+//! ```text
+//! cargo run -p shield5g-lint                  # lint the repo, exit 1 on findings
+//! cargo run -p shield5g-lint -- --root PATH   # lint another tree
+//! cargo run -p shield5g-lint -- --update-baseline
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+            }
+            "--update-baseline" => update_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "shield5g-lint: secret-hygiene, enclave-boundary, determinism and \
+                     panic-budget checks\n\n\
+                     USAGE: shield5g-lint [--root PATH] [--update-baseline]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = shield5g_lint::run_repo(&root);
+
+    if update_baseline {
+        let text = shield5g_lint::rules::panic_budget::baseline_text(&report.panic_counts);
+        let path = root.join("crates/lint/panic_baseline.txt");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    let findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| !(update_baseline && f.rule == "PB001"))
+        .collect();
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        let total: usize = report.panic_counts.values().sum();
+        println!(
+            "shield5g-lint: clean ({} panic-path sites within budget)",
+            total
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("shield5g-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

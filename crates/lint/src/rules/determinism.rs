@@ -1,0 +1,74 @@
+//! Determinism rules for trace-affecting crates.
+//!
+//! The discrete-event engine promises byte-exact traces for a given
+//! seed. Two things quietly break that promise:
+//!
+//! * **DT001** — wall-clock or ambient randomness (`Instant::now`,
+//!   `SystemTime`, `thread_rng`, …). Simulated time comes from the
+//!   engine clock; randomness comes from the seeded `Env` RNG.
+//! * **DT002** — default-hasher `HashMap`/`HashSet`. Their iteration
+//!   order varies per process (SipHash keys are randomized), so any
+//!   trace or wire encoding that walks one diverges run-to-run. Use
+//!   `BTreeMap`/`BTreeSet` (or an explicit seeded hasher) instead.
+
+use crate::config::Config;
+use crate::lexer::find_word;
+use crate::scan::FileAnalysis;
+use crate::Finding;
+
+/// Wall-clock / ambient-randomness markers.
+const DT001_PATTERNS: [&str; 5] = [
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// Default-hasher collections.
+const DT002_PATTERNS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Runs the determinism pass over one file.
+pub fn check(analysis: &FileAnalysis, config: &Config, findings: &mut Vec<Finding>) {
+    if !config
+        .trace_dirs
+        .iter()
+        .any(|dir| analysis.rel_path.starts_with(dir.as_str()))
+    {
+        return;
+    }
+    scan(analysis, "DT001", &DT001_PATTERNS, findings, |p| {
+        format!("trace-affecting code uses `{p}`; use the engine clock / seeded Env RNG")
+    });
+    scan(analysis, "DT002", &DT002_PATTERNS, findings, |p| {
+        format!("trace-affecting code uses default-hasher `{p}`; use `BTreeMap`/`BTreeSet`")
+    });
+}
+
+fn scan(
+    analysis: &FileAnalysis,
+    rule: &str,
+    patterns: &[&str],
+    findings: &mut Vec<Finding>,
+    message: impl Fn(&str) -> String,
+) {
+    for pattern in patterns {
+        let mut from = 0;
+        while let Some(at) = find_word(&analysis.clean, pattern, from) {
+            from = at + pattern.len();
+            if analysis.in_test(at) {
+                continue;
+            }
+            let line = analysis.line(at);
+            if analysis.allowed(rule, line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: rule.to_owned(),
+                path: analysis.rel_path.clone(),
+                line,
+                message: message(pattern),
+            });
+        }
+    }
+}

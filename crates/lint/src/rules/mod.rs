@@ -1,0 +1,11 @@
+//! The rule families. Each pass takes prepared [`FileAnalysis`] values
+//! and the [`Config`] and appends [`Finding`]s.
+//!
+//! [`FileAnalysis`]: crate::scan::FileAnalysis
+//! [`Config`]: crate::config::Config
+//! [`Finding`]: crate::Finding
+
+pub mod determinism;
+pub mod enclave_boundary;
+pub mod panic_budget;
+pub mod secret_hygiene;

@@ -1,0 +1,144 @@
+//! File discovery and per-file analysis state shared by all rules.
+
+use crate::lexer::{clean_source, line_of, test_spans};
+use std::path::{Path, PathBuf};
+
+/// A source file prepared for rule passes.
+pub struct FileAnalysis {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel_path: String,
+    /// Original source text.
+    pub raw: String,
+    /// Source with comments and literal bodies blanked (same length).
+    pub clean: String,
+    /// Byte spans of `#[cfg(test)]` items in `clean`.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileAnalysis {
+    /// Loads and pre-lexes one file.
+    #[must_use]
+    pub fn load(root: &Path, path: &Path) -> Option<Self> {
+        let raw = std::fs::read_to_string(path).ok()?;
+        let clean = clean_source(&raw);
+        let spans = test_spans(&clean);
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Integration-test files are test code end to end.
+        let spans = if rel.starts_with("tests/") {
+            vec![(0, clean.len())]
+        } else {
+            spans
+        };
+        Some(FileAnalysis {
+            rel_path: rel,
+            raw,
+            clean,
+            test_spans: spans,
+        })
+    }
+
+    /// Builds an analysis directly from source text (fixture tests).
+    #[must_use]
+    pub fn from_source(rel_path: &str, raw: &str) -> Self {
+        let clean = clean_source(raw);
+        let spans = test_spans(&clean);
+        FileAnalysis {
+            rel_path: rel_path.to_owned(),
+            raw: raw.to_owned(),
+            clean,
+            test_spans: spans,
+        }
+    }
+
+    /// Is this byte offset inside a `#[cfg(test)]` item?
+    #[must_use]
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// 1-based line of a byte offset.
+    #[must_use]
+    pub fn line(&self, offset: usize) -> usize {
+        line_of(&self.clean, offset)
+    }
+
+    /// Is a finding of `rule` at `line` suppressed by an inline
+    /// `// shield5g-lint: allow(RULE)` marker on the same or the
+    /// preceding line?
+    #[must_use]
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        let marker = format!("shield5g-lint: allow({rule})");
+        let has = |idx: usize| {
+            self.raw
+                .lines()
+                .nth(idx)
+                .is_some_and(|l| l.contains(&marker))
+        };
+        has(line.saturating_sub(1)) || (line >= 2 && has(line - 2))
+    }
+}
+
+/// Collects the `.rs` files the lint walks: `crates/*/src/**` plus the
+/// top-level `src/` and `tests/`. Vendored crates, build output and the
+/// lint's own violation fixtures are excluded.
+#[must_use]
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            walk(&entry.path().join("src"), &mut out);
+        }
+    }
+    walk(&root.join("src"), &mut out);
+    walk(&root.join("tests"), &mut out);
+    out.retain(|p| {
+        let s = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        !s.starts_with("vendor/")
+            && !s.contains("/vendor/")
+            && !s.contains("/target/")
+            && !s.contains("lint/tests/fixtures/")
+    });
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_test_and_allow_markers() {
+        let src = "fn live() { x.unwrap(); }\n// shield5g-lint: allow(PB001)\nfn shh() { y.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() {} }\n";
+        let a = FileAnalysis::from_source("x.rs", src);
+        assert!(a.allowed("PB001", 3));
+        assert!(!a.allowed("PB001", 1));
+        let test_start = a.clean.find("#[cfg(test)]").unwrap();
+        assert!(a.in_test(test_start + 5));
+        assert!(!a.in_test(0));
+    }
+}

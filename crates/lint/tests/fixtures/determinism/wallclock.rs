@@ -1,0 +1,14 @@
+//! Seeded determinism violations in a trace-affecting module: wall
+//! clock reads and a default-hasher map.
+
+use std::collections::HashMap;
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    0
+}
+
+pub fn order(items: &[(String, u32)]) -> HashMap<String, u32> {
+    items.iter().cloned().collect()
+}

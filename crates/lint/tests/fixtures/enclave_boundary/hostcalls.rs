@@ -1,0 +1,10 @@
+//! Seeded enclave-boundary violations: direct host-OS access from a
+//! module registered as enclave-side.
+
+pub fn persist(bytes: &[u8]) {
+    std::fs::write("/tmp/sealed", bytes).ok();
+}
+
+pub fn when() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,8 @@
+//! Seeded panic-budget violation: more unwrap/expect sites than the
+//! fixture baseline allows.
+
+pub fn brittle(input: &str) -> u32 {
+    let first: u32 = input.split(',').next().unwrap().parse().unwrap();
+    let second: u32 = input.split(',').nth(1).expect("second field").parse().unwrap();
+    first + second
+}

@@ -1,0 +1,14 @@
+//! Seeded secret-hygiene violations: a registered key type that derives
+//! `Debug`/`Serialize` over raw key bytes, displays them, and never
+//! zeroizes.
+
+#[derive(Clone, Debug, Serialize)]
+pub struct LeakyKey {
+    pub k: [u8; 16],
+}
+
+impl std::fmt::Display for LeakyKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:x?}", self.k)
+    }
+}

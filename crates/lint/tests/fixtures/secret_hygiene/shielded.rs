@@ -1,0 +1,6 @@
+//! The clean counterpart: key bytes in `SecretBytes`, redacted `Debug`.
+
+#[derive(Clone, Debug)]
+pub struct ShieldedKey {
+    k: SecretBytes<16>,
+}

@@ -23,7 +23,7 @@ use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// NAS decode/validate/route overhead per message on the OAI C++ path.
 const AMF_NAS_HANDLER_NANOS: u64 = 62_000;
@@ -71,10 +71,10 @@ pub struct AmfService {
     backend: Box<dyn AmfAkaBackend>,
     serving_mcc: String,
     serving_mnc: String,
-    contexts: HashMap<u64, UeState>,
-    pending_teid: HashMap<u64, u32>,
-    pending_teardown: std::collections::HashSet<u64>,
-    guti_to_supi: HashMap<u32, String>,
+    contexts: BTreeMap<u64, UeState>,
+    pending_teid: BTreeMap<u64, u32>,
+    pending_teardown: BTreeSet<u64>,
+    guti_to_supi: BTreeMap<u32, String>,
     next_tmsi: u32,
     registrations_completed: u64,
     deregistrations: u64,
@@ -107,10 +107,10 @@ impl AmfService {
             backend,
             serving_mcc: mcc.to_owned(),
             serving_mnc: mnc.to_owned(),
-            contexts: HashMap::new(),
-            pending_teid: HashMap::new(),
-            pending_teardown: std::collections::HashSet::new(),
-            guti_to_supi: HashMap::new(),
+            contexts: BTreeMap::new(),
+            pending_teid: BTreeMap::new(),
+            pending_teardown: BTreeSet::new(),
+            guti_to_supi: BTreeMap::new(),
             next_tmsi: 0x0100_0000,
             registrations_completed: 0,
             deregistrations: 0,
@@ -607,7 +607,7 @@ impl AmfService {
                 };
                 match self.backend.begin_derive_kamf(env, &req) {
                     BackendOp::Done(kamf) => {
-                        Ok(self.enter_security_mode(ran_ue_id, confirm.supi, &kamf?))
+                        Ok(self.enter_security_mode(ran_ue_id, confirm.supi, kamf?.expose()))
                     }
                     BackendOp::Call { dest, req, token } => Ok(Step::CallOut {
                         dest,
@@ -626,7 +626,7 @@ impl AmfService {
                 token,
             } => {
                 let kamf = self.backend.finish_derive_kamf(env, token, resp)?;
-                Ok(self.enter_security_mode(ran_ue_id, supi, &kamf))
+                Ok(self.enter_security_mode(ran_ue_id, supi, kamf.expose()))
             }
             AmfFlow::AwaitSupiResolve {
                 ran_ue_id,

@@ -13,12 +13,13 @@ use crate::sbi::{
 };
 use crate::NfError;
 use shield5g_crypto::keys::{HeAv, SeAv, ServingNetworkName};
+use shield5g_crypto::secret::SecretBytes;
 use shield5g_sim::engine::{EngineService, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// AUSF handler parsing/auth-service-authorisation overhead.
 const AUSF_HANDLER_NANOS: u64 = 48_000;
@@ -27,7 +28,7 @@ const AUSF_HANDLER_NANOS: u64 = 48_000;
 struct AuthContext {
     supi: String,
     xres_star: [u8; 16],
-    kseaf: [u8; 32],
+    kseaf: SecretBytes<32>,
 }
 
 /// The AUSF service.
@@ -35,7 +36,7 @@ pub struct AusfService {
     client: SbiClient,
     udm_addr: String,
     backend: Box<dyn AusfAkaBackend>,
-    contexts: HashMap<u64, AuthContext>,
+    contexts: BTreeMap<u64, AuthContext>,
     next_ctx: u64,
 }
 
@@ -60,7 +61,7 @@ impl AusfService {
             client,
             udm_addr: udm_addr.into(),
             backend,
-            contexts: HashMap::new(),
+            contexts: BTreeMap::new(),
             next_ctx: 1,
         }
     }
@@ -88,7 +89,7 @@ impl AusfService {
         supi: String,
         he_av: &HeAv,
         hxres_star: [u8; 16],
-        kseaf: [u8; 32],
+        kseaf: SecretBytes<32>,
     ) -> Step {
         let ctx_id = self.next_ctx;
         self.next_ctx += 1;
@@ -141,7 +142,7 @@ impl AusfService {
             Ok(ConfirmResponse {
                 success: false,
                 supi: String::new(),
-                kseaf: [0; 32],
+                kseaf: SecretBytes::new([0; 32]),
             })
         }
     }
@@ -237,7 +238,7 @@ impl EngineService for AusfService {
                 let aka_req = AusfAkaRequest {
                     rand: he_av.rand,
                     xres_star: he_av.xres_star,
-                    kausf: he_av.kausf,
+                    kausf: he_av.kausf.clone(),
                     snn,
                 };
                 match self.backend.begin_derive_se(env, &aka_req) {

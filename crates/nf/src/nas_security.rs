@@ -10,6 +10,7 @@ use crate::NfError;
 use shield5g_crypto::aes::Aes128;
 use shield5g_crypto::hmac::hmac_sha256;
 use shield5g_crypto::keys::derive_nas_key;
+use shield5g_crypto::secret::SecretBytes;
 use shield5g_sim::codec::{Reader, Writer};
 
 /// Identifier of the simulated AES-based ciphering algorithm (5G-EA2-like).
@@ -59,8 +60,8 @@ impl ProtectedNas {
 /// One side's NAS security context (the peer holds the mirror image).
 #[derive(Clone)]
 pub struct NasSecurityContext {
-    knas_int: [u8; 16],
-    knas_enc: [u8; 16],
+    knas_int: SecretBytes<16>,
+    knas_enc: SecretBytes<16>,
     uplink: bool,
     tx_count: u32,
     rx_count: u32,
@@ -83,8 +84,8 @@ impl NasSecurityContext {
     #[must_use]
     pub fn from_kamf(kamf: &[u8; 32], uplink_sender: bool) -> Self {
         NasSecurityContext {
-            knas_int: derive_nas_key(kamf, 0x02, INTEGRITY_ALG_HMAC),
-            knas_enc: derive_nas_key(kamf, 0x01, CIPHER_ALG_AES),
+            knas_int: SecretBytes::new(derive_nas_key(kamf, 0x02, INTEGRITY_ALG_HMAC)),
+            knas_enc: SecretBytes::new(derive_nas_key(kamf, 0x01, CIPHER_ALG_AES)),
             uplink: uplink_sender,
             tx_count: 0,
             rx_count: 0,
@@ -103,7 +104,7 @@ impl NasSecurityContext {
         input.push(u8::from(uplink));
         input.extend_from_slice(&count.to_be_bytes());
         input.extend_from_slice(ciphertext);
-        let tag = hmac_sha256(&self.knas_int, &input);
+        let tag = hmac_sha256(self.knas_int.expose(), &input);
         tag[..4].try_into().expect("4 bytes")
     }
 
@@ -112,7 +113,7 @@ impl NasSecurityContext {
         let count = self.tx_count;
         self.tx_count += 1;
         let mut ciphertext = plain.to_vec();
-        Aes128::new(&self.knas_enc)
+        Aes128::new(self.knas_enc.expose())
             .ctr_apply(&Self::keystream_nonce(count, self.uplink), &mut ciphertext);
         let mac = self.mac(count, self.uplink, &ciphertext);
         ProtectedNas {
@@ -143,7 +144,7 @@ impl NasSecurityContext {
         }
         self.rx_count = pdu.count + 1;
         let mut plain = pdu.ciphertext.clone();
-        Aes128::new(&self.knas_enc)
+        Aes128::new(self.knas_enc.expose())
             .ctr_apply(&Self::keystream_nonce(pdu.count, !self.uplink), &mut plain);
         Ok(plain)
     }

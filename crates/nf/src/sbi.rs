@@ -5,6 +5,7 @@ use crate::messages::UeIdentity;
 use crate::NfError;
 use shield5g_crypto::ident::{Guti, Plmn, ProtectionScheme, Suci};
 use shield5g_crypto::keys::SeAv;
+use shield5g_crypto::secret::SecretBytes;
 use shield5g_crypto::sqn::Auts;
 use shield5g_sim::codec::{Reader, Writer};
 use shield5g_sim::engine;
@@ -292,8 +293,9 @@ pub struct ConfirmResponse {
     pub success: bool,
     /// The de-concealed subscriber identity.
     pub supi: String,
-    /// The anchor key (all zeros when `success` is false).
-    pub kseaf: [u8; 32],
+    /// The anchor key (all zeros when `success` is false; zeroizes on
+    /// drop).
+    pub kseaf: SecretBytes<32>,
 }
 
 impl std::fmt::Debug for ConfirmResponse {
@@ -313,7 +315,7 @@ impl ConfirmResponse {
         let mut w = Writer::new();
         w.put_bool(self.success)
             .put_str(&self.supi)
-            .put_array(&self.kseaf);
+            .put_array(self.kseaf.expose());
         w.into_bytes()
     }
 
@@ -327,7 +329,7 @@ impl ConfirmResponse {
         let resp = ConfirmResponse {
             success: r.bool()?,
             supi: r.str()?,
-            kseaf: r.array()?,
+            kseaf: SecretBytes::new(r.array()?),
         };
         r.finish()?;
         Ok(resp)
@@ -498,8 +500,9 @@ impl UdrAuthDataRequest {
 /// UDR authentication-data response: OPc, a fresh SQN, the AMF field.
 #[derive(Clone, PartialEq, Eq)]
 pub struct UdrAuthDataResponse {
-    /// Operator variant constant.
-    pub opc: [u8; 16],
+    /// Operator variant constant (secret subscriber data; zeroizes on
+    /// drop).
+    pub opc: SecretBytes<16>,
     /// Freshly incremented sequence number.
     pub sqn: [u8; 6],
     /// Authentication management field.
@@ -519,7 +522,7 @@ impl UdrAuthDataResponse {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_array(&self.opc)
+        w.put_array(self.opc.expose())
             .put_array(&self.sqn)
             .put_array(&self.amf_field);
         w.into_bytes()
@@ -533,7 +536,7 @@ impl UdrAuthDataResponse {
     pub fn decode(bytes: &[u8]) -> Result<Self, NfError> {
         let mut r = Reader::new(bytes);
         let resp = UdrAuthDataResponse {
-            opc: r.array()?,
+            opc: SecretBytes::new(r.array()?),
             sqn: r.array()?,
             amf_field: r.array()?,
         };
@@ -685,7 +688,7 @@ mod tests {
         let resp = ConfirmResponse {
             success: true,
             supi: "imsi-1".into(),
-            kseaf: [4; 32],
+            kseaf: [4; 32].into(),
         };
         assert_eq!(ConfirmResponse::decode(&resp.encode()).unwrap(), resp);
     }
@@ -713,7 +716,7 @@ mod tests {
             udr_req
         );
         let udr_resp = UdrAuthDataResponse {
-            opc: [1; 16],
+            opc: [1; 16].into(),
             sqn: [2; 6],
             amf_field: [0x80, 0],
         };

@@ -10,7 +10,7 @@ use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// SMF session-establishment handler time.
 const SMF_HANDLER_NANOS: u64 = 85_000;
@@ -66,7 +66,7 @@ pub struct SmfSession {
 pub struct SmfService {
     client: SbiClient,
     upf_addr: String,
-    sessions: HashMap<(String, u8), SmfSession>,
+    sessions: BTreeMap<(String, u8), SmfSession>,
     next_ip_suffix: u8,
     next_teid: u32,
 }
@@ -86,7 +86,7 @@ impl SmfService {
         SmfService {
             client,
             upf_addr: upf_addr.into(),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_ip_suffix: 2,
             next_teid: 0x1000,
         }

@@ -286,7 +286,7 @@ impl EngineService for UdmService {
                 match self.backend.begin_resynchronise(
                     env,
                     &req.supi,
-                    &auth_data.opc,
+                    auth_data.opc.expose(),
                     &req.rand,
                     &req.auts,
                 ) {

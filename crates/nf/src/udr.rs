@@ -8,6 +8,7 @@
 
 use crate::sbi::{UdrAuthDataRequest, UdrAuthDataResponse, UdrResyncRequest};
 use crate::NfError;
+use shield5g_crypto::secret::SecretBytes;
 use shield5g_crypto::sqn::SqnGenerator;
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::service::Service;
@@ -18,7 +19,7 @@ use std::collections::BTreeMap;
 /// One subscriber's stored authentication subscription data.
 #[derive(Clone, Debug)]
 struct SubscriberEntry {
-    opc: [u8; 16],
+    opc: SecretBytes<16>,
     amf_field: [u8; 2],
     sqn: SqnGenerator,
 }
@@ -41,7 +42,7 @@ impl UdrService {
         self.subscribers.insert(
             supi.into(),
             SubscriberEntry {
-                opc,
+                opc: SecretBytes::new(opc),
                 amf_field,
                 sqn: SqnGenerator::new(),
             },
@@ -66,7 +67,7 @@ impl UdrService {
             .get_mut(supi)
             .ok_or_else(|| NfError::SubscriberUnknown(supi.to_owned()))?;
         Ok(UdrAuthDataResponse {
-            opc: entry.opc,
+            opc: entry.opc.clone(),
             sqn: entry.sqn.next_sqn(),
             amf_field: entry.amf_field,
         })

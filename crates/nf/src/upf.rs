@@ -12,7 +12,7 @@ use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::service::Service;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-packet forwarding cost (GTP decap + route + N6 handoff).
 const FORWARD_NANOS: u64 = 9_000;
@@ -54,7 +54,7 @@ impl GtpPacket {
 /// The UPF service.
 #[derive(Debug, Default)]
 pub struct UpfService {
-    sessions: HashMap<u32, [u8; 4]>,
+    sessions: BTreeMap<u32, [u8; 4]>,
     packets_forwarded: u64,
 }
 

@@ -208,8 +208,11 @@ impl CotsUe {
                     match self.usim.evaluate_challenge(&rand, &autn, &snn) {
                         ChallengeOutcome::Success(result) => {
                             // Stash keys for the security-mode step.
-                            let kamf =
-                                derive_kamf(&result.kseaf, &self.usim.supi().to_string(), &abba);
+                            let kamf = derive_kamf(
+                                result.kseaf.expose(),
+                                &self.usim.supi().to_string(),
+                                &abba,
+                            );
                             self.sec = Some(NasSecurityContext::from_kamf(&kamf, true));
                             NasUplink::AuthenticationResponse {
                                 res_star: result.res_star,

@@ -14,7 +14,7 @@
 
 use shield5g_crypto::keys::HeAv;
 use shield5g_nf::backend::sqn_add;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Cache parameters.
@@ -73,7 +73,7 @@ struct SupiEntry {
 #[derive(Debug, Default)]
 pub struct AvCache {
     cfg: AvCacheConfig,
-    entries: HashMap<String, SupiEntry>,
+    entries: BTreeMap<String, SupiEntry>,
     stats: CacheStats,
 }
 
@@ -83,7 +83,7 @@ impl AvCache {
     pub fn new(cfg: AvCacheConfig) -> Self {
         AvCache {
             cfg,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -178,7 +178,7 @@ mod tests {
             rand: [i; 16],
             autn: [i; 16],
             xres_star: [i; 16],
-            kausf: [i; 32],
+            kausf: [i; 32].into(),
         }
     }
 

@@ -24,7 +24,7 @@ use shield5g_sim::engine::{Completion, Engine};
 use shield5g_sim::http::HttpRequest;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Long-term key of every workload subscriber (the standard test K).
 const K: [u8; 16] = [0x46; 16];
@@ -110,15 +110,15 @@ pub fn pool_sweep(seed: u64, cfg: &SweepConfig) -> PoolReport {
 
     let mut cache = cfg.cache.map(AvCache::new);
     // Cache-off bookkeeping: the UDM's per-subscriber SQN generator.
-    let mut sqn_counters: HashMap<String, [u8; 6]> = HashMap::new();
+    let mut sqn_counters: BTreeMap<String, [u8; 6]> = BTreeMap::new();
     let mut recorder = RunRecorder::new();
     // Tag → SUPI of every scheduled (in-flight) request, so completions
     // can refill the cache for the right subscriber.
-    let mut in_flight: HashMap<u64, String> = HashMap::new();
+    let mut in_flight: BTreeMap<u64, String> = BTreeMap::new();
 
     let settle = |recorder: &mut RunRecorder,
                   cache: &mut Option<AvCache>,
-                  in_flight: &mut HashMap<u64, String>,
+                  in_flight: &mut BTreeMap<u64, String>,
                   done: Vec<Completion>| {
         for completion in done {
             let supi = in_flight
@@ -179,7 +179,7 @@ pub fn pool_sweep(seed: u64, cfg: &SweepConfig) -> PoolReport {
 
 fn single_request(
     env: &mut Env,
-    sqn_counters: &mut HashMap<String, [u8; 6]>,
+    sqn_counters: &mut BTreeMap<String, [u8; 6]>,
     supi: &str,
 ) -> HttpRequest {
     let sqn = sqn_counters
@@ -190,7 +190,7 @@ fn single_request(
         "/eudm/generate-av",
         UdmAkaRequest {
             supi: supi.into(),
-            opc: OPC,
+            opc: OPC.into(),
             rand: env.rng.bytes(),
             sqn: *sqn,
             amf_field: [0x80, 0],
@@ -205,7 +205,7 @@ fn batch_request(env: &mut Env, cache: &AvCache, supi: &str) -> HttpRequest {
         "/eudm/generate-av-batch",
         UdmAkaBatchRequest {
             supi: supi.into(),
-            opc: OPC,
+            opc: OPC.into(),
             rand_seed: env.rng.bytes(),
             sqn_start: cache.next_sqn(supi),
             amf_field: [0x80, 0],
@@ -232,7 +232,7 @@ pub fn probe_service_time(seed: u64) -> SimDuration {
         },
     );
     pool.provision_subscriber(&mut env, &test_supi(0), K);
-    let mut sqn_counters = HashMap::new();
+    let mut sqn_counters = BTreeMap::new();
     let id = pool.ready_ids()[0];
     let samples: Vec<SimDuration> = (0..25)
         .map(|_| {

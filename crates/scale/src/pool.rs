@@ -512,7 +512,7 @@ impl EnclavePool {
 fn warmup_udm_body() -> Vec<u8> {
     shield5g_nf::backend::UdmAkaRequest {
         supi: "imsi-00101999999999".into(),
-        opc: [0; 16],
+        opc: [0; 16].into(),
         rand: [0; 16],
         sqn: [0; 6],
         amf_field: [0x80, 0],
@@ -549,7 +549,7 @@ mod tests {
             "/eudm/generate-av",
             shield5g_nf::backend::UdmAkaRequest {
                 supi: supi.into(),
-                opc: [0xcd; 16],
+                opc: [0xcd; 16].into(),
                 rand: [0x23; 16],
                 sqn: [0, 0, 0, 0, 0, 1],
                 amf_field: [0x80, 0],

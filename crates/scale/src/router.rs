@@ -278,7 +278,7 @@ mod tests {
             // must scatter them — a single-successor takeover (plain
             // sorted-id fallback) would concentrate every orphan.
             if n >= 4 && victim_keys >= 32 {
-                let mut inherited = std::collections::HashMap::new();
+                let mut inherited = std::collections::BTreeMap::new();
                 for (s, &owner) in supis.iter().zip(&before) {
                     if owner == victim {
                         *inherited.entry(ring.route(s)).or_insert(0u32) += 1;

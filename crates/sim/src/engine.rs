@@ -34,7 +34,7 @@ use crate::SimError;
 use std::any::Any;
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 /// Response header the engine sets on synthesized (non-service) replies:
@@ -222,9 +222,9 @@ impl Ord for Event {
 
 /// The discrete-event scheduler and endpoint registry of one world.
 pub struct Engine {
-    endpoints: HashMap<String, Endpoint>,
+    endpoints: BTreeMap<String, Endpoint>,
     heap: BinaryHeap<Reverse<Event>>,
-    ctxs: HashMap<u64, Ctx>,
+    ctxs: BTreeMap<u64, Ctx>,
     next_ctx: u64,
     next_seq: u64,
     completions: Vec<Completion>,
@@ -252,9 +252,9 @@ impl Engine {
     #[must_use]
     pub fn new() -> Self {
         Engine {
-            endpoints: HashMap::new(),
+            endpoints: BTreeMap::new(),
             heap: BinaryHeap::new(),
-            ctxs: HashMap::new(),
+            ctxs: BTreeMap::new(),
             next_ctx: 1,
             next_seq: 0,
             completions: Vec::new(),

@@ -14,6 +14,9 @@ cargo clippy --offline --workspace --all-targets \
   --exclude serde --exclude serde_derive \
   -- -D warnings
 
+echo "==> shield5g-lint (secret-hygiene / enclave-boundary / determinism / panic budget)"
+cargo run --offline -q -p shield5g-lint
+
 echo "==> cargo build (offline)"
 cargo build --offline --workspace
 
