@@ -209,6 +209,7 @@ pub struct PakaModule {
     boot_report: Option<BootReport>,
     userspace_net: bool,
     tls_identity: TlsIdentity,
+    crash_recoveries: u64,
 }
 
 impl std::fmt::Debug for PakaModule {
@@ -273,6 +274,7 @@ impl PakaModule {
             boot_report: None,
             userspace_net: false,
             tls_identity: TlsIdentity::new(kind.endpoint(), env.rng.bytes()),
+            crash_recoveries: 0,
         })
     }
 
@@ -344,6 +346,7 @@ impl PakaModule {
             boot_report,
             userspace_net: false,
             tls_identity: TlsIdentity::new(kind.endpoint(), env.rng.bytes()),
+            crash_recoveries: 0,
         })
     }
 
@@ -600,10 +603,83 @@ impl PakaModule {
         }
     }
 
+    /// **Fault interface**: crashes the enclave instance (host reboot /
+    /// OS-issued `EREMOVE`). The next request pays the measured enclave
+    /// load time before it can be served ([`PakaModule::serve`] performs
+    /// the reload). Returns `false` for container deployments, which have
+    /// no enclave to lose at this layer.
+    pub fn inject_crash(&mut self, env: &mut Env) -> bool {
+        let mut c = self.container.borrow_mut();
+        let Some(libos) = c.shielded.as_mut() else {
+            return false;
+        };
+        libos.enclave_mut().mark_lost(env);
+        true
+    }
+
+    /// **Fault interface**: delivers a burst of asynchronous exits to the
+    /// enclave (interrupt storm). No-op for container deployments.
+    pub fn inject_aex_storm(&mut self, env: &mut Env, count: u64) {
+        let mut c = self.container.borrow_mut();
+        if let Some(libos) = c.shielded.as_mut() {
+            libos.enclave_mut().aex_storm(env, count);
+        }
+    }
+
+    /// **Fault interface**: imposes external EPC occupancy (co-resident
+    /// enclaves) so requests incur paging; `0` lifts the pressure. No-op
+    /// for container deployments.
+    pub fn set_epc_thrash(&mut self, pages: u64) {
+        let mut c = self.container.borrow_mut();
+        if let Some(libos) = c.shielded.as_mut() {
+            libos.enclave_mut().set_thrash_pages(pages);
+        }
+    }
+
+    /// Whether the enclave instance is currently lost (crashed, reload
+    /// pending). Always `false` for container deployments.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        let c = self.container.borrow();
+        c.shielded.as_ref().is_some_and(|l| l.enclave().is_lost())
+    }
+
+    /// How many times the module reloaded its enclave after a crash.
+    #[must_use]
+    pub fn crash_recoveries(&self) -> u64 {
+        self.crash_recoveries
+    }
+
+    /// Reloads a lost enclave at the measured load-time cost, restoring
+    /// sealed state. Called from [`PakaModule::serve`] so the first request
+    /// after a crash pays the recovery; harnesses may also call it
+    /// directly to model supervised restarts.
+    pub fn recover_from_crash(&mut self, env: &mut Env) -> bool {
+        let load_time = self
+            .boot_report
+            .map_or_else(|| SimDuration::from_secs(60), |r| r.load_time);
+        let mut c = self.container.borrow_mut();
+        let Some(libos) = c.shielded.as_mut() else {
+            return false;
+        };
+        if !libos.enclave().is_lost() {
+            return false;
+        }
+        libos.enclave_mut().reload(env, load_time);
+        drop(c);
+        self.crash_recoveries += 1;
+        // The rebuilt instance starts cold: first request re-pays warmup.
+        self.warm = false;
+        true
+    }
+
     /// Serves one HTTPS request end to end, charging the full syscall
     /// choreography, and returns the response plus the module-side
     /// latency metrics.
     pub fn serve(&mut self, env: &mut Env, request: HttpRequest) -> (HttpResponse, ServeMetrics) {
+        if self.shielded && self.is_crashed() {
+            self.recover_from_crash(env);
+        }
         let req_bytes = request.wire_len();
         self.requests_served += 1;
         let first_request = !self.warm;
@@ -1158,5 +1234,68 @@ mod tests {
         let load = module.boot_report().unwrap().load_time;
         assert!(load > SimDuration::from_secs(50), "{load}");
         assert!(load < SimDuration::from_secs(70), "{load}");
+    }
+
+    #[test]
+    fn crash_forces_reload_at_load_time_cost() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        // Warm the module so the recovery delta is not confused with
+        // first-request cold start.
+        let (resp, _) = module.serve(&mut env, udm_request());
+        assert!(resp.is_success());
+        let load = module.boot_report().unwrap().load_time;
+
+        assert!(module.inject_crash(&mut env));
+        assert!(module.is_crashed());
+        let t0 = env.clock.now();
+        let (resp, _) = module.serve(&mut env, udm_request());
+        assert!(
+            resp.is_success(),
+            "post-crash request must succeed after reload: {:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert!(!module.is_crashed());
+        assert_eq!(module.crash_recoveries(), 1);
+        assert!(
+            env.clock.now() - t0 >= load,
+            "first post-crash request pays at least the enclave load time"
+        );
+    }
+
+    #[test]
+    fn crash_is_a_noop_for_container_deployments() {
+        let (mut env, mut module) = deploy(false, PakaKind::EUdm);
+        assert!(!module.inject_crash(&mut env));
+        assert!(!module.is_crashed());
+        assert!(!module.recover_from_crash(&mut env));
+        let (resp, _) = module.serve(&mut env, udm_request());
+        assert!(resp.is_success());
+        assert_eq!(module.crash_recoveries(), 0);
+    }
+
+    #[test]
+    fn aex_storm_and_epc_thrash_degrade_without_breaking() {
+        let (mut env, mut module) = deploy(true, PakaKind::EUdm);
+        let (resp, baseline) = module.serve(&mut env, udm_request());
+        assert!(resp.is_success());
+        assert_eq!(baseline.paged, 0, "no paging without pressure");
+
+        let before = module.sgx_stats().unwrap();
+        module.inject_aex_storm(&mut env, 1000);
+        assert_eq!(module.sgx_stats().unwrap().aex, before.aex + 1000);
+
+        // 512 MiB heap on a default platform: thrash well past physical.
+        module.set_epc_thrash(4 * 1024 * 1024);
+        let mut paged = 0;
+        for _ in 0..20 {
+            let (resp, m) = module.serve(&mut env, udm_request());
+            assert!(resp.is_success(), "thrashed module still serves");
+            paged += m.paged;
+        }
+        assert!(paged > 0, "EPC thrash must surface as paging");
+        module.set_epc_thrash(0);
+        let (resp, after) = module.serve(&mut env, udm_request());
+        assert!(resp.is_success());
+        assert_eq!(after.paged, 0, "lifting thrash restores residence");
     }
 }

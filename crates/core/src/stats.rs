@@ -32,14 +32,35 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarises a non-empty set of samples.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty sample set — experiments always run ≥ 1 rep.
+    /// The summary of zero samples: `count == 0`, every statistic zero.
+    /// Fault runs can shed 100% of requests, so the empty set is a
+    /// reachable, legitimate input — not a caller bug.
+    pub const EMPTY: Summary = Summary {
+        count: 0,
+        min: SimDuration::ZERO,
+        p25: SimDuration::ZERO,
+        median: SimDuration::ZERO,
+        p75: SimDuration::ZERO,
+        p95: SimDuration::ZERO,
+        p99: SimDuration::ZERO,
+        max: SimDuration::ZERO,
+        mean: SimDuration::ZERO,
+        stddev: SimDuration::ZERO,
+    };
+
+    /// Whether this summary covers zero samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Summarises a set of samples; the empty set yields
+    /// [`Summary::EMPTY`].
     #[must_use]
     pub fn of(samples: &[SimDuration]) -> Summary {
-        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        if samples.is_empty() {
+            return Summary::EMPTY;
+        }
         let mut sorted: Vec<u64> = samples.iter().map(|d| d.as_nanos()).collect();
         sorted.sort_unstable();
         let count = sorted.len();
@@ -82,16 +103,22 @@ impl Summary {
     }
 
     /// Ratio of this summary's median to another's (the paper's "×"
-    /// overhead figures).
+    /// overhead figures). Zero when either side is empty.
     #[must_use]
     pub fn median_ratio_to(&self, baseline: &Summary) -> f64 {
+        if baseline.median.as_nanos() == 0 {
+            return 0.0;
+        }
         self.median.as_nanos() as f64 / baseline.median.as_nanos() as f64
     }
 
     /// Fraction of samples outside 1.5 IQR whiskers (the paper notes
-    /// "less than 5% outliers", §V-A2).
+    /// "less than 5% outliers", §V-A2). Zero for the empty set.
     #[must_use]
     pub fn outlier_fraction(samples: &[SimDuration]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
         let s = Summary::of(samples);
         let iqr = s.iqr().as_nanos() as f64;
         let lo = s.p25.as_nanos() as f64 - 1.5 * iqr;
@@ -148,9 +175,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero samples")]
-    fn empty_panics() {
-        let _ = Summary::of(&[]);
+    fn empty_is_safe() {
+        // Regression: used to panic — reachable once fault injection
+        // sheds 100% of a run.
+        let s = Summary::of(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s, Summary::EMPTY);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.median, SimDuration::ZERO);
+        assert_eq!(s.iqr(), SimDuration::ZERO);
+        assert_eq!(Summary::outlier_fraction(&[]), 0.0);
+        let nonempty = Summary::of(&[us(7)]);
+        assert_eq!(nonempty.median_ratio_to(&s), 0.0);
     }
 
     #[test]

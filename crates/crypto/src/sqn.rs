@@ -19,16 +19,13 @@ pub const IND_BITS: u32 = 5;
 /// Maximum jump in SEQ the USIM accepts before declaring desynchronisation.
 pub const DELTA: u64 = 1 << 28;
 
-/// Packs a 48-bit SQN value into its 6-byte big-endian wire form.
-///
-/// # Panics
-///
-/// Panics if `sqn` does not fit in 48 bits (caller bug: the generator
-/// saturates well below this).
+/// Packs a SQN value into its 6-byte big-endian wire form, wrapping
+/// modulo 2^48 — the same masked arithmetic as `sqn_add` on the NF
+/// side, so a wrapped generator value fed back through this crate
+/// round-trips instead of panicking.
 #[must_use]
 pub fn sqn_to_bytes(sqn: u64) -> [u8; 6] {
-    assert!(sqn < (1 << 48), "SQN must fit in 48 bits");
-    let b = sqn.to_be_bytes();
+    let b = (sqn & 0xffff_ffff_ffff).to_be_bytes();
     [b[2], b[3], b[4], b[5], b[6], b[7]]
 }
 
@@ -204,9 +201,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "48 bits")]
-    fn sqn_overflow_panics() {
-        let _ = sqn_to_bytes(1 << 48);
+    fn sqn_overflow_wraps_at_48_bits() {
+        // Regression: used to assert sqn < 2^48 while the NF-side
+        // sqn_add silently wrapped — a wrapped generator value fed back
+        // through here panicked. Both now agree on masked wrap.
+        assert_eq!(sqn_to_bytes(1 << 48), [0; 6]);
+        assert_eq!(sqn_from_bytes(&sqn_to_bytes((1 << 48) | 5)), 5);
+        assert_eq!(sqn_to_bytes(u64::MAX), [0xff; 6]);
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! The `fault_sweep` recovery experiment.
+//!
+//! One open-loop mass-registration run against a real eUDM replica pool
+//! while faults fire at all three layers the paper's deployment has to
+//! survive:
+//!
+//! 1. **SBI messages** — a seeded [`SbiFaultPlan`] drops, delays, or
+//!    5xx-replaces deliveries on the engine;
+//! 2. **enclave instances** — a crash marks one replica's enclave lost,
+//!    so its next request pays the full ~60 s reload (Fig. 7) before
+//!    serving again;
+//! 3. **whole replicas** — a kill takes host and enclave down together;
+//!    the pool fails over to a warm standby and the frontend purges the
+//!    dead replica's pre-generated AVs
+//!    ([`AvCache::purge_where`]).
+//!
+//! Recovery is client-driven: every failed completion is retransmitted
+//! under a capped-exponential [`RetryPolicy`] with deterministic jitter,
+//! re-routed through the pool's *current* ring (so post-failover retries
+//! land on survivors), and abandoned — fail-fast — once the budget is
+//! spent. The run reports MTTR, goodput under fault, and retry
+//! amplification alongside the usual pool figures.
+//!
+//! Everything is a pure function of the seed: workload, fault schedule,
+//! and retry jitter come from separately forked [`DetRng`] streams.
+
+use crate::plan::{FaultConfig, FaultCounts, SbiFaultPlan};
+use shield5g_core::paka::PakaKind;
+use shield5g_crypto::keys::ServingNetworkName;
+use shield5g_nf::backend::{decode_he_av_batch, sqn_add, UdmAkaBatchRequest, UdmAkaRequest};
+use shield5g_nf::retry::{RetryPolicy, RetryStats};
+use shield5g_ran::workload::{poisson_registrations, test_supi, WorkloadSpec};
+use shield5g_scale::avcache::{AvCache, AvCacheConfig};
+use shield5g_scale::metrics::{PoolReport, RecoveryStats, RecoveryTracker, RunRecorder};
+use shield5g_scale::pool::{replica_addr, EnclavePool, FailoverReport, PoolConfig};
+use shield5g_scale::queue::QueueConfig;
+use shield5g_sim::engine::{Completion, Engine, ERROR_HEADER, FAULT_HEADER};
+use shield5g_sim::http::HttpRequest;
+use shield5g_sim::rng::DetRng;
+use shield5g_sim::time::{SimDuration, SimTime};
+use shield5g_sim::Env;
+use std::collections::BTreeMap;
+
+/// Long-term key of every workload subscriber (the standard test K).
+const K: [u8; 16] = [0x46; 16];
+const OPC: [u8; 16] = [0xcd; 16];
+
+/// Frontend cost of serving an authentication from the AV cache
+/// (matches the pool-scaling harness).
+const CACHE_HIT_NANOS: u64 = 1_500;
+
+/// Parameters of one fault-injection experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSweepConfig {
+    /// Ready replicas on the ring.
+    pub replicas: u32,
+    /// Preheated spares on the bench — what failover promotes.
+    pub warm_standby: u32,
+    /// Offered load in authentications per second.
+    pub offered_per_sec: f64,
+    /// Arrivals in the trace.
+    pub arrivals: u32,
+    /// Subscriber population.
+    pub ues: u32,
+    /// Per-replica admission queue parameters.
+    pub queue: QueueConfig,
+    /// AV pre-generation; `None` = one enclave round trip per request.
+    pub cache: Option<AvCacheConfig>,
+    /// SBI message-level fault rates and shapes (layer 1).
+    pub sbi: FaultConfig,
+    /// Client supervision retries guarding every pool request.
+    pub retry: RetryPolicy,
+    /// Kill the replica owning the n-th arrival's SUPI just before that
+    /// arrival is offered (layer 3). At most one kill per run.
+    pub kill_at: Option<u32>,
+    /// Crash the enclave of the replica owning the n-th arrival's SUPI
+    /// (layer 2): it stays on the ring and its next request pays the
+    /// full reload.
+    pub crash_at: Option<u32>,
+    /// AEX burst injected into the crashed enclave alongside the crash
+    /// (interrupt storm during the failure event).
+    pub aex_storm: u64,
+    /// EPC thrash pages charged to every replica for the whole run
+    /// (a noisy-neighbour squeezing the EPC).
+    pub thrash_pages: u64,
+}
+
+impl Default for FaultSweepConfig {
+    fn default() -> Self {
+        FaultSweepConfig {
+            replicas: 2,
+            warm_standby: 1,
+            offered_per_sec: 400.0,
+            arrivals: 200,
+            ues: 40,
+            queue: QueueConfig::default(),
+            cache: None,
+            sbi: FaultConfig::default(),
+            retry: RetryPolicy::supervision(),
+            kill_at: None,
+            crash_at: None,
+            aex_storm: 0,
+            thrash_pages: 0,
+        }
+    }
+}
+
+/// Results of one fault-injection run.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// The usual pool figures (throughput, response, per-replica load).
+    pub pool: PoolReport,
+    /// MTTR / goodput-under-fault / retry amplification.
+    pub recovery: RecoveryStats,
+    /// What the SBI plan injected.
+    pub sbi: FaultCounts,
+    /// Client supervision-retry counters.
+    pub retry: RetryStats,
+    /// The failover, when a replica was killed.
+    pub failover: Option<FailoverReport>,
+    /// Pre-generated AVs purged when their replica died.
+    pub purged_avs: usize,
+    /// Enclave reloads paid for injected crashes.
+    pub crash_recoveries: u64,
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}; {}; sbi drop/delay/5xx {}/{}/{}, {} retransmissions \
+             ({} recovered, {} exhausted), {} crash reloads",
+            self.pool,
+            self.recovery,
+            self.sbi.drops,
+            self.sbi.delays,
+            self.sbi.errors,
+            self.retry.retries,
+            self.retry.recovered,
+            self.retry.exhausted,
+            self.crash_recoveries,
+        )
+    }
+}
+
+/// One in-flight (possibly retransmitted) pool request.
+struct Pending {
+    supi: String,
+    req: HttpRequest,
+    attempt: u32,
+}
+
+/// Mutable run state threaded through the settle loop.
+struct SweepState {
+    cache: Option<AvCache>,
+    sqn_counters: BTreeMap<String, [u8; 6]>,
+    recorder: RunRecorder,
+    recovery: RecoveryTracker,
+    stats: RetryStats,
+    in_flight: BTreeMap<u64, Pending>,
+    retry_rng: DetRng,
+    policy: RetryPolicy,
+}
+
+impl SweepState {
+    /// Absorbs a batch of engine completions: successes feed the cache
+    /// and the recorder; failures are retransmitted (re-routed through
+    /// the pool's current ring, never earlier than `floor`) until the
+    /// retry budget is spent, then abandoned fail-fast.
+    fn settle(
+        &mut self,
+        engine: &mut Engine,
+        pool: &EnclavePool,
+        floor: SimTime,
+        done: Vec<Completion>,
+    ) {
+        for completion in done {
+            let pending = self
+                .in_flight
+                .remove(&completion.tag)
+                .expect("completion for unscheduled tag");
+            let finished = completion.finished;
+            if completion.response.is_success() {
+                self.recovery.success(finished);
+                if let Some(c) = self.cache.as_mut() {
+                    let avs = decode_he_av_batch(&completion.response.body).expect("batch wire");
+                    c.put_batch(&pending.supi, avs);
+                    // The missing request consumes the batch head itself.
+                    let _ = c.pop_uncounted(&pending.supi);
+                }
+                if pending.attempt > 0 {
+                    self.stats.recovered += 1;
+                }
+                self.recorder
+                    .served(completion.submitted, completion.queued, finished);
+                continue;
+            }
+            // A failure marked by the fault layer is a manifested fault;
+            // sheds (admission control) are failures but not faults.
+            if completion.response.header(FAULT_HEADER).is_some() {
+                self.recovery.fault(finished);
+            }
+            self.recovery.failure(finished);
+            let retryable = completion.response.status >= 500
+                && completion.response.header(ERROR_HEADER) != Some("loop");
+            if retryable && pending.attempt < self.policy.max_retries {
+                let attempt = pending.attempt + 1;
+                self.stats.retries += 1;
+                let backoff = self.policy.backoff(attempt);
+                let jittered = SimDuration::from_nanos(
+                    self.retry_rng
+                        .jitter(backoff.as_nanos(), self.policy.jitter),
+                );
+                // Not before `floor`: the engine has already run up to it.
+                let at = (finished + jittered).max(floor);
+                let id = pool.route(&pending.supi);
+                let tag = engine.schedule_request(
+                    at,
+                    &replica_addr(pool.kind(), id),
+                    pending.req.clone(),
+                );
+                self.in_flight.insert(tag, Pending { attempt, ..pending });
+            } else {
+                self.stats.exhausted += 1;
+                self.recorder.shed();
+            }
+        }
+    }
+}
+
+/// Runs one fault-injection experiment (see the module docs).
+///
+/// # Panics
+///
+/// Panics when `cfg.kill_at` fires with a single-replica ring and no
+/// standby available would leave the ring empty, or when a cache refill
+/// response fails to decode.
+#[must_use]
+pub fn fault_sweep(seed: u64, cfg: &FaultSweepConfig) -> FaultReport {
+    let mut env = Env::new(seed);
+    env.log.disable();
+    let mut pool = EnclavePool::deploy(
+        &mut env,
+        PakaKind::EUdm,
+        PoolConfig {
+            replicas: cfg.replicas,
+            warm_standby: cfg.warm_standby,
+            queue: cfg.queue,
+            ..PoolConfig::default()
+        },
+    );
+    for i in 0..cfg.ues {
+        pool.provision_subscriber(&mut env, &test_supi(i), K);
+    }
+    if cfg.thrash_pages > 0 {
+        for replica in pool.replicas() {
+            replica
+                .module()
+                .borrow_mut()
+                .set_epc_thrash(cfg.thrash_pages);
+        }
+    }
+    pool.rebaseline();
+
+    let mut wl_rng = env.rng.fork("fault-workload");
+    let trace = poisson_registrations(
+        &mut wl_rng,
+        env.clock.now(),
+        &WorkloadSpec {
+            ues: cfg.ues,
+            arrivals: cfg.arrivals,
+            rate_per_sec: cfg.offered_per_sec,
+        },
+    );
+
+    let mut engine = Engine::new();
+    pool.register_on(&mut engine);
+    let plan = SbiFaultPlan::install(&mut engine, &mut env, cfg.sbi);
+
+    let mut state = SweepState {
+        cache: cfg.cache.map(AvCache::new),
+        sqn_counters: BTreeMap::new(),
+        recorder: RunRecorder::new(),
+        recovery: RecoveryTracker::new(),
+        stats: RetryStats::default(),
+        in_flight: BTreeMap::new(),
+        retry_rng: env.rng.fork("fault-retry"),
+        policy: cfg.retry,
+    };
+    let mut failover: Option<FailoverReport> = None;
+    let mut purged_avs = 0usize;
+
+    for (i, arrival) in trace.iter().enumerate() {
+        let idx = i as u32;
+        // A cold failover (or crash reload) can push the clock past the
+        // next arrival instants; offered load then piles up at `now`,
+        // which is exactly what an outage does to a real frontend.
+        let horizon = arrival.at.max(env.clock.now());
+        let done = engine.run_until(&mut env, horizon);
+        state.settle(&mut engine, &pool, horizon, done);
+
+        if cfg.kill_at == Some(idx) {
+            let victim = pool.route(&arrival.supi);
+            // The SUPIs whose pre-generated AVs die with the replica —
+            // computed against the ring *before* the kill remaps it.
+            let owned: Vec<String> = (0..cfg.ues)
+                .map(test_supi)
+                .filter(|s| pool.route(s) == victim)
+                .collect();
+            let report = pool.fail_over_on_engine(&mut env, &mut engine, victim);
+            purged_avs = state
+                .cache
+                .as_mut()
+                .map_or(0, |c| c.purge_where(|s| owned.iter().any(|o| o == s)));
+            state.recovery.fault(report.at);
+            failover = Some(report);
+        }
+        if cfg.crash_at == Some(idx) {
+            let victim = pool.route(&arrival.supi);
+            let module = pool.replica(victim).module();
+            let mut m = module.borrow_mut();
+            if m.inject_crash(&mut env) {
+                state.recovery.fault(env.clock.now());
+            }
+            if cfg.aex_storm > 0 {
+                m.inject_aex_storm(&mut env, cfg.aex_storm);
+            }
+        }
+
+        state.recorder.arrival(horizon);
+        if let Some(c) = state.cache.as_mut() {
+            if c.take(&arrival.supi).is_some() {
+                let finish = horizon + SimDuration::from_nanos(CACHE_HIT_NANOS);
+                state.recovery.success(finish);
+                state.recorder.served(horizon, SimDuration::ZERO, finish);
+                continue;
+            }
+        }
+        let id = pool.route(&arrival.supi);
+        let request = match state.cache.as_ref() {
+            Some(c) => batch_request(&mut env, c, &arrival.supi),
+            None => single_request(&mut env, &mut state.sqn_counters, &arrival.supi),
+        };
+        state.stats.calls += 1;
+        let tag = engine.schedule_request(horizon, &replica_addr(pool.kind(), id), request.clone());
+        state.in_flight.insert(
+            tag,
+            Pending {
+                supi: arrival.supi.clone(),
+                req: request,
+                attempt: 0,
+            },
+        );
+    }
+    // Drain: each settle pass may retransmit, scheduling fresh work.
+    while !state.in_flight.is_empty() {
+        let done = engine.run_until_idle(&mut env);
+        if done.is_empty() {
+            break;
+        }
+        let floor = env.clock.now();
+        state.settle(&mut engine, &pool, floor, done);
+    }
+    assert!(state.in_flight.is_empty(), "requests left in flight");
+    pool.absorb_engine(&engine);
+
+    let crash_recoveries = pool
+        .replicas()
+        .iter()
+        .map(|r| r.module().borrow().crash_recoveries())
+        .sum();
+    let sbi = plan.map_or_else(FaultCounts::default, |p| p.borrow().counts());
+    let SweepState {
+        cache,
+        recorder,
+        recovery,
+        stats,
+        ..
+    } = state;
+    FaultReport {
+        recovery: recovery.finish((stats.calls, stats.retries)),
+        pool: recorder.finish(&pool, cache.map(|c| c.stats())),
+        sbi,
+        retry: stats,
+        failover,
+        purged_avs,
+        crash_recoveries,
+    }
+}
+
+fn snn() -> ServingNetworkName {
+    ServingNetworkName::new("001", "01")
+}
+
+fn single_request(
+    env: &mut Env,
+    sqn_counters: &mut BTreeMap<String, [u8; 6]>,
+    supi: &str,
+) -> HttpRequest {
+    let sqn = sqn_counters
+        .entry(supi.to_owned())
+        .and_modify(|s| *s = sqn_add(s, 1))
+        .or_insert([0, 0, 0, 0, 0, 1]);
+    HttpRequest::post(
+        "/eudm/generate-av",
+        UdmAkaRequest {
+            supi: supi.into(),
+            opc: OPC.into(),
+            rand: env.rng.bytes(),
+            sqn: *sqn,
+            amf_field: [0x80, 0],
+            snn: snn(),
+        }
+        .encode(),
+    )
+}
+
+fn batch_request(env: &mut Env, cache: &AvCache, supi: &str) -> HttpRequest {
+    HttpRequest::post(
+        "/eudm/generate-av-batch",
+        UdmAkaBatchRequest {
+            supi: supi.into(),
+            opc: OPC.into(),
+            rand_seed: env.rng.bytes(),
+            sqn_start: cache.next_sqn(supi),
+            amf_field: [0x80, 0],
+            snn: snn(),
+            count: cache.batch_size(),
+        }
+        .encode(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_reports_clean_recovery() {
+        let report = fault_sweep(
+            700,
+            &FaultSweepConfig {
+                arrivals: 160,
+                ..FaultSweepConfig::default()
+            },
+        );
+        assert_eq!(report.recovery.faults, 0);
+        assert_eq!(report.recovery.failed, 0);
+        assert!((report.recovery.retry_amplification - 1.0).abs() < 1e-9);
+        assert_eq!(report.sbi.total(), 0);
+        assert_eq!(report.retry.retries, 0);
+        assert_eq!(report.pool.served, 160);
+        assert_eq!(report.pool.shed, 0);
+        assert!(report.failover.is_none());
+        assert_eq!(report.crash_recoveries, 0);
+    }
+
+    #[test]
+    fn same_seed_same_faulted_report() {
+        let cfg = FaultSweepConfig {
+            arrivals: 150,
+            sbi: FaultConfig {
+                drop_rate: 0.04,
+                delay_rate: 0.06,
+                error_rate: 0.04,
+                ..FaultConfig::default()
+            },
+            kill_at: Some(60),
+            ..FaultSweepConfig::default()
+        };
+        let a = fault_sweep(701, &cfg);
+        let b = fault_sweep(701, &cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = fault_sweep(702, &cfg);
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn sbi_faults_recover_via_supervision_retries() {
+        let report = fault_sweep(
+            703,
+            &FaultSweepConfig {
+                arrivals: 200,
+                sbi: FaultConfig {
+                    drop_rate: 0.05,
+                    error_rate: 0.05,
+                    ..FaultConfig::default()
+                },
+                ..FaultSweepConfig::default()
+            },
+        );
+        assert!(report.sbi.total() > 0, "rates this high must fire");
+        assert!(report.recovery.failed > 0);
+        assert!(report.retry.retries > 0);
+        assert!(report.retry.recovered > 0, "retries must recover failures");
+        assert!(report.recovery.retry_amplification > 1.0);
+        assert!(report.recovery.mttr > SimDuration::ZERO);
+        assert!(report.recovery.goodput_per_sec > 0.0);
+        // The retry budget comfortably covers ~10% per-message failure:
+        // (almost) everything is eventually served.
+        assert!(
+            report.pool.served + report.pool.shed == u64::from(200u32) && report.pool.served >= 195,
+            "served {} shed {}",
+            report.pool.served,
+            report.pool.shed
+        );
+    }
+
+    #[test]
+    fn replica_death_fails_over_and_purges_its_avs() {
+        let report = fault_sweep(
+            704,
+            &FaultSweepConfig {
+                arrivals: 220,
+                ues: 12,
+                cache: Some(AvCacheConfig {
+                    batch_size: 8,
+                    capacity_per_supi: 16,
+                }),
+                kill_at: Some(110),
+                ..FaultSweepConfig::default()
+            },
+        );
+        let failover = report.failover.expect("a replica was killed");
+        assert!(failover.standby_promoted, "warm standby must take over");
+        assert!(
+            failover.failover < SimDuration::from_millis(1),
+            "warm failover cost {}",
+            failover.failover
+        );
+        assert!(
+            report.purged_avs > 0,
+            "the dead replica's pre-generated AVs must be purged"
+        );
+        assert!(report.recovery.faults >= 1);
+        assert!(report.recovery.goodput_per_sec > 0.0);
+        // The pool keeps serving through the death: the overwhelming
+        // majority of arrivals still complete.
+        assert!(
+            report.pool.served >= report.pool.arrivals * 9 / 10,
+            "served {}/{}",
+            report.pool.served,
+            report.pool.arrivals
+        );
+    }
+
+    #[test]
+    fn enclave_crash_is_survived_at_reload_cost() {
+        let report = fault_sweep(
+            705,
+            &FaultSweepConfig {
+                arrivals: 160,
+                crash_at: Some(40),
+                aex_storm: 500,
+                ..FaultSweepConfig::default()
+            },
+        );
+        assert_eq!(
+            report.crash_recoveries, 1,
+            "the crashed enclave must reload exactly once"
+        );
+        assert!(report.recovery.faults >= 1);
+        // The reload costs ~a minute of virtual time: the victim shard's
+        // requests see it, the other shard keeps the goodput above zero.
+        assert!(report.recovery.goodput_per_sec > 0.0);
+        assert!(
+            report.pool.response.max > SimDuration::from_secs(30),
+            "someone must have paid the reload: max {}",
+            report.pool.response.max
+        );
+    }
+
+    #[test]
+    fn epc_thrash_degrades_but_still_serves() {
+        let base = FaultSweepConfig {
+            arrivals: 120,
+            ..FaultSweepConfig::default()
+        };
+        let clean = fault_sweep(706, &base);
+        let thrashed = fault_sweep(
+            706,
+            &FaultSweepConfig {
+                thrash_pages: 4 * 1024 * 1024,
+                ..base
+            },
+        );
+        assert_eq!(thrashed.pool.served + thrashed.pool.shed, 120);
+        // Thrash pages over-commit the EPC, so every request pays EWB/ELDU
+        // paging round trips on top of its normal choreography — visible
+        // as a strictly slower (but still served) workload.
+        assert!(
+            thrashed.pool.response.median > clean.pool.response.median,
+            "EPC thrash must slow requests: {} vs {}",
+            thrashed.pool.response.median,
+            clean.pool.response.median
+        );
+        assert_eq!(thrashed.recovery.failed, 0, "degradation, not failure");
+    }
+}

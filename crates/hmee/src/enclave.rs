@@ -171,6 +171,8 @@ impl EnclaveBuilder {
             physical_epc_pages: platform.epc_pages(),
             version_counter: 0,
             evicted_versions: HashMap::new(),
+            lost: false,
+            thrash_pages: 0,
         })
     }
 }
@@ -205,6 +207,13 @@ pub struct Enclave {
     /// kept inside the trusted boundary, so stale blobs cannot be
     /// replayed).
     evicted_versions: HashMap<usize, u64>,
+    /// Set when the enclave instance was destroyed from outside (host
+    /// crash / `EREMOVE`); entry points fail closed until
+    /// [`Enclave::reload`].
+    lost: bool,
+    /// Extra EPC occupancy imposed by co-resident enclaves competing for
+    /// the same physical EPC (fault-injection pressure knob).
+    thrash_pages: u64,
 }
 
 impl std::fmt::Debug for Enclave {
@@ -278,8 +287,12 @@ impl Enclave {
     ///
     /// # Errors
     ///
-    /// Returns [`HmeeError::ThreadLimit`] when all TCS slots are busy.
+    /// Returns [`HmeeError::ThreadLimit`] when all TCS slots are busy and
+    /// [`HmeeError::EnclaveLost`] after a crash (until [`Enclave::reload`]).
     pub fn ecall_enter(&mut self, env: &mut Env) -> Result<(), HmeeError> {
+        if self.lost {
+            return Err(HmeeError::EnclaveLost(self.name.clone()));
+        }
         if self.threads_inside >= self.max_threads {
             return Err(HmeeError::ThreadLimit {
                 max_threads: self.max_threads,
@@ -350,12 +363,88 @@ impl Enclave {
             .advance(SimDuration::from_nanos(self.cost.heap_fault_ns * pages));
     }
 
-    /// EPC pressure: accounted occupancy over physical capacity. Above 1.0
-    /// the enclave's working set cannot be fully resident and requests may
-    /// incur paging ([`Enclave::maybe_page`]).
+    /// EPC pressure: accounted occupancy (plus any externally imposed
+    /// thrash pages) over physical capacity. Above 1.0 the enclave's
+    /// working set cannot be fully resident and requests may incur paging
+    /// ([`Enclave::maybe_page`]).
     #[must_use]
     pub fn epc_pressure(&self) -> f64 {
-        self.epc.accounted_pages() as f64 / self.physical_epc_pages as f64
+        (self.epc.accounted_pages() + self.thrash_pages) as f64 / self.physical_epc_pages as f64
+    }
+
+    /// **Fault interface**: destroys the enclave instance, as a host crash
+    /// or OS-issued `EREMOVE` would. All EPC state becomes unreachable (the
+    /// per-boot MEE keys die with the instance) and every entry point fails
+    /// closed with [`HmeeError::EnclaveLost`] until [`Enclave::reload`].
+    pub fn mark_lost(&mut self, env: &mut Env) {
+        if self.lost {
+            return;
+        }
+        self.lost = true;
+        self.threads_inside = 0;
+        env.log.record(
+            env.clock.now(),
+            "enclave",
+            format!("{}: instance lost (crash injected)", self.name),
+        );
+    }
+
+    /// Whether the enclave instance was destroyed and awaits reload.
+    #[must_use]
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Rebuilds a lost enclave instance, charging `load_time` — the
+    /// measured GSC boot + server-init cost (paper §V-B1: "enclave load
+    /// time … for the P-AKA modules to become operational"). Sealed state
+    /// re-provisioning restores the vault, so contents survive; only the
+    /// time is lost.
+    pub fn reload(&mut self, env: &mut Env, load_time: SimDuration) {
+        if !self.lost {
+            return;
+        }
+        self.lost = false;
+        env.clock.advance(load_time);
+        env.log.record(
+            env.clock.now(),
+            "enclave",
+            format!(
+                "{}: reloaded after crash ({} ms load time)",
+                self.name,
+                load_time.as_nanos() / 1_000_000
+            ),
+        );
+    }
+
+    /// **Fault interface**: services a burst of `count` asynchronous exits
+    /// (interrupt storm / single-stepping pressure), charging
+    /// `count × (AEX + ERESUME)`.
+    pub fn aex_storm(&mut self, env: &mut Env, count: u64) {
+        self.counters.aex += count;
+        self.counters.eresume += count;
+        env.clock.advance(SimDuration::from_nanos(
+            (self.cost.aex() + self.cost.eresume()).as_nanos() * count,
+        ));
+        env.log.record(
+            env.clock.now(),
+            "enclave",
+            format!("{}: AEX storm ({count} exits)", self.name),
+        );
+    }
+
+    /// **Fault interface**: imposes `pages` of external EPC occupancy
+    /// (co-resident enclaves competing for physical EPC), raising
+    /// [`Enclave::epc_pressure`] and with it the [`Enclave::maybe_page`]
+    /// miss probability. Pass `0` to lift the pressure.
+    pub fn set_thrash_pages(&mut self, pages: u64) {
+        self.thrash_pages = pages;
+    }
+
+    /// Currently imposed external EPC occupancy in pages.
+    #[must_use]
+    pub fn thrash_pages(&self) -> u64 {
+        self.thrash_pages
     }
 
     /// Possibly incurs `EWB`/`ELDU` paging for one request, with
@@ -491,7 +580,12 @@ impl Enclave {
     /// * [`HmeeError::UnknownSlot`] when nothing was written under `slot`.
     /// * [`HmeeError::IntegrityViolation`] when the EPC ciphertext was
     ///   altered from outside (tag mismatch).
+    /// * [`HmeeError::EnclaveLost`] after a crash (until
+    ///   [`Enclave::reload`]).
     pub fn vault_read(&mut self, env: &mut Env, slot: &str) -> Result<Vec<u8>, HmeeError> {
+        if self.lost {
+            return Err(HmeeError::EnclaveLost(self.name.clone()));
+        }
         let meta = self
             .vault
             .get(slot)
@@ -846,6 +940,74 @@ mod tests {
             a.reload_page(&mut env, 0, blob),
             Err(HmeeError::IntegrityViolation(_))
         ));
+    }
+
+    #[test]
+    fn lost_enclave_fails_closed_until_reload() {
+        let (mut env, platform) = world();
+        let mut e = small_enclave(&mut env, &platform);
+        e.vault_write(&mut env, "k", b"secret");
+        e.mark_lost(&mut env);
+        assert!(e.is_lost());
+        assert!(matches!(
+            e.ecall_enter(&mut env),
+            Err(HmeeError::EnclaveLost(_))
+        ));
+        assert!(matches!(
+            e.vault_read(&mut env, "k"),
+            Err(HmeeError::EnclaveLost(_))
+        ));
+        // Re-marking a lost enclave is a no-op (no double log/cost).
+        e.mark_lost(&mut env);
+        let t0 = env.clock.now();
+        let load = SimDuration::from_secs(60);
+        e.reload(&mut env, load);
+        assert_eq!(env.clock.now() - t0, load, "reload charges load time");
+        assert!(!e.is_lost());
+        // Sealed-state restore: vault contents survive the reload.
+        assert_eq!(e.vault_read(&mut env, "k").unwrap(), b"secret");
+        e.ecall_enter(&mut env).unwrap();
+        // Reloading a healthy enclave charges nothing.
+        let t1 = env.clock.now();
+        e.reload(&mut env, load);
+        assert_eq!(env.clock.now(), t1);
+    }
+
+    #[test]
+    fn aex_storm_charges_per_exit() {
+        let (mut env, platform) = world();
+        let mut e = small_enclave(&mut env, &platform);
+        let before = e.counters();
+        let t0 = env.clock.now();
+        e.aex_storm(&mut env, 500);
+        assert_eq!(e.counters().aex, before.aex + 500);
+        assert_eq!(e.counters().eresume, before.eresume + 500);
+        let storm = env.clock.now() - t0;
+        let t1 = env.clock.now();
+        e.aex(&mut env);
+        let single = env.clock.now() - t1;
+        assert_eq!(storm.as_nanos(), single.as_nanos() * 500);
+    }
+
+    #[test]
+    fn thrash_pages_raise_pressure_and_force_paging() {
+        let (mut env, platform) = world();
+        let mut e = small_enclave(&mut env, &platform);
+        e.prefault_heap(&mut env);
+        assert!(e.epc_pressure() <= 1.0);
+        assert_eq!(e.maybe_page(&mut env), 0);
+        // Impose co-resident pressure far beyond physical EPC.
+        e.set_thrash_pages(platform.epc_pages() * 4);
+        assert!(e.epc_pressure() > 1.0);
+        let mut paged = 0;
+        for _ in 0..50 {
+            paged += e.maybe_page(&mut env);
+        }
+        assert!(paged > 0, "thrash pressure must cause paging");
+        // Lifting the pressure restores residence.
+        e.set_thrash_pages(0);
+        assert!(e.epc_pressure() <= 1.0);
+        assert_eq!(e.maybe_page(&mut env), 0);
     }
 
     #[test]

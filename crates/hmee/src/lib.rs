@@ -87,6 +87,9 @@ pub enum HmeeError {
     AttestationFailed(String),
     /// A sealed blob could not be opened under this enclave's identity.
     UnsealDenied(String),
+    /// The enclave instance was destroyed (host crash, EPC power event,
+    /// `EREMOVE` by the OS) and must be rebuilt before further use.
+    EnclaveLost(String),
 }
 
 impl fmt::Display for HmeeError {
@@ -109,6 +112,9 @@ impl fmt::Display for HmeeError {
             HmeeError::IntegrityViolation(w) => write!(f, "epc integrity violation: {w}"),
             HmeeError::AttestationFailed(w) => write!(f, "attestation failed: {w}"),
             HmeeError::UnsealDenied(w) => write!(f, "unseal denied: {w}"),
+            HmeeError::EnclaveLost(name) => {
+                write!(f, "enclave {name} was lost and must be reloaded")
+            }
         }
     }
 }

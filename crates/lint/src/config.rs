@@ -92,6 +92,7 @@ impl Config {
                 s("crates/nf/src"),
                 s("crates/scale/src"),
                 s("crates/core/src"),
+                s("crates/faults/src"),
             ],
             panic_budget: Vec::new(),
         }

@@ -10,6 +10,7 @@
 use crate::backend::{AmfAkaBackend, AmfAkaRequest, BackendOp};
 use crate::messages::{AuthFailureCause, NasDownlink, NasUplink, Ngap, UeIdentity};
 use crate::nas_security::{NasSecurityContext, ProtectedNas, CIPHER_ALG_AES, INTEGRITY_ALG_HMAC};
+use crate::retry::{self, Retrier};
 use crate::sbi::{
     AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse,
     CreateSessionRequest, CreateSessionResponse, ResyncRequest, SbiClient,
@@ -66,6 +67,7 @@ enum UeState {
 /// The AMF service.
 pub struct AmfService {
     client: SbiClient,
+    retrier: Retrier,
     ausf_addr: String,
     smf_addr: String,
     backend: Box<dyn AmfAkaBackend>,
@@ -102,6 +104,7 @@ impl AmfService {
     ) -> Self {
         AmfService {
             client,
+            retrier: Retrier::disabled(),
             ausf_addr: ausf_addr.into(),
             smf_addr: smf_addr.into(),
             backend,
@@ -121,6 +124,19 @@ impl AmfService {
     #[must_use]
     pub fn registrations_completed(&self) -> u64 {
         self.registrations_completed
+    }
+
+    /// Installs the supervision retrier guarding this AMF's outbound SBI
+    /// calls (disabled by default — behaviour and traces are unchanged
+    /// until a fault harness turns it on).
+    pub fn set_retrier(&mut self, retrier: Retrier) {
+        self.retrier = retrier;
+    }
+
+    /// The active retrier (counters live behind its shared handle).
+    #[must_use]
+    pub fn retrier(&self) -> &Retrier {
+        &self.retrier
     }
 
     /// Completed deregistrations.
@@ -177,18 +193,18 @@ impl AmfService {
             snn_mcc: self.serving_mcc.clone(),
             snn_mnc: self.serving_mnc.clone(),
         };
-        let out = self
-            .client
-            .send(env, "/nausf-auth/authenticate", req.encode());
-        Ok(Step::CallOut {
-            dest: self.ausf_addr.clone(),
-            req: out,
-            state: Box::new(AmfFlow::AwaitAusfAuth {
+        Ok(self.retrier.call_out(
+            env,
+            &self.client,
+            self.ausf_addr.clone(),
+            "/nausf-auth/authenticate",
+            req.encode(),
+            Box::new(AmfFlow::AwaitAusfAuth {
                 ran_ue_id,
                 identity,
                 resync_attempts,
             }),
-        })
+        ))
     }
 
     fn handle_auth_response(
@@ -224,14 +240,14 @@ impl AmfService {
             auth_ctx_id,
             res_star,
         };
-        let out = self
-            .client
-            .send(env, "/nausf-auth/confirm", confirm.encode());
-        Ok(Step::CallOut {
-            dest: self.ausf_addr.clone(),
-            req: out,
-            state: Box::new(AmfFlow::AwaitConfirm { ran_ue_id }),
-        })
+        Ok(self.retrier.call_out(
+            env,
+            &self.client,
+            self.ausf_addr.clone(),
+            "/nausf-auth/confirm",
+            confirm.encode(),
+            Box::new(AmfFlow::AwaitConfirm { ran_ue_id }),
+        ))
     }
 
     /// With K_AMF in hand: activate NAS security and command the UE.
@@ -300,20 +316,20 @@ impl AmfService {
                         snn_mcc: self.serving_mcc.clone(),
                         snn_mnc: self.serving_mnc.clone(),
                     };
-                    let out = self
-                        .client
-                        .send(env, "/nudm-ueau/generate-auth-data", req.encode());
-                    return Ok(Step::CallOut {
-                        dest: crate::addr::UDM.to_owned(),
-                        req: out,
-                        state: Box::new(AmfFlow::AwaitSupiResolve {
+                    return Ok(self.retrier.call_out(
+                        env,
+                        &self.client,
+                        crate::addr::UDM.to_owned(),
+                        "/nudm-ueau/generate-auth-data",
+                        req.encode(),
+                        Box::new(AmfFlow::AwaitSupiResolve {
                             ran_ue_id,
                             identity,
                             rand,
                             auts,
                             resync_attempts,
                         }),
-                    });
+                    ));
                 }
                 self.send_resync(env, ran_ue_id, identity, supi, rand, &auts, resync_attempts)
             }
@@ -337,16 +353,18 @@ impl AmfService {
             rand,
             auts: auts.clone(),
         };
-        let out = self.client.send(env, "/nausf-auth/resync", resync.encode());
-        Ok(Step::CallOut {
-            dest: self.ausf_addr.clone(),
-            req: out,
-            state: Box::new(AmfFlow::AwaitResync {
+        Ok(self.retrier.call_out(
+            env,
+            &self.client,
+            self.ausf_addr.clone(),
+            "/nausf-auth/resync",
+            resync.encode(),
+            Box::new(AmfFlow::AwaitResync {
                 ran_ue_id,
                 identity,
                 resync_attempts,
             }),
-        })
+        ))
     }
 
     fn allocate_guti(&mut self, supi: &str) -> Guti {
@@ -445,23 +463,21 @@ impl AmfService {
                                 guti,
                             },
                         );
-                        let out = self.client.send(
+                        Ok(self.retrier.call_out(
                             env,
+                            &self.client,
+                            self.smf_addr.clone(),
                             "/nsmf-pdusession/create",
                             CreateSessionRequest {
                                 supi,
                                 pdu_session_id,
                             }
                             .encode(),
-                        );
-                        Ok(Step::CallOut {
-                            dest: self.smf_addr.clone(),
-                            req: out,
-                            state: Box::new(AmfFlow::AwaitSmf {
+                            Box::new(AmfFlow::AwaitSmf {
                                 ran_ue_id,
                                 pdu_session_id,
                             }),
-                        })
+                        ))
                     }
                     other => Err(NfError::Protocol(format!(
                         "unexpected NAS in registered state: {other:?}"
@@ -724,6 +740,12 @@ impl EngineService for AmfService {
     }
 
     fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+        // Supervision retries come first: a retryable failure within
+        // budget retransmits before the flow ever sees the response.
+        let (state, resp) = match self.retrier.intercept(env, &self.client, state, resp) {
+            retry::Outcome::Retry(step) => return step,
+            retry::Outcome::Proceed(state, resp) => (state, resp),
+        };
         let flow = match state.downcast::<AmfFlow>() {
             Ok(f) => *f,
             Err(_) => return Step::Reply(HttpResponse::error(500, "amf: foreign state")),

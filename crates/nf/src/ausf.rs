@@ -7,6 +7,7 @@
 //! (TS 33.501 §6.1.3.2 step 10/11).
 
 use crate::backend::{decode_he_av, AusfAkaBackend, AusfAkaRequest, BackendOp};
+use crate::retry::{self, Retrier};
 use crate::sbi::{
     AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse, ResyncRequest,
     SbiClient, UdmAuthGetRequest, UdmAuthGetResponse,
@@ -34,6 +35,7 @@ struct AuthContext {
 /// The AUSF service.
 pub struct AusfService {
     client: SbiClient,
+    retrier: Retrier,
     udm_addr: String,
     backend: Box<dyn AusfAkaBackend>,
     contexts: BTreeMap<u64, AuthContext>,
@@ -59,6 +61,7 @@ impl AusfService {
     ) -> Self {
         AusfService {
             client,
+            retrier: Retrier::disabled(),
             udm_addr: udm_addr.into(),
             backend,
             contexts: BTreeMap::new(),
@@ -70,6 +73,18 @@ impl AusfService {
     #[must_use]
     pub fn pending_contexts(&self) -> usize {
         self.contexts.len()
+    }
+
+    /// Installs the supervision retrier guarding this AUSF's outbound
+    /// SBI calls (disabled by default).
+    pub fn set_retrier(&mut self, retrier: Retrier) {
+        self.retrier = retrier;
+    }
+
+    /// The active retrier.
+    #[must_use]
+    pub fn retrier(&self) -> &Retrier {
+        &self.retrier
     }
 
     /// Error mapping shared by the authenticate and resync handler paths.
@@ -181,14 +196,14 @@ impl EngineService for AusfService {
                     snn_mnc: decoded.snn_mnc.clone(),
                 };
                 let snn = ServingNetworkName::new(&decoded.snn_mcc, &decoded.snn_mnc);
-                let out = self
-                    .client
-                    .send(env, "/nudm-ueau/generate-auth-data", udm_req.encode());
-                Step::CallOut {
-                    dest: self.udm_addr.clone(),
-                    req: out,
-                    state: Box::new(AusfFlow::AwaitUdm { snn }),
-                }
+                self.retrier.call_out(
+                    env,
+                    &self.client,
+                    self.udm_addr.clone(),
+                    "/nudm-ueau/generate-auth-data",
+                    udm_req.encode(),
+                    Box::new(AusfFlow::AwaitUdm { snn }),
+                )
             }
             "/nausf-auth/confirm" => {
                 match ConfirmRequest::decode(&req.body).and_then(|r| self.confirm(env, &r)) {
@@ -200,14 +215,14 @@ impl EngineService for AusfService {
                 env.clock
                     .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS / 2));
                 match ResyncRequest::decode(&req.body) {
-                    Ok(decoded) => {
-                        let out = self.client.send(env, "/nudm-ueau/resync", decoded.encode());
-                        Step::CallOut {
-                            dest: self.udm_addr.clone(),
-                            req: out,
-                            state: Box::new(AusfFlow::AwaitUdmResync),
-                        }
-                    }
+                    Ok(decoded) => self.retrier.call_out(
+                        env,
+                        &self.client,
+                        self.udm_addr.clone(),
+                        "/nudm-ueau/resync",
+                        decoded.encode(),
+                        Box::new(AusfFlow::AwaitUdmResync),
+                    ),
                     Err(e) => Step::Reply(Self::upstream_error(e)),
                 }
             }
@@ -216,6 +231,11 @@ impl EngineService for AusfService {
     }
 
     fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+        // Supervision retries come first (see `crate::retry`).
+        let (state, resp) = match self.retrier.intercept(env, &self.client, state, resp) {
+            retry::Outcome::Retry(step) => return step,
+            retry::Outcome::Proceed(state, resp) => (state, resp),
+        };
         let flow = match state.downcast::<AusfFlow>() {
             Ok(f) => *f,
             Err(_) => return Step::Reply(HttpResponse::error(500, "ausf: foreign state")),

@@ -46,6 +46,8 @@ pub struct CacheStats {
     pub pregenerated: u64,
     /// AVs dropped by SQN invalidation.
     pub invalidated: u64,
+    /// AVs dropped because a batch overflowed the per-SUPI capacity.
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -120,20 +122,26 @@ impl AvCache {
     }
 
     /// Stores a freshly generated batch whose first AV carries
-    /// [`AvCache::next_sqn`]; advances the SQN window past it. AVs beyond
-    /// the per-SUPI capacity are dropped from the oldest end.
+    /// [`AvCache::next_sqn`]; advances the SQN window past the AVs
+    /// actually retained. Overflow beyond the per-SUPI capacity is
+    /// truncated from the *newest* end (highest SQNs): the front of the
+    /// deque is the next AV to hand out, so dropping from the front
+    /// would skip SQNs mid-stream and push UEs into AUTS resync. The
+    /// window restarts at the first evicted SQN so the next batch
+    /// regenerates it.
     pub fn put_batch(&mut self, supi: &str, avs: Vec<HeAv>) {
         let count = avs.len() as u64;
         let entry = self.entries.entry(supi.to_owned()).or_default();
         if entry.next_sqn == [0; 6] {
             entry.next_sqn = [0, 0, 0, 0, 0, 1];
         }
-        entry.next_sqn = sqn_add(&entry.next_sqn, count);
+        let before = entry.avs.len();
         entry.avs.extend(avs);
-        while entry.avs.len() > self.cfg.capacity_per_supi {
-            entry.avs.pop_front();
-            self.stats.invalidated += 1;
-        }
+        let evicted = entry.avs.len().saturating_sub(self.cfg.capacity_per_supi);
+        entry.avs.truncate(self.cfg.capacity_per_supi);
+        let accepted = (entry.avs.len() - before) as u64;
+        entry.next_sqn = sqn_add(&entry.next_sqn, accepted);
+        self.stats.evicted += evicted as u64;
         self.stats.pregenerated += count;
     }
 
@@ -142,10 +150,30 @@ impl AvCache {
     /// restarts the window just past the USIM's counter. Returns the
     /// number of AVs discarded.
     pub fn invalidate(&mut self, supi: &str, sqn_ms: &[u8; 6]) -> usize {
-        let entry = self.entries.entry(supi.to_owned()).or_default();
+        // Only existing entries: an AUTS naming an unknown/spoofed SUPI
+        // must not allocate cache state (unbounded map growth otherwise).
+        let Some(entry) = self.entries.get_mut(supi) else {
+            return 0;
+        };
         let dropped = entry.avs.len();
         entry.avs.clear();
         entry.next_sqn = sqn_add(sqn_ms, 1);
+        self.stats.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Drops every cached AV for the SUPIs selected by `pred` — the
+    /// failover path: AVs pre-generated by a dead replica must not be
+    /// served by its successor (their SQN windows would interleave).
+    /// Entries stay so the SQN window survives; returns AVs discarded.
+    pub fn purge_where(&mut self, pred: impl Fn(&str) -> bool) -> usize {
+        let mut dropped = 0;
+        for (supi, entry) in &mut self.entries {
+            if pred(supi) {
+                dropped += entry.avs.len();
+                entry.avs.clear();
+            }
+        }
         self.stats.invalidated += dropped as u64;
         dropped
     }
@@ -224,8 +252,61 @@ mod tests {
         });
         c.put_batch("imsi-1", (0..8).map(av).collect());
         assert_eq!(c.depth("imsi-1"), 5);
-        // Oldest were dropped; the front is now AV 3.
-        assert_eq!(c.take("imsi-1").unwrap(), av(3));
+        // Overflow is truncated from the newest end: the front — the
+        // next AV handed out — is still AV 0.
+        assert_eq!(c.take("imsi-1").unwrap(), av(0));
+        let s = c.stats();
+        assert_eq!(s.evicted, 3);
+        assert_eq!(s.invalidated, 0, "capacity evictions are not resyncs");
+    }
+
+    #[test]
+    fn over_capacity_put_keeps_served_sqns_consecutive() {
+        // Regression: front-eviction used to drop the lowest-SQN AVs so
+        // consumption skipped SQNs mid-stream. Model each AV's SQN by
+        // its construction index and check the served stream + the SQN
+        // window stay consecutive across an over-capacity put_batch.
+        let mut c = AvCache::new(AvCacheConfig {
+            batch_size: 8,
+            capacity_per_supi: 5,
+        });
+        // Batch carries SQNs 1..=8; only 1..=5 fit.
+        c.put_batch("imsi-1", (1..=8).map(av).collect());
+        for expect in 1..=5u8 {
+            assert_eq!(c.take("imsi-1").unwrap(), av(expect));
+        }
+        // The window restarted at the first evicted SQN (6), so the next
+        // batch regenerates it and the stream continues 6, 7, ...
+        assert_eq!(c.next_sqn("imsi-1"), [0, 0, 0, 0, 0, 6]);
+        c.put_batch("imsi-1", (6..=9).map(av).collect());
+        for expect in 6..=9u8 {
+            assert_eq!(c.take("imsi-1").unwrap(), av(expect));
+        }
+    }
+
+    #[test]
+    fn invalidate_unknown_supi_allocates_nothing() {
+        let mut c = AvCache::new(AvCacheConfig::default());
+        c.put_batch("imsi-1", vec![av(1)]);
+        assert_eq!(c.invalidate("imsi-spoofed", &[0, 0, 0, 0, 9, 9]), 0);
+        // No entry was created: the spoofed SUPI still reports the
+        // default starting SQN and the known SUPI is untouched.
+        assert_eq!(c.next_sqn("imsi-spoofed"), [0, 0, 0, 0, 0, 1]);
+        assert_eq!(c.depth("imsi-1"), 1);
+        assert_eq!(c.stats().invalidated, 0);
+    }
+
+    #[test]
+    fn purge_where_drops_only_selected_supis() {
+        let mut c = AvCache::new(AvCacheConfig::default());
+        c.put_batch("imsi-1", vec![av(1), av(2)]);
+        c.put_batch("imsi-2", vec![av(3)]);
+        let dropped = c.purge_where(|s| s == "imsi-1");
+        assert_eq!(dropped, 2);
+        assert_eq!(c.depth("imsi-1"), 0);
+        assert_eq!(c.depth("imsi-2"), 1);
+        // SQN window survives the purge.
+        assert_eq!(c.next_sqn("imsi-1"), [0, 0, 0, 0, 0, 3]);
     }
 
     #[test]

@@ -159,18 +159,11 @@ impl RunRecorder {
         self.response_samples.len() as u64
     }
 
-    /// Finalises the report against the pool's per-replica state.
-    ///
-    /// # Panics
-    ///
-    /// Panics when no request was served — a run that sheds everything is
-    /// a misconfigured experiment.
+    /// Finalises the report against the pool's per-replica state. A run
+    /// that served nothing (e.g. 100% shed under fault injection) yields
+    /// empty summaries and zero throughput rather than panicking.
     #[must_use]
     pub fn finish(self, pool: &EnclavePool, cache: Option<CacheStats>) -> PoolReport {
-        assert!(
-            !self.response_samples.is_empty(),
-            "run served zero requests"
-        );
         let span = match (self.first_arrival, self.last_finish) {
             (Some(a), Some(f)) if f > a => f - a,
             _ => SimDuration::from_nanos(1),
@@ -204,6 +197,149 @@ impl RunRecorder {
             cache,
             per_replica,
         }
+    }
+}
+
+/// Recovery figures of one fault-injection run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// Faults injected over the run (replica kills, enclave crashes,
+    /// dropped/delayed/errored SBI responses…).
+    pub faults: u64,
+    /// Requests that completed with a failure response.
+    pub failed: u64,
+    /// Mean time to recovery: fault instant → next successful completion
+    /// anywhere in the system.
+    pub mttr: SimDuration,
+    /// Worst observed time to recovery.
+    pub mttr_max: SimDuration,
+    /// Successful completions per second over the faulted span — the
+    /// goodput the system sustains *while* being failed.
+    pub goodput_per_sec: f64,
+    /// `(first attempts + retransmissions) / first attempts`; 1.0 means
+    /// no retry traffic.
+    pub retry_amplification: f64,
+}
+
+impl std::fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} faults, {} failed, MTTR {} (max {}), goodput {:.0}/s, {:.2}x retry amplification",
+            self.faults,
+            self.failed,
+            self.mttr,
+            self.mttr_max,
+            self.goodput_per_sec,
+            self.retry_amplification,
+        )
+    }
+}
+
+/// Accumulates fault instants and completions during a faulted run and
+/// computes the [`RecoveryStats`].
+///
+/// MTTR here is service-level: a fault is "recovered" at the first
+/// *successful* completion observed at or after its injection instant,
+/// because that is when the system demonstrably serves subscribers again.
+#[derive(Debug, Default)]
+pub struct RecoveryTracker {
+    pending: Vec<SimTime>,
+    recovery_samples: Vec<SimDuration>,
+    faults: u64,
+    failed: u64,
+    successes: u64,
+    first_event: Option<SimTime>,
+    last_event: Option<SimTime>,
+}
+
+impl RecoveryTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fault injected at `at`.
+    pub fn fault(&mut self, at: SimTime) {
+        self.faults += 1;
+        self.pending.push(at);
+        self.touch(at);
+    }
+
+    /// Records a failed completion.
+    pub fn failure(&mut self, at: SimTime) {
+        self.failed += 1;
+        self.touch(at);
+    }
+
+    /// Records a successful completion at `at`, resolving every fault
+    /// injected at or before that instant.
+    pub fn success(&mut self, at: SimTime) {
+        self.successes += 1;
+        self.touch(at);
+        self.pending.retain(|&f| {
+            if f <= at {
+                self.recovery_samples.push(at - f);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Finalises the stats. `retry` is the `(first attempts,
+    /// retransmissions)` pair from the supervision timers. Faults never
+    /// followed by a success count into `mttr_max` as unrecovered-at-end
+    /// (measured to the last observed event).
+    #[must_use]
+    pub fn finish(mut self, retry: (u64, u64)) -> RecoveryStats {
+        let end = self.last_event.unwrap_or_default();
+        for f in self.pending.drain(..) {
+            self.recovery_samples.push(end.max(f) - f);
+        }
+        let (mttr, mttr_max) = if self.recovery_samples.is_empty() {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            let total: u64 = self.recovery_samples.iter().map(|d| d.as_nanos()).sum();
+            (
+                SimDuration::from_nanos(total / self.recovery_samples.len() as u64),
+                *self.recovery_samples.iter().max().expect("non-empty"),
+            )
+        };
+        let span = match (self.first_event, self.last_event) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => SimDuration::from_nanos(1),
+        };
+        let (calls, retries) = retry;
+        RecoveryStats {
+            faults: self.faults,
+            failed: self.failed,
+            mttr,
+            mttr_max,
+            goodput_per_sec: self.successes as f64 / span.as_secs_f64(),
+            retry_amplification: if calls == 0 {
+                1.0
+            } else {
+                (calls + retries) as f64 / calls as f64
+            },
+        }
+    }
+
+    fn touch(&mut self, at: SimTime) {
+        if self.first_event.is_none() {
+            self.first_event = Some(at);
+        }
+        self.last_event = Some(match self.last_event {
+            Some(t) if t > at => t,
+            _ => at,
+        });
     }
 }
 
@@ -265,5 +401,46 @@ mod tests {
         assert!((report.eenter_per_served() - 96.0).abs() < 1e-9);
         assert!((report.aex_per_served() - 0.5).abs() < 1e-9);
         assert!(report.to_string().contains("EENTER/req"));
+    }
+
+    #[test]
+    fn recovery_tracker_computes_mttr_and_amplification() {
+        let t = |ms: u64| SimTime::from_nanos(ms * 1_000_000);
+        let mut r = RecoveryTracker::new();
+        r.success(t(0));
+        r.fault(t(10));
+        r.failure(t(12));
+        r.success(t(30)); // resolves the t=10 fault: 20 ms
+        r.fault(t(40));
+        r.fault(t(50));
+        r.success(t(100)); // resolves both: 60 ms and 50 ms
+        assert_eq!(r.faults(), 3);
+        let stats = r.finish((100, 25));
+        assert_eq!(stats.faults, 3);
+        assert_eq!(stats.failed, 1);
+        // Mean of 20/60/50 ms.
+        assert_eq!(stats.mttr, SimDuration::from_nanos(43_333_333));
+        assert_eq!(stats.mttr_max, SimDuration::from_millis(60));
+        assert!((stats.retry_amplification - 1.25).abs() < 1e-9);
+        // 3 successes over the 100 ms event span.
+        assert!((stats.goodput_per_sec - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovery_tracker_handles_unrecovered_and_empty() {
+        let t = |ms: u64| SimTime::from_nanos(ms * 1_000_000);
+        let mut r = RecoveryTracker::new();
+        r.fault(t(10));
+        r.failure(t(90)); // run ends without a success
+        let stats = r.finish((0, 0));
+        assert_eq!(stats.faults, 1);
+        // Unrecovered fault measured to the end of the run.
+        assert_eq!(stats.mttr_max, SimDuration::from_millis(80));
+        assert!((stats.retry_amplification - 1.0).abs() < 1e-9);
+        assert!((stats.goodput_per_sec).abs() < 1e-9);
+
+        let empty = RecoveryTracker::new().finish((0, 0));
+        assert_eq!(empty.faults, 0);
+        assert_eq!(empty.mttr, SimDuration::ZERO);
     }
 }

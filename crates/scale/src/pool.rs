@@ -19,7 +19,7 @@ use shield5g_hmee::counters::SgxCounters;
 use shield5g_hmee::platform::SgxPlatform;
 use shield5g_infra::host::Host;
 use shield5g_infra::image::Registry;
-use shield5g_sim::engine::{AdmissionPolicy, Engine};
+use shield5g_sim::engine::{AdmissionPolicy, Engine, FAULT_HEADER};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::service::{service_handle, Service};
 use shield5g_sim::time::{SimDuration, SimTime};
@@ -41,10 +41,18 @@ pub fn replica_addr(kind: PakaKind, id: ReplicaId) -> String {
 struct ReplicaService {
     module: Rc<RefCell<PakaModule>>,
     served: Rc<Cell<u64>>,
+    dead: Rc<Cell<bool>>,
 }
 
 impl Service for ReplicaService {
     fn handle(&mut self, env: &mut Env, req: HttpRequest) -> HttpResponse {
+        if self.dead.get() {
+            // The replica's host is gone: anything still queued at this
+            // endpoint fails fast (connection refused), so callers retry
+            // against the survivors instead of waiting out a reload.
+            return HttpResponse::error(503, "replica dead")
+                .with_header(FAULT_HEADER, "replica-dead");
+        }
         let (response, _metrics) = self.module.borrow_mut().serve(env, req);
         self.served.set(self.served.get() + 1);
         response
@@ -62,6 +70,25 @@ pub enum ReplicaState {
     Ready,
     /// Removed from the ring; kept for final counter reads.
     Retired,
+    /// Killed by fault injection: enclave lost, endpoint failing fast.
+    Dead,
+}
+
+/// What the pool did about a replica death
+/// ([`EnclavePool::kill_replica`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverReport {
+    /// The replica that died.
+    pub dead: ReplicaId,
+    /// The replica that took over its ring share.
+    pub replacement: ReplicaId,
+    /// Whether the replacement was a warm standby (microseconds) rather
+    /// than a cold spawn (~1 min of virtual time).
+    pub standby_promoted: bool,
+    /// Virtual instant of the death.
+    pub at: SimTime,
+    /// Death detected → replacement on the ring.
+    pub failover: SimDuration,
 }
 
 /// Pool deployment parameters.
@@ -111,6 +138,9 @@ pub struct Replica {
     engine_shed: (u64, u64),
     /// Peak in-flight depth absorbed from an engine run.
     engine_depth_peak: usize,
+    /// Shared with the engine-facing service: when set, the endpoint
+    /// fails fast instead of serving (fault-injected death).
+    dead: Rc<Cell<bool>>,
 }
 
 impl Replica {
@@ -248,6 +278,7 @@ impl EnclavePool {
             served: Rc::new(Cell::new(0)),
             engine_shed: (0, 0),
             engine_depth_peak: 0,
+            dead: Rc::new(Cell::new(false)),
         };
         Self::preheat(env, self.kind, &mut replica);
         self.replicas.push(replica);
@@ -284,24 +315,39 @@ impl EnclavePool {
             .iter()
             .filter(|r| r.state == ReplicaState::Ready)
         {
-            let addr = replica_addr(self.kind, replica.id);
-            let workers = replica.module.borrow().app_threads();
-            engine.register(
-                addr.clone(),
-                workers,
-                Engine::leaf(service_handle(ReplicaService {
-                    module: replica.module.clone(),
-                    served: replica.served.clone(),
-                })),
-            );
-            engine.set_policy(
-                &addr,
-                AdmissionPolicy {
-                    capacity: Some(self.cfg.queue.capacity),
-                    deadline: Some(self.cfg.queue.deadline),
-                },
-            );
+            self.register_replica(engine, replica);
         }
+    }
+
+    /// Registers one ready replica as an engine endpoint (used by the
+    /// failover path to bring a promoted standby online mid-run). No-op
+    /// when the address is already registered.
+    pub fn register_replica_on(&self, engine: &mut Engine, id: ReplicaId) {
+        self.register_replica(engine, self.replica(id));
+    }
+
+    fn register_replica(&self, engine: &mut Engine, replica: &Replica) {
+        let addr = replica_addr(self.kind, replica.id);
+        if engine.knows(&addr) {
+            return;
+        }
+        let workers = replica.module.borrow().app_threads();
+        engine.register(
+            addr.clone(),
+            workers,
+            Engine::leaf(service_handle(ReplicaService {
+                module: replica.module.clone(),
+                served: replica.served.clone(),
+                dead: replica.dead.clone(),
+            })),
+        );
+        engine.set_policy(
+            &addr,
+            AdmissionPolicy {
+                capacity: Some(self.cfg.queue.capacity),
+                deadline: Some(self.cfg.queue.deadline),
+            },
+        );
     }
 
     /// Copies per-endpoint shed counters and depth peaks from a finished
@@ -388,6 +434,60 @@ impl EnclavePool {
         );
         replica.state = ReplicaState::Retired;
         self.ring.remove(id);
+    }
+
+    /// **Fault interface**: kills a ready replica — the host dies, taking
+    /// the enclave instance with it. The pool detects the death, pulls the
+    /// replica off the ring (its endpoint fails fast from here on), and
+    /// restores capacity by promoting a warm standby (or cold-spawning
+    /// when the bench is empty). Returns what happened and how long the
+    /// failover took.
+    ///
+    /// The caller owns AV-cache invalidation: authentication vectors that
+    /// were pre-generated through the dead replica must be purged (see
+    /// [`crate::avcache::AvCache::purge_where`]) — compute the affected
+    /// SUPIs via [`EnclavePool::route`] *before* calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a ready replica.
+    pub fn kill_replica(&mut self, env: &mut Env, id: ReplicaId) -> FailoverReport {
+        let at = env.clock.now();
+        {
+            let replica = self.replica_mut(id);
+            assert_eq!(
+                replica.state,
+                ReplicaState::Ready,
+                "kill needs a ready replica"
+            );
+            replica.state = ReplicaState::Dead;
+            replica.dead.set(true);
+            replica.module.borrow_mut().inject_crash(env);
+        }
+        self.ring.remove(id);
+        let (replacement, standby_promoted) = self.scale_up(env);
+        FailoverReport {
+            dead: id,
+            replacement,
+            standby_promoted,
+            at,
+            failover: env.clock.now() - at,
+        }
+    }
+
+    /// [`EnclavePool::kill_replica`] plus engine bookkeeping: the
+    /// replacement replica is registered as a live endpoint so routed
+    /// arrivals can reach it mid-run. The dead endpoint stays registered
+    /// and fails fast, which is what its still-queued requests deserve.
+    pub fn fail_over_on_engine(
+        &mut self,
+        env: &mut Env,
+        engine: &mut Engine,
+        id: ReplicaId,
+    ) -> FailoverReport {
+        let report = self.kill_replica(env, id);
+        self.register_replica_on(engine, report.replacement);
+        report
     }
 
     /// Routes a SUPI to its owning ready replica.
@@ -680,6 +780,93 @@ mod tests {
         assert!(matches!(a2, Admission::Shed(_)));
         // No serve happened: counters unchanged by admission control.
         assert_eq!(p.replica(0).counters_delta().eenter, before.eenter);
+    }
+
+    #[test]
+    fn killed_replica_fails_over_to_warm_standby() {
+        let mut env = env();
+        let mut p = pool(&mut env, 2, 1);
+        for i in 0..8 {
+            p.provision_subscriber(&mut env, &test_supi(i), [0x46; 16]);
+        }
+        let owners: Vec<(String, ReplicaId)> = (0..8)
+            .map(|i| {
+                let s = test_supi(i);
+                let id = p.route(&s);
+                (s, id)
+            })
+            .collect();
+
+        let report = p.kill_replica(&mut env, 0);
+        assert_eq!(report.dead, 0);
+        assert!(report.standby_promoted, "warm standby must take over");
+        assert!(
+            report.failover < SimDuration::from_millis(1),
+            "warm failover cost {}",
+            report.failover
+        );
+        assert_eq!(p.replica(0).state, ReplicaState::Dead);
+        assert!(p.replica(0).module().borrow().is_crashed());
+        assert!(!p.ready_ids().contains(&0));
+        assert!(p.ready_ids().contains(&report.replacement));
+        // Nothing routes to the dead replica any more; survivors keep
+        // their SUPIs except what the new ring member legitimately takes.
+        for (supi, owner) in owners {
+            let now_at = p.route(&supi);
+            assert_ne!(now_at, 0, "{supi} still routed to the dead replica");
+            if owner != 0 && now_at != report.replacement {
+                assert_eq!(now_at, owner, "{supi} moved between survivors");
+            }
+        }
+        // The survivors (old and promoted) still serve.
+        for i in 0..8 {
+            let supi = test_supi(i);
+            let id = p.route(&supi);
+            let (resp, _, _) = p.serve_on(&mut env, id, av_request(&supi));
+            assert!(resp.is_success());
+        }
+    }
+
+    #[test]
+    fn killed_replica_cold_spawns_when_bench_is_empty() {
+        let mut env = env();
+        let mut p = pool(&mut env, 2, 0);
+        let report = p.kill_replica(&mut env, 1);
+        assert!(!report.standby_promoted);
+        assert!(
+            report.failover > SimDuration::from_secs(50),
+            "cold failover must pay the enclave load: {}",
+            report.failover
+        );
+        assert_eq!(p.ready_ids().len(), 2);
+    }
+
+    #[test]
+    fn dead_endpoint_fails_fast_on_engine() {
+        let mut env = env();
+        let mut p = pool(&mut env, 1, 1);
+        p.provision_subscriber(&mut env, &test_supi(0), [0x46; 16]);
+        let mut engine = shield5g_sim::engine::Engine::new();
+        p.register_on(&mut engine);
+        let dead_addr = replica_addr(p.kind(), 0);
+
+        let report = p.fail_over_on_engine(&mut env, &mut engine, 0);
+        let new_addr = replica_addr(p.kind(), report.replacement);
+        assert!(engine.knows(&new_addr), "replacement endpoint registered");
+
+        // A request still aimed at the dead endpoint fails fast with the
+        // fault marker, without touching the lost enclave.
+        let now = env.clock.now();
+        let t_dead = engine.schedule_request(now, &dead_addr, av_request(&test_supi(0)));
+        let t_live = engine.schedule_request(now, &new_addr, av_request(&test_supi(0)));
+        let done = engine.run_until_idle(&mut env);
+        let by_tag: std::collections::BTreeMap<u64, &shield5g_sim::engine::Completion> =
+            done.iter().map(|c| (c.tag, c)).collect();
+        let dead_resp = &by_tag[&t_dead].response;
+        assert_eq!(dead_resp.status, 503);
+        assert_eq!(dead_resp.header(FAULT_HEADER), Some("replica-dead"));
+        assert!(by_tag[&t_live].response.is_success());
+        assert_eq!(p.replica(0).served(), 0, "dead replica served nothing");
     }
 
     #[test]

@@ -49,6 +49,62 @@ pub const ERROR_HEADER: &str = "x-sim-error";
 /// before a worker freed up.
 pub const SHED_HEADER: &str = "x-sim-shed";
 
+/// Response header the engine sets when an injected fault touched the
+/// delivery: `drop` on the synthesized 504 a lost message resolves to
+/// once the caller's supervision timer fires, `injected-5xx` on a
+/// synthesized upstream error, `delay` on a real response that was held
+/// back in flight.
+pub const FAULT_HEADER: &str = "x-sim-fault";
+
+/// What an injected fault does to one message delivery (a `CallOut`
+/// request leg or a `Reply` response leg).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: deliver normally.
+    Deliver,
+    /// The message is lost. The waiting side learns nothing until its
+    /// supervision timer expires: a synthesized 504 (`x-sim-fault:
+    /// drop`) is delivered after `timeout`.
+    Drop {
+        /// Supervision-timer expiry charged to the waiting caller.
+        timeout: SimDuration,
+    },
+    /// The message is delivered intact, `delay` late (congestion,
+    /// rerouting). Marked `x-sim-fault: delay` on response legs.
+    Delay(SimDuration),
+    /// The message is replaced by a synthesized transport-level error
+    /// (`x-sim-fault: injected-5xx`) delivered immediately — a connection
+    /// reset or proxy failure.
+    Error {
+        /// HTTP status of the synthesized error (5xx).
+        status: u16,
+    },
+}
+
+/// Decides the fate of each engine message delivery. Implementations
+/// must be deterministic functions of their own seeded state — the
+/// engine consults them in event order, so a seed-driven injector
+/// yields byte-identical fault schedules across same-seed runs.
+pub trait FaultInjector {
+    /// Consulted when a `Step::CallOut` request is about to travel to
+    /// `dest` (the SBI request leg).
+    fn on_request(&mut self, dest: &str, path: &str) -> FaultAction {
+        let _ = (dest, path);
+        FaultAction::Deliver
+    }
+
+    /// Consulted when a service's reply from `dest` is about to travel
+    /// back to its caller (the SBI response leg).
+    fn on_response(&mut self, dest: &str, path: &str, status: u16) -> FaultAction {
+        let _ = (dest, path, status);
+        FaultAction::Deliver
+    }
+}
+
+/// Shared handle to a fault injector (the harness keeps a clone to read
+/// its counters after a run).
+pub type FaultInjectorHandle = Rc<RefCell<dyn FaultInjector>>;
+
 /// What a service segment does next.
 pub enum Step {
     /// The request is answered; the worker is released and the response
@@ -230,6 +286,7 @@ pub struct Engine {
     completions: Vec<Completion>,
     trace: Vec<String>,
     trace_enabled: bool,
+    fault: Option<FaultInjectorHandle>,
 }
 
 impl Default for Engine {
@@ -260,7 +317,16 @@ impl Engine {
             completions: Vec::new(),
             trace: Vec::new(),
             trace_enabled: true,
+            fault: None,
         }
+    }
+
+    /// Installs (or removes) the fault injector consulted on every
+    /// request/response delivery. `None` — the default — short-circuits
+    /// to normal delivery with zero overhead, so fault-free runs are
+    /// byte-identical to an engine that never had the hook.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjectorHandle>) {
+        self.fault = injector;
     }
 
     /// Wraps a synchronous leaf service (UDR, UPF, a P-AKA module
@@ -577,10 +643,40 @@ impl Engine {
         let now = env.clock.now();
         match step {
             Step::Reply(resp) => {
-                let dest = self.ctxs.get(&id).expect("replying context").dest.clone();
+                let (dest, path) = {
+                    let ctx = self.ctxs.get(&id).expect("replying context");
+                    (ctx.dest.clone(), ctx.path.clone())
+                };
                 self.note(now, "reply", &dest, &resp.status.to_string());
-                self.push_event(now, EventKind::Release { dest });
-                self.push_event(now, EventKind::Deliver { ctx: id, resp });
+                // The worker did its work regardless of what happens to
+                // the response in flight: release fires at `now`.
+                self.push_event(now, EventKind::Release { dest: dest.clone() });
+                let action = match &self.fault {
+                    Some(f) => f.borrow_mut().on_response(&dest, &path, resp.status),
+                    None => FaultAction::Deliver,
+                };
+                match action {
+                    FaultAction::Deliver => {
+                        self.push_event(now, EventKind::Deliver { ctx: id, resp });
+                    }
+                    FaultAction::Drop { timeout } => {
+                        self.note(now, "fault-drop", &dest, &path);
+                        let resp = HttpResponse::error(504, "injected response drop")
+                            .with_header(FAULT_HEADER, "drop");
+                        self.push_event(now + timeout, EventKind::Deliver { ctx: id, resp });
+                    }
+                    FaultAction::Delay(d) => {
+                        self.note(now, "fault-delay", &dest, &path);
+                        let resp = resp.with_header(FAULT_HEADER, "delay");
+                        self.push_event(now + d, EventKind::Deliver { ctx: id, resp });
+                    }
+                    FaultAction::Error { status } => {
+                        self.note(now, "fault-5xx", &dest, &path);
+                        let resp = HttpResponse::error(status, "injected upstream failure")
+                            .with_header(FAULT_HEADER, "injected-5xx");
+                        self.push_event(now, EventKind::Deliver { ctx: id, resp });
+                    }
+                }
             }
             Step::CallOut { dest, req, state } => {
                 let child = self.next_ctx;
@@ -592,11 +688,16 @@ impl Engine {
                     (chain, parent.tag, parent.submitted)
                 };
                 self.note(now, "callout", &dest, &req.path);
+                let action = match &self.fault {
+                    Some(f) => f.borrow_mut().on_request(&dest, &req.path),
+                    None => FaultAction::Deliver,
+                };
+                let path = req.path.clone();
                 self.ctxs.insert(
                     child,
                     Ctx {
-                        dest,
-                        path: req.path.clone(),
+                        dest: dest.clone(),
+                        path: path.clone(),
                         req: Some(req),
                         parent: Some(ParentLink { ctx: id, state }),
                         tag,
@@ -606,7 +707,34 @@ impl Engine {
                         ancestors,
                     },
                 );
-                self.push_event(now, EventKind::Arrive { ctx: child });
+                match action {
+                    FaultAction::Deliver => {
+                        self.push_event(now, EventKind::Arrive { ctx: child });
+                    }
+                    FaultAction::Drop { timeout } => {
+                        // The request never reaches `dest`; the caller
+                        // sits on its supervision timer and resumes with
+                        // a synthesized 504.
+                        self.note(now, "fault-drop", &dest, &path);
+                        let resp = HttpResponse::error(504, "injected request drop")
+                            .with_header(FAULT_HEADER, "drop");
+                        self.push_event(now + timeout, EventKind::Deliver { ctx: child, resp });
+                    }
+                    FaultAction::Delay(d) => {
+                        self.note(now, "fault-delay", &dest, &path);
+                        // In-network delay is not queueing delay: move the
+                        // arrival instant so admission deadlines measure
+                        // only the wait at the endpoint.
+                        self.ctxs.get_mut(&child).expect("child context").arrived = now + d;
+                        self.push_event(now + d, EventKind::Arrive { ctx: child });
+                    }
+                    FaultAction::Error { status } => {
+                        self.note(now, "fault-5xx", &dest, &path);
+                        let resp = HttpResponse::error(status, "injected upstream failure")
+                            .with_header(FAULT_HEADER, "injected-5xx");
+                        self.push_event(now, EventKind::Deliver { ctx: child, resp });
+                    }
+                }
             }
         }
     }
@@ -888,6 +1016,143 @@ mod tests {
             engine.trace().join("\n")
         };
         assert_eq!(run(11), run(11));
+    }
+
+    /// Plays back a fixed per-leg fault script, then delivers normally.
+    struct ScriptedFaults {
+        request: VecDeque<FaultAction>,
+        response: VecDeque<FaultAction>,
+    }
+
+    impl ScriptedFaults {
+        fn on_responses(script: Vec<FaultAction>) -> FaultInjectorHandle {
+            Rc::new(RefCell::new(ScriptedFaults {
+                request: VecDeque::new(),
+                response: script.into(),
+            }))
+        }
+
+        fn on_requests(script: Vec<FaultAction>) -> FaultInjectorHandle {
+            Rc::new(RefCell::new(ScriptedFaults {
+                request: script.into(),
+                response: VecDeque::new(),
+            }))
+        }
+    }
+
+    impl FaultInjector for ScriptedFaults {
+        fn on_request(&mut self, _dest: &str, _path: &str) -> FaultAction {
+            self.request.pop_front().unwrap_or(FaultAction::Deliver)
+        }
+
+        fn on_response(&mut self, _dest: &str, _path: &str, _status: u16) -> FaultAction {
+            self.response.pop_front().unwrap_or(FaultAction::Deliver)
+        }
+    }
+
+    #[test]
+    fn dropped_response_resolves_to_504_after_timeout() {
+        let mut env = Env::new(20);
+        let mut engine = engine_with_echo(1, 5_000);
+        engine.set_fault_injector(Some(ScriptedFaults::on_responses(vec![
+            FaultAction::Drop {
+                timeout: SimDuration::from_nanos(100_000),
+            },
+        ])));
+        let t0 = env.clock.now();
+        let resp = engine
+            .dispatch(&mut env, "echo", HttpRequest::post("/x", b"hi".to_vec()))
+            .unwrap();
+        assert_eq!(resp.status, 504);
+        assert_eq!(resp.header(FAULT_HEADER), Some("drop"));
+        // Service time elapses (the worker answered), then the caller
+        // waits out its supervision timer.
+        assert_eq!(env.clock.now() - t0, SimDuration::from_nanos(105_000));
+    }
+
+    #[test]
+    fn delayed_response_arrives_late_but_intact() {
+        let mut env = Env::new(21);
+        let mut engine = engine_with_echo(1, 5_000);
+        engine.set_fault_injector(Some(ScriptedFaults::on_responses(vec![
+            FaultAction::Delay(SimDuration::from_nanos(30_000)),
+        ])));
+        let t0 = env.clock.now();
+        let resp = engine
+            .dispatch(&mut env, "echo", HttpRequest::post("/x", b"hi".to_vec()))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hi");
+        assert_eq!(resp.header(FAULT_HEADER), Some("delay"));
+        assert_eq!(env.clock.now() - t0, SimDuration::from_nanos(35_000));
+    }
+
+    #[test]
+    fn injected_5xx_replaces_response_immediately() {
+        let mut env = Env::new(22);
+        let mut engine = engine_with_echo(1, 5_000);
+        engine.set_fault_injector(Some(ScriptedFaults::on_responses(vec![
+            FaultAction::Error { status: 502 },
+        ])));
+        let t0 = env.clock.now();
+        let resp = engine
+            .dispatch(&mut env, "echo", HttpRequest::post("/x", b"hi".to_vec()))
+            .unwrap();
+        assert_eq!(resp.status, 502);
+        assert_eq!(resp.header(FAULT_HEADER), Some("injected-5xx"));
+        assert_eq!(env.clock.now() - t0, SimDuration::from_nanos(5_000));
+    }
+
+    #[test]
+    fn dropped_request_leg_times_out_before_reaching_service() {
+        let mut env = Env::new(23);
+        let mut engine = engine_with_echo(1, 5_000);
+        engine.register(
+            "front",
+            1,
+            Rc::new(RefCell::new(Relay {
+                next: "echo".into(),
+            })),
+        );
+        engine.set_fault_injector(Some(ScriptedFaults::on_requests(vec![FaultAction::Drop {
+            timeout: SimDuration::from_nanos(50_000),
+        }])));
+        let t0 = env.clock.now();
+        let resp = engine
+            .dispatch(&mut env, "front", HttpRequest::post("/x", b"hi".to_vec()))
+            .unwrap();
+        // The relay's downstream call was lost: it resumes with the
+        // synthesized 504 and forwards it; echo never served anything.
+        assert_eq!(resp.status, 504);
+        assert_eq!(resp.header(FAULT_HEADER), Some("drop"));
+        assert_eq!(env.clock.now() - t0, SimDuration::from_nanos(50_000));
+    }
+
+    #[test]
+    fn deliver_only_injector_leaves_trace_byte_identical() {
+        let run = |injector: Option<FaultInjectorHandle>| {
+            let mut env = Env::new(24);
+            let mut engine = engine_with_echo(2, 7_000);
+            engine.register(
+                "front",
+                2,
+                Rc::new(RefCell::new(Relay {
+                    next: "echo".into(),
+                })),
+            );
+            engine.set_fault_injector(injector);
+            for i in 0u64..3 {
+                engine.schedule_request(
+                    SimTime::from_nanos(i * 500),
+                    "front",
+                    HttpRequest::post("/x", vec![u8::try_from(i).unwrap()]),
+                );
+            }
+            engine.run_until_idle(&mut env);
+            engine.trace().join("\n")
+        };
+        // An injector that never acts is indistinguishable from no hook.
+        assert_eq!(run(None), run(Some(ScriptedFaults::on_responses(vec![]))));
     }
 
     #[test]

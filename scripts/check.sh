@@ -23,8 +23,9 @@ cargo build --offline --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
-echo "==> bench smoke (pool_scaling + ablation_optimizations, one rep)"
+echo "==> bench smoke (pool_scaling + ablation_optimizations + fault_sweep, one rep)"
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench pool_scaling
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench ablation_optimizations
+SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench fault_sweep
 
 echo "All checks passed."

@@ -33,6 +33,10 @@
 //! * [`scale`] — sharded P-AKA enclave pools: consistent-hash routing,
 //!   bounded admission queues, batched AV pre-generation, and the
 //!   horizontal-scaling experiment over real replica pools.
+//! * [`faults`] — deterministic fault injection: seed-driven SBI
+//!   drop/delay/error plans, enclave crash and replica-death
+//!   orchestration, and the `fault_sweep` recovery experiment (MTTR,
+//!   goodput under fault, retry amplification).
 //!
 //! # Quickstart
 //!
@@ -54,6 +58,7 @@
 
 pub use shield5g_core as core;
 pub use shield5g_crypto as crypto;
+pub use shield5g_faults as faults;
 pub use shield5g_hmee as hmee;
 pub use shield5g_infra as infra;
 pub use shield5g_libos as libos;

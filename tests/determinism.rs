@@ -95,6 +95,72 @@ fn different_seed_diverging_engine_event_log() {
     assert_ne!(engine_trace_of(300), engine_trace_of(301));
 }
 
+/// Like [`engine_trace_of`], but with a seeded SBI fault plan installed
+/// on the slice engine before the registrations run.
+fn faulted_trace_of(seed: u64, cfg: shield5g::faults::FaultConfig) -> Vec<String> {
+    let mut env = Env::new(seed);
+    env.log.disable();
+    let slice = build_slice(
+        &mut env,
+        &SliceConfig {
+            deployment: AkaDeployment::Sgx(SgxConfig::default()),
+            subscriber_count: 2,
+        },
+    )
+    .unwrap();
+    {
+        let mut engine = slice.engine.borrow_mut();
+        engine.set_trace(true);
+        let _ = shield5g::faults::SbiFaultPlan::install(&mut engine, &mut env, cfg);
+    }
+    let mut sim = GnbSim::new(&slice);
+    sim.register_ues(&mut env, &slice, 2).unwrap();
+    let trace = slice.engine.borrow().trace().to_vec();
+    trace
+}
+
+/// A delay-only plan: every leg has a 50% chance of arriving late, which
+/// reshapes the whole event schedule without failing any registration.
+fn delay_heavy() -> shield5g::faults::FaultConfig {
+    shield5g::faults::FaultConfig {
+        delay_rate: 0.5,
+        ..shield5g::faults::FaultConfig::default()
+    }
+}
+
+#[test]
+fn fault_plan_at_rate_zero_is_trace_invisible() {
+    // The regression gate: a zero-rate plan installs nothing and draws
+    // nothing, so the engine event log is byte-for-byte the pre-fault
+    // baseline.
+    assert_eq!(
+        faulted_trace_of(300, shield5g::faults::FaultConfig::default()),
+        engine_trace_of(300)
+    );
+}
+
+#[test]
+fn same_seed_byte_identical_fault_annotated_trace() {
+    let a = faulted_trace_of(300, delay_heavy());
+    let b = faulted_trace_of(300, delay_heavy());
+    assert_eq!(a, b);
+    // Faults actually fired and are visible in the trace...
+    assert!(
+        a.iter().any(|line| line.contains("fault-delay")),
+        "a 50% delay rate must annotate the trace"
+    );
+    // ...which therefore differs from the fault-free baseline.
+    assert_ne!(a, engine_trace_of(300));
+}
+
+#[test]
+fn different_seed_divergent_fault_schedule() {
+    assert_ne!(
+        faulted_trace_of(300, delay_heavy()),
+        faulted_trace_of(301, delay_heavy())
+    );
+}
+
 #[test]
 fn crypto_outputs_are_seed_independent() {
     // The protocol crypto depends only on keys and RAND — which the seed

@@ -1,0 +1,38 @@
+//! Cross-crate SQN arithmetic agreement (TS 33.102 §C): the crypto
+//! crate's wire packing and the NF backend's counter arithmetic must
+//! implement the *same* masked 48-bit ring, or a wrapped generator value
+//! crossing the crate boundary corrupts (or, before the fix, panicked
+//! on) the authentication stream.
+
+use shield5g::crypto::sqn::{sqn_from_bytes, sqn_to_bytes};
+use shield5g::nf::backend::sqn_add;
+
+const MASK: u64 = 0xffff_ffff_ffff;
+
+proptest::proptest! {
+    #[test]
+    fn round_trip_masks_to_48_bits(v in 0u64..=u64::MAX) {
+        proptest::prop_assert_eq!(sqn_from_bytes(&sqn_to_bytes(v)), v & MASK);
+    }
+
+    #[test]
+    fn add_agrees_with_masked_arithmetic(v in 0u64..=u64::MAX, d in 0u64..=u64::MAX) {
+        let sum = sqn_add(&sqn_to_bytes(v), d);
+        proptest::prop_assert_eq!(
+            sqn_from_bytes(&sum),
+            (v & MASK).wrapping_add(d) & MASK
+        );
+        // An NF-side wrapped value fed back through the crypto crate
+        // round-trips instead of asserting.
+        proptest::prop_assert_eq!(sqn_to_bytes(sqn_from_bytes(&sum)), sum);
+    }
+}
+
+#[test]
+fn wrap_boundary_is_exact() {
+    let top = sqn_to_bytes(MASK);
+    assert_eq!(top, [0xff; 6]);
+    assert_eq!(sqn_add(&top, 1), [0; 6]);
+    assert_eq!(sqn_to_bytes(MASK + 1), [0; 6]);
+    assert_eq!(sqn_from_bytes(&sqn_add(&top, 2)), 1);
+}
