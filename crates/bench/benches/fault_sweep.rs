@@ -1,14 +1,42 @@
 //! Fault-injection recovery sweep: availability versus SBI fault rate
 //! against a real sharded eUDM pool (`shield5g-faults`), plus the two
 //! whole-instance failure scenarios (replica kill, enclave crash).
+//!
+//! Every measured configuration also lands as a machine-readable point
+//! in `BENCH_fault_sweep.json` in the observability artifact directory.
 
-use shield5g_bench::{banner, smoke};
-use shield5g_faults::{fault_sweep, FaultConfig, FaultSweepConfig};
+use shield5g_bench::{banner, emit_bench_json, smoke};
+use shield5g_faults::{fault_sweep, FaultConfig, FaultReport, FaultSweepConfig};
+use shield5g_obs::export::JsonObj;
 use shield5g_scale::avcache::AvCacheConfig;
 use shield5g_sim::time::SimDuration;
 
 fn availability(served: u64, arrivals: u64) -> f64 {
     100.0 * served as f64 / arrivals as f64
+}
+
+fn point(scenario: &str, rate: f64, report: &FaultReport) -> String {
+    JsonObj::new()
+        .str("scenario", scenario)
+        .f64("sbi_fault_rate", rate)
+        .u64("arrivals", report.pool.arrivals)
+        .u64("served", report.pool.served)
+        .u64("shed", report.pool.shed)
+        .f64(
+            "availability_pct",
+            availability(report.pool.served, report.pool.arrivals),
+        )
+        .u64("mttr_ns", report.recovery.mttr.as_nanos())
+        .u64("mttr_max_ns", report.recovery.mttr_max.as_nanos())
+        .f64("goodput_per_sec", report.recovery.goodput_per_sec)
+        .f64("retry_amplification", report.recovery.retry_amplification)
+        .u64("sbi_drops", report.sbi.drops)
+        .u64("sbi_delays", report.sbi.delays)
+        .u64("sbi_errors", report.sbi.errors)
+        .u64("purged_avs", report.purged_avs as u64)
+        .u64("crash_recoveries", report.crash_recoveries)
+        .raw("response", &report.pool.response.to_json())
+        .render()
 }
 
 fn main() {
@@ -17,6 +45,7 @@ fn main() {
         "paper §V key issues 2/8/22 (failure model discussion)",
     );
     let smoke = smoke();
+    let mut points = Vec::new();
 
     // Layer 1: SBI message faults, split evenly across drop / delay /
     // 5xx. Availability should stay near 100% while the supervision
@@ -56,6 +85,7 @@ fn main() {
             report.sbi.delays,
             report.sbi.errors,
         );
+        points.push(point("sbi_fault_rate", rate, &report));
     }
 
     // Layer 3: kill a replica mid-run; the warm standby takes over and
@@ -74,7 +104,7 @@ fn main() {
             ..FaultSweepConfig::default()
         },
     );
-    let failover = kill.failover.expect("kill_at fired");
+    let failover = kill.failover.as_ref().expect("kill_at fired");
     println!(
         "      availability {:.1}%, failover {} (standby promoted: {}), {} AVs purged",
         availability(kill.pool.served, kill.pool.arrivals),
@@ -83,6 +113,7 @@ fn main() {
         kill.purged_avs,
     );
     println!("      {kill}");
+    points.push(point("replica_kill", 0.0, &kill));
 
     // Layer 2: crash one enclave; exactly one request pays the ~60 s
     // reload (Fig. 7) while the surviving shard keeps serving.
@@ -105,8 +136,12 @@ fn main() {
         crash.pool.response.max > SimDuration::from_secs(30),
     );
     println!("      {crash}");
+    points.push(point("enclave_crash", 0.0, &crash));
 
     println!("\n    Every run is a pure function of its seed: the fault schedule,");
     println!("    workload, and retry jitter come from forked DetRng streams, so");
     println!("    rerunning any row reproduces it byte-for-byte.");
+
+    println!();
+    emit_bench_json("fault_sweep", &points);
 }

@@ -1,18 +1,48 @@
 //! Pool scaling sweep: replica count × offered load against real
 //! sharded eUDM enclave pools (`shield5g-scale`), plus the AV
 //! pre-generation ablation.
+//!
+//! Every measured configuration also lands as a machine-readable point
+//! in `BENCH_pool_scaling.json`, and the run's full observability state
+//! (metrics registry + span log) is exported to the artifact directory.
 
-use shield5g_bench::{banner, smoke};
+use shield5g_bench::{banner, emit_bench_json, export_hub, smoke};
+use shield5g_obs::export::JsonObj;
+use shield5g_obs::hub::ObsHandle;
 use shield5g_scale::avcache::AvCacheConfig;
 use shield5g_scale::harness::{pool_sweep, probe_service_time, SweepConfig};
+use shield5g_scale::metrics::PoolReport;
 use shield5g_scale::queue::QueueConfig;
 use shield5g_sim::time::SimDuration;
+
+fn point(scenario: &str, rho: f64, batch: u32, report: &PoolReport) -> String {
+    let mut obj = JsonObj::new()
+        .str("scenario", scenario)
+        .u64("replicas", u64::from(report.replicas))
+        .f64("rho", rho)
+        .u64("batch", u64::from(batch))
+        .f64("offered_per_sec", report.offered_per_sec)
+        .u64("arrivals", report.arrivals)
+        .u64("served", report.served)
+        .u64("shed", report.shed)
+        .f64("throughput_per_sec", report.throughput_per_sec)
+        .raw("response", &report.response.to_json())
+        .raw("queued", &report.queued.to_json());
+    if let Some(cache) = &report.cache {
+        obj = obj.f64("cache_hit_rate", cache.hit_rate());
+    }
+    obj.render()
+}
 
 fn main() {
     banner(
         "Sharded P-AKA enclave pool under mass registration",
         "paper §VI scaling discussion",
     );
+    let hub = ObsHandle::new();
+    let _obs = shield5g_obs::hub::scoped(&hub);
+    let mut points = Vec::new();
+
     let smoke = smoke();
     let service = probe_service_time(4100);
     let per_replica = 1.0 / service.as_secs_f64();
@@ -40,6 +70,7 @@ fn main() {
                 },
             );
             println!("      rho={load_factor:.1} {report}");
+            points.push(point("throughput_sweep", load_factor, 0, &report));
         }
         println!();
     }
@@ -55,6 +86,7 @@ fn main() {
     };
     let off = pool_sweep(4300, &base);
     println!("      cache off: {off}");
+    points.push(point("av_ablation", 0.5, 0, &off));
     for &batch_size in batch_sizes {
         let on = pool_sweep(
             4300,
@@ -71,8 +103,13 @@ fn main() {
             "      batch {batch_size:>2}:  {on} (hit rate {:.0}%)",
             100.0 * stats.hit_rate()
         );
+        points.push(point("av_ablation", 0.5, batch_size, &on));
     }
     println!("\n    One batched round trip pays the ~91-transition HTTPS choreography");
     println!("    once per batch; cache hits are served VNF-local without entering");
     println!("    the enclave, so EENTER/request falls roughly by the batch factor.");
+
+    println!();
+    emit_bench_json("pool_scaling", &points);
+    export_hub("pool_scaling", &hub);
 }

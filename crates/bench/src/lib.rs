@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 use shield5g_core::stats::Summary;
+use shield5g_obs::export;
+use shield5g_obs::hub::ObsHandle;
 
 /// Default repetition count for bench runs. The paper uses 500; the
 /// default here keeps `cargo bench` comfortably fast while remaining
@@ -48,6 +50,49 @@ pub fn fmt_summary(s: &Summary) -> String {
 /// Prints a `measured vs paper` line.
 pub fn compare(label: &str, measured: impl std::fmt::Display, paper: &str) {
     println!("    {label:44} measured {measured:>14}   paper {paper}");
+}
+
+/// Writes `contents` as `name` into the observability artifact directory
+/// (`$SHIELD5G_OBS_DIR`, default `target/obs`). An empty artifact is an
+/// exporter bug: the bench exits non-zero so CI fails the build instead
+/// of archiving a hollow file.
+pub fn write_obs_artifact(name: &str, contents: &str) {
+    match export::write_artifact(&export::obs_dir(), name, contents) {
+        Ok(path) => println!("    wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("obs export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Emits a machine-readable `BENCH_<name>.json` perf-point document —
+/// one object per measured configuration (`points` are pre-rendered JSON
+/// objects, e.g. from [`shield5g_obs::export::JsonObj`]).
+pub fn emit_bench_json(name: &str, points: &[String]) {
+    write_obs_artifact(
+        &format!("BENCH_{name}.json"),
+        &export::bench_json(name, points),
+    );
+}
+
+/// Dumps a recording hub's registry (Prometheus text + JSONL) and span
+/// log (JSONL) under `<prefix>_…` in the artifact directory.
+pub fn export_hub(prefix: &str, hub: &ObsHandle) {
+    hub.with(|o| {
+        write_obs_artifact(
+            &format!("{prefix}_metrics.prom"),
+            &export::prometheus(&o.registry),
+        );
+        write_obs_artifact(
+            &format!("{prefix}_metrics.jsonl"),
+            &export::metrics_jsonl(&o.registry),
+        );
+        write_obs_artifact(
+            &format!("{prefix}_spans.jsonl"),
+            &export::spans_jsonl(&o.spans),
+        );
+    });
 }
 
 #[cfg(test)]

@@ -65,7 +65,11 @@ impl Summary {
         sorted.sort_unstable();
         let count = sorted.len();
         let pct = |p: f64| -> u64 {
-            // Nearest-rank interpolation.
+            // Linear interpolation between the two closest ranks (the
+            // "linear"/type-7 method of NumPy and R) — NOT nearest-rank:
+            // p95 of [1..5] µs is 4.8 µs, not 5 µs. Pinned by
+            // `percentile_semantics_are_linear_interpolation` below; the
+            // shield5g-obs exporters rely on these exact semantics.
             let idx = p * (count - 1) as f64;
             let lo = idx.floor() as usize;
             let hi = idx.ceil() as usize;
@@ -100,6 +104,27 @@ impl Summary {
     #[must_use]
     pub fn iqr(&self) -> SimDuration {
         self.p75 - self.p25
+    }
+
+    /// Renders the summary as a JSON object with integer nanosecond
+    /// fields — the form the shield5g-obs exporters and the
+    /// `BENCH_*.json` emitters embed verbatim.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min_ns\":{},\"p25_ns\":{},\"p50_ns\":{},\"p75_ns\":{},\
+             \"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"stddev_ns\":{}}}",
+            self.count,
+            self.min.as_nanos(),
+            self.p25.as_nanos(),
+            self.median.as_nanos(),
+            self.p75.as_nanos(),
+            self.p95.as_nanos(),
+            self.p99.as_nanos(),
+            self.max.as_nanos(),
+            self.mean.as_nanos(),
+            self.stddev.as_nanos(),
+        )
     }
 
     /// Ratio of this summary's median to another's (the paper's "×"
@@ -217,6 +242,36 @@ mod tests {
     fn display_mentions_median() {
         let s = Summary::of(&[us(3)]);
         assert!(s.to_string().contains("median"));
+    }
+
+    #[test]
+    fn percentile_semantics_are_linear_interpolation() {
+        // Pins the quantile method: linear interpolation between closest
+        // ranks, not nearest-rank. Under nearest-rank, p95 of [1..5] µs
+        // would be 5 µs and p50 of [1..4] µs would be 2 or 3 µs; the
+        // interpolated values differ and exporters depend on them.
+        let five: Vec<SimDuration> = (1..=5).map(us).collect();
+        let s = Summary::of(&five);
+        assert_eq!(s.p95, SimDuration::from_nanos(4_800));
+        let four: Vec<SimDuration> = (1..=4).map(us).collect();
+        let s = Summary::of(&four);
+        assert_eq!(s.median, SimDuration::from_nanos(2_500));
+        assert_eq!(s.p25, SimDuration::from_nanos(1_750));
+    }
+
+    #[test]
+    fn to_json_embeds_every_field_in_nanos() {
+        let s = Summary::of(&(1..=5).map(us).collect::<Vec<_>>());
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"count\":5"));
+        assert!(json.contains("\"min_ns\":1000"));
+        assert!(json.contains("\"p50_ns\":3000"));
+        assert!(json.contains("\"p95_ns\":4800"));
+        assert!(json.contains("\"max_ns\":5000"));
+        assert!(json.contains("\"stddev_ns\":"));
+        let empty = Summary::EMPTY.to_json();
+        assert!(empty.contains("\"count\":0"));
     }
 
     proptest::proptest! {

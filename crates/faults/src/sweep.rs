@@ -377,9 +377,21 @@ pub fn fault_sweep(seed: u64, cfg: &FaultSweepConfig) -> FaultReport {
         stats,
         ..
     } = state;
+    let recovery = recovery.finish((stats.calls, stats.retries));
+    let pool_report = recorder.finish(&pool, cache.map(|c| c.stats()));
+    recovery.record_obs("sweep");
+    pool_report.record_obs("faulted");
+    {
+        use shield5g_obs::hub as obs;
+        obs::count("faults", "sbi", "drops", sbi.drops);
+        obs::count("faults", "sbi", "delays", sbi.delays);
+        obs::count("faults", "sbi", "errors", sbi.errors);
+        obs::count("faults", "retry", "retransmissions", stats.retries);
+        obs::count("faults", "crash", "reloads", crash_recoveries);
+    }
     FaultReport {
-        recovery: recovery.finish((stats.calls, stats.retries)),
-        pool: recorder.finish(&pool, cache.map(|c| c.stats())),
+        recovery,
+        pool: pool_report,
         sbi,
         retry: stats,
         failover,

@@ -15,6 +15,8 @@ use crate::HmeeError;
 use shield5g_crypto::aes::Aes128;
 use shield5g_crypto::hmac::hmac_sha256;
 use shield5g_crypto::sha256::Sha256;
+use shield5g_obs::hub as obs;
+use shield5g_obs::span::SpanKind;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
 use std::collections::HashMap;
@@ -283,6 +285,28 @@ impl Enclave {
         self.max_threads
     }
 
+    /// Emits one [`SpanKind::Enclave`] span covering a transition charge
+    /// (`start_ns` → now) and mirrors its hardware-event counts into the
+    /// ambient metrics registry under `(enclave-name, "sgx", event)`.
+    /// A no-op when no observability hub is installed.
+    fn record_transition(
+        &self,
+        env: &Env,
+        name: &str,
+        start_ns: u64,
+        events: &[(&'static str, u64)],
+    ) {
+        if !obs::is_active() {
+            return;
+        }
+        let span = obs::open_span(SpanKind::Enclave, &self.name, name, start_ns);
+        for &(event, n) in events {
+            obs::span_attr(span, event, n);
+            obs::count(&self.name, "sgx", event, n);
+        }
+        obs::close_span(span, env.clock.now().as_nanos());
+    }
+
     /// Enters the enclave on a new thread (`ECALL`).
     ///
     /// # Errors
@@ -298,9 +322,11 @@ impl Enclave {
                 max_threads: self.max_threads,
             });
         }
+        let t0 = env.clock.now().as_nanos();
         self.threads_inside += 1;
         self.counters.record_ecall();
         env.clock.advance(self.cost.eenter());
+        self.record_transition(env, "eenter", t0, &[("eenter", 1)]);
         Ok(())
     }
 
@@ -310,17 +336,26 @@ impl Enclave {
             self.threads_inside > 0,
             "ecall_return without matching enter"
         );
+        let t0 = env.clock.now().as_nanos();
         self.threads_inside = self.threads_inside.saturating_sub(1);
         self.counters.record_ecall_return();
         env.clock.advance(self.cost.eexit());
+        self.record_transition(env, "eexit", t0, &[("eexit", 1)]);
     }
 
     /// Performs an OCALL round trip carrying `bytes` across the boundary
     /// (syscall delegation). The *host-side* work is charged by the caller;
     /// this charges transition + marshalling costs only.
     pub fn ocall(&mut self, env: &mut Env, bytes: usize) {
+        let t0 = env.clock.now().as_nanos();
         self.counters.record_ocall();
         env.clock.advance(self.cost.ocall_round_trip(bytes));
+        self.record_transition(
+            env,
+            "ocall",
+            t0,
+            &[("ocalls", 1), ("eexit", 1), ("eenter", 1)],
+        );
     }
 
     /// Records a one-way event injection: the host enters the enclave at a
@@ -334,19 +369,28 @@ impl Enclave {
 
     /// Services an asynchronous exit (interrupt/fault) and resumption.
     pub fn aex(&mut self, env: &mut Env) {
+        let t0 = env.clock.now().as_nanos();
         self.counters.record_aex_resume();
         env.clock.advance(self.cost.aex() + self.cost.eresume());
+        self.record_transition(env, "aex", t0, &[("aex", 1), ("eresume", 1)]);
     }
 
     /// Pre-faults the entire heap (`sgx.preheat_enclave = true`): each page
     /// costs an `EAUG`-style fault, which raises an AEX.
     pub fn prefault_heap(&mut self, env: &mut Env) {
+        let t0 = env.clock.now().as_nanos();
         let pages = self.heap_pages;
         self.epc.account_pages(pages);
         self.counters.aex += pages;
         self.counters.eresume += pages;
         env.clock
             .advance(SimDuration::from_nanos(self.cost.heap_fault_ns * pages));
+        self.record_transition(
+            env,
+            "prefault_heap",
+            t0,
+            &[("aex", pages), ("eresume", pages)],
+        );
         env.log.record(
             env.clock.now(),
             "enclave",
@@ -356,11 +400,18 @@ impl Enclave {
 
     /// Demand-faults `pages` heap pages lazily (preheat disabled).
     pub fn demand_fault(&mut self, env: &mut Env, pages: u64) {
+        let t0 = env.clock.now().as_nanos();
         self.epc.account_pages(pages);
         self.counters.aex += pages;
         self.counters.eresume += pages;
         env.clock
             .advance(SimDuration::from_nanos(self.cost.heap_fault_ns * pages));
+        self.record_transition(
+            env,
+            "demand_fault",
+            t0,
+            &[("aex", pages), ("eresume", pages)],
+        );
     }
 
     /// EPC pressure: accounted occupancy (plus any externally imposed
@@ -404,8 +455,10 @@ impl Enclave {
         if !self.lost {
             return;
         }
+        let t0 = env.clock.now().as_nanos();
         self.lost = false;
         env.clock.advance(load_time);
+        self.record_transition(env, "reload", t0, &[("reloads", 1)]);
         env.log.record(
             env.clock.now(),
             "enclave",
@@ -421,11 +474,13 @@ impl Enclave {
     /// (interrupt storm / single-stepping pressure), charging
     /// `count × (AEX + ERESUME)`.
     pub fn aex_storm(&mut self, env: &mut Env, count: u64) {
+        let t0 = env.clock.now().as_nanos();
         self.counters.aex += count;
         self.counters.eresume += count;
         env.clock.advance(SimDuration::from_nanos(
             (self.cost.aex() + self.cost.eresume()).as_nanos() * count,
         ));
+        self.record_transition(env, "aex_storm", t0, &[("aex", count), ("eresume", count)]);
         env.log.record(
             env.clock.now(),
             "enclave",
@@ -456,6 +511,7 @@ impl Enclave {
         }
         // Over-commit fraction of the working set misses per request.
         let miss_prob = (1.0 - 1.0 / pressure).clamp(0.0, 0.9);
+        let t0 = env.clock.now().as_nanos();
         let mut paged = 0;
         // Sample a handful of hot-page accesses per request.
         for _ in 0..4 {
@@ -464,6 +520,9 @@ impl Enclave {
                 env.clock.advance(self.cost.paging_round_trip());
                 paged += 1;
             }
+        }
+        if paged > 0 {
+            self.record_transition(env, "paging", t0, &[("ewb", paged), ("eldu", paged)]);
         }
         paged
     }
@@ -482,8 +541,10 @@ impl Enclave {
             .take_page(index)
             .ok_or_else(|| HmeeError::UnknownSlot(format!("page {index} not resident")))?;
         self.evicted_versions.insert(index, page.version);
+        let t0 = env.clock.now().as_nanos();
         self.counters.ewb += 1;
         env.clock.advance(self.cost.cycles(self.cost.ewb_cycles));
+        self.record_transition(env, "ewb", t0, &[("ewb", 1)]);
         Ok(page)
     }
 
@@ -522,16 +583,20 @@ impl Enclave {
                 "page {index} slot not empty"
             )));
         }
+        let t0 = env.clock.now().as_nanos();
         self.counters.eldu += 1;
         env.clock.advance(self.cost.cycles(self.cost.eldu_cycles));
+        self.record_transition(env, "eldu", t0, &[("eldu", 1)]);
         Ok(())
     }
 
     /// Runs in-enclave computation that would take `native` outside,
     /// charging the MEE slowdown.
     pub fn compute(&mut self, env: &mut Env, native: SimDuration) -> SimDuration {
+        let t0 = env.clock.now().as_nanos();
         let t = self.cost.enclave_compute(native);
         env.clock.advance(t);
+        self.record_transition(env, "compute", t0, &[]);
         t
     }
 

@@ -93,6 +93,11 @@ impl Config {
                 s("crates/scale/src"),
                 s("crates/core/src"),
                 s("crates/faults/src"),
+                // The observability layer promises zero perturbation and
+                // deterministic exports; a wall-clock read or a
+                // default-hasher map in a span/metric path would leak
+                // nondeterminism straight into the artifacts.
+                s("crates/obs/src"),
             ],
             panic_budget: Vec::new(),
         }

@@ -1,0 +1,10 @@
+//! Seeded violation: an "observability" helper that stamps spans with
+//! the host wall clock instead of virtual time. DT001 must flag it —
+//! the obs layer feeds byte-exact exports, so ambient time is poison.
+
+pub fn wall_clock_stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

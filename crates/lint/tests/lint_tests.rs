@@ -83,6 +83,26 @@ fn determinism_fixture_violations_are_caught() {
 }
 
 #[test]
+fn obs_crate_is_determinism_covered() {
+    // The repo config must treat the observability layer as
+    // trace-affecting: a wall-clock span stamp or a default-hasher
+    // registry would leak nondeterminism into the exported artifacts.
+    let config = Config::repo_default();
+    assert!(
+        config.trace_dirs.iter().any(|d| d == "crates/obs/src"),
+        "crates/obs/src missing from trace_dirs: {:?}",
+        config.trace_dirs
+    );
+    let src = "pub fn stamp() -> u64 {\n    std::time::SystemTime::now()\n        .duration_since(std::time::UNIX_EPOCH)\n        .map(|d| d.as_nanos() as u64)\n        .unwrap_or(0)\n}\n";
+    let report = run_rules(
+        &[FileAnalysis::from_source("crates/obs/src/clock.rs", src)],
+        &config,
+    );
+    let rules = rules_of(&report.findings);
+    assert!(rules.contains(&"DT001"), "{:?}", report.findings);
+}
+
+#[test]
 fn panic_budget_fixture_exceeds_baseline() {
     let mut config = Config::default();
     // The fixture has four unwrap/expect sites; allow only one.
@@ -130,6 +150,9 @@ fn cli_exits_nonzero_on_violating_tree() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("DT001"), "stdout: {stdout}");
     assert!(stdout.contains("DT002"), "stdout: {stdout}");
+    // The seeded obs-crate violation (wall-clock span stamp) is caught
+    // too: the observability layer is inside the determinism perimeter.
+    assert!(stdout.contains("bad_obs.rs"), "stdout: {stdout}");
 }
 
 #[test]

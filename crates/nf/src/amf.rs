@@ -412,6 +412,7 @@ impl AmfService {
                 match NasUplink::decode(&plain)? {
                     NasUplink::RegistrationComplete => {
                         self.registrations_completed += 1;
+                        shield5g_obs::hub::count("amf", "/ngap", "registrations_completed", 1);
                         env.log.record(
                             env.clock.now(),
                             "aka",
@@ -442,6 +443,7 @@ impl AmfService {
                         // tombstone before `finish_ngap` clears it.
                         self.guti_to_supi.remove(&guti.tmsi);
                         self.deregistrations += 1;
+                        shield5g_obs::hub::count("amf", "/ngap", "deregistrations", 1);
                         self.pending_teardown.insert(ran_ue_id);
                         env.log.record(
                             env.clock.now(),

@@ -116,6 +116,7 @@ impl AusfService {
                 kseaf,
             },
         );
+        shield5g_obs::hub::count("ausf", "/nausf-auth/authenticate", "se_av_issued", 1);
         env.log.record(
             env.clock.now(),
             "aka",
@@ -141,6 +142,7 @@ impl AusfService {
             NfError::Protocol(format!("unknown auth context {}", req.auth_ctx_id))
         })?;
         if shield5g_crypto::ct_eq(&ctx.xres_star, &req.res_star) {
+            shield5g_obs::hub::count("ausf", "/nausf-auth/confirm", "res_star_confirmed", 1);
             env.log.record(
                 env.clock.now(),
                 "aka",
@@ -152,6 +154,7 @@ impl AusfService {
                 kseaf: ctx.kseaf,
             })
         } else {
+            shield5g_obs::hub::count("ausf", "/nausf-auth/confirm", "res_star_rejected", 1);
             env.log
                 .record(env.clock.now(), "aka", "AUSF rejected RES*".to_string());
             Ok(ConfirmResponse {

@@ -132,6 +132,7 @@ impl UdmService {
     }
 
     fn finish_av(&mut self, env: &mut Env, supi: String, av: &shield5g_crypto::keys::HeAv) -> Step {
+        shield5g_obs::hub::count("udm", "/nudm-ueau", "he_av_generated", 1);
         env.log.record(
             env.clock.now(),
             "aka",

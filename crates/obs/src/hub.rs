@@ -1,0 +1,296 @@
+//! The ambient recording context.
+//!
+//! Instrumentation sites across the workspace (the engine's event loop,
+//! the HMEE transition charges, the NF handlers, the scaling harness)
+//! call the free functions here. When no hub is installed on the current
+//! thread every call is a cheap no-op that touches neither the virtual
+//! clock nor any engine state — the **zero-perturbation guarantee**:
+//! obs-enabled and obs-disabled runs of the same seed produce
+//! byte-identical engine event traces.
+//!
+//! The hub is thread-local because each simulated world is
+//! single-threaded (`Rc`-based services); parallel test threads each get
+//! their own isolated recording context.
+
+use crate::metrics::Registry;
+use crate::span::{SpanId, SpanKind, SpanLog};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One recording context: a registry, a span log, and the stack of
+/// currently-executing spans new children attach to.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// The metrics registry.
+    pub registry: Registry,
+    /// The span log.
+    pub spans: SpanLog,
+    current: Vec<SpanId>,
+}
+
+impl Obs {
+    /// The innermost currently-executing span, if any.
+    #[must_use]
+    pub fn current(&self) -> Option<SpanId> {
+        self.current.last().copied()
+    }
+
+    /// Pushes a span onto the current-execution stack.
+    pub fn push_current(&mut self, id: SpanId) {
+        self.current.push(id);
+    }
+
+    /// Pops the top of the current-execution stack if it is `id`
+    /// (defensive: unbalanced pops are dropped rather than corrupting
+    /// the stack).
+    pub fn pop_current(&mut self, id: SpanId) {
+        if self.current.last() == Some(&id) {
+            self.current.pop();
+        }
+    }
+}
+
+/// Shared handle to a recording context.
+#[derive(Clone, Debug, Default)]
+pub struct ObsHandle(Rc<RefCell<Obs>>);
+
+impl ObsHandle {
+    /// A fresh, empty context.
+    #[must_use]
+    pub fn new() -> ObsHandle {
+        ObsHandle::default()
+    }
+
+    /// Runs `f` with mutable access to the context.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Obs) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ObsHandle>> = const { RefCell::new(None) };
+}
+
+/// Installs `hub` as this thread's recording context (replacing any
+/// previous one). Prefer [`scoped`] in tests and harnesses.
+pub fn install(hub: &ObsHandle) {
+    ACTIVE.with(|a| *a.borrow_mut() = Some(hub.clone()));
+}
+
+/// Removes the thread's recording context.
+pub fn uninstall() {
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+}
+
+/// Whether a recording context is installed on this thread.
+#[must_use]
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// RAII installation: the context is uninstalled when the guard drops.
+pub struct Scope {
+    _private: (),
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+/// Installs `hub` for the lifetime of the returned guard.
+#[must_use]
+pub fn scoped(hub: &ObsHandle) -> Scope {
+    install(hub);
+    Scope { _private: () }
+}
+
+/// Runs `f` against the installed context, or returns `None` without
+/// side effects when observability is off.
+pub fn with<R>(f: impl FnOnce(&mut Obs) -> R) -> Option<R> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|h| h.with(f)))
+}
+
+/// Adds `n` to a counter.
+pub fn count(nf: &str, endpoint: &str, label: &str, n: u64) {
+    with(|o| o.registry.add(nf, endpoint, label, n));
+}
+
+/// Sets a gauge.
+pub fn gauge(nf: &str, endpoint: &str, label: &str, v: f64) {
+    with(|o| o.registry.set_gauge(nf, endpoint, label, v));
+}
+
+/// Raises a high-water-mark gauge.
+pub fn gauge_max(nf: &str, endpoint: &str, label: &str, v: f64) {
+    with(|o| o.registry.max_gauge(nf, endpoint, label, v));
+}
+
+/// Records a histogram sample.
+pub fn observe(nf: &str, endpoint: &str, label: &str, v: u64) {
+    with(|o| o.registry.observe(nf, endpoint, label, v));
+}
+
+/// Opens a span parented to the innermost currently-executing span.
+pub fn open_span(kind: SpanKind, nf: &str, name: &str, start_ns: u64) -> Option<SpanId> {
+    with(|o| {
+        let parent = o.current();
+        o.spans.open(kind, parent, nf, name, start_ns)
+    })
+    .flatten()
+}
+
+/// Opens a span under an explicit parent (`None` roots a new trace).
+pub fn open_child(
+    kind: SpanKind,
+    parent: Option<SpanId>,
+    nf: &str,
+    name: &str,
+    start_ns: u64,
+) -> Option<SpanId> {
+    with(|o| o.spans.open(kind, parent, nf, name, start_ns)).flatten()
+}
+
+/// Closes a span opened by [`open_span`] / [`open_child`].
+pub fn close_span(id: Option<SpanId>, end_ns: u64) {
+    if let Some(id) = id {
+        with(|o| o.spans.close(id, end_ns));
+    }
+}
+
+/// Adds to an attribute of an open span.
+pub fn span_attr(id: Option<SpanId>, key: &'static str, n: u64) {
+    if let Some(id) = id {
+        with(|o| o.spans.add_attr(id, key, n));
+    }
+}
+
+/// Marks `id` as the innermost executing span (children attach under
+/// it) for the duration between this call and [`exit_span`].
+pub fn enter_span(id: Option<SpanId>) {
+    if let Some(id) = id {
+        with(|o| o.push_current(id));
+    }
+}
+
+/// Unmarks `id` as the innermost executing span.
+pub fn exit_span(id: Option<SpanId>) {
+    if let Some(id) = id {
+        with(|o| o.pop_current(id));
+    }
+}
+
+/// A harness-level stage span that unwinds safely on error paths: close
+/// it explicitly with the end instant on success; dropping it without
+/// closing abandons the span and rebalances the execution stack.
+pub struct StageSpan {
+    id: Option<SpanId>,
+}
+
+impl StageSpan {
+    /// Opens a [`SpanKind::Stage`] span, enters it, and returns the
+    /// guard. A `None` inside (hub off or span cap hit) is carried
+    /// through silently.
+    #[must_use]
+    pub fn open(nf: &str, name: &str, start_ns: u64) -> StageSpan {
+        let id = open_span(SpanKind::Stage, nf, name, start_ns);
+        enter_span(id);
+        StageSpan { id }
+    }
+
+    /// The underlying span id.
+    #[must_use]
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Exits and closes the span at `end_ns`.
+    pub fn close(mut self, end_ns: u64) {
+        if let Some(id) = self.id.take() {
+            with(|o| {
+                o.pop_current(id);
+                o.spans.close(id, end_ns);
+            });
+        }
+    }
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            with(|o| {
+                o.pop_current(id);
+                o.spans.abandon(id);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hub_means_no_ops() {
+        uninstall();
+        assert!(!is_active());
+        count("a", "b", "c", 1);
+        observe("a", "b", "c", 5);
+        let id = open_span(SpanKind::Stage, "x", "y", 0);
+        assert!(id.is_none());
+        close_span(id, 10);
+        assert!(with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn scoped_installs_and_uninstalls() {
+        let hub = ObsHandle::new();
+        {
+            let _scope = scoped(&hub);
+            assert!(is_active());
+            count("amf", "/ngap", "requests", 2);
+        }
+        assert!(!is_active());
+        assert_eq!(
+            hub.with(|o| o.registry.counter("amf", "/ngap", "requests")),
+            2
+        );
+    }
+
+    #[test]
+    fn spans_nest_via_current_stack() {
+        let hub = ObsHandle::new();
+        let _scope = scoped(&hub);
+        let outer = open_span(SpanKind::Stage, "ue", "reg", 0);
+        enter_span(outer);
+        let inner = open_span(SpanKind::Request, "amf", "/ngap", 5);
+        close_span(inner, 9);
+        exit_span(outer);
+        close_span(outer, 20);
+        hub.with(|o| {
+            let spans = o.spans.finished();
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].parent, outer);
+            assert_eq!(spans[0].trace, outer.unwrap());
+            assert_eq!(spans[1].parent, None);
+        });
+    }
+
+    #[test]
+    fn stage_span_closes_on_success_and_abandons_on_drop() {
+        let hub = ObsHandle::new();
+        let _scope = scoped(&hub);
+        let stage = StageSpan::open("ue", "reg", 0);
+        assert!(stage.id().is_some());
+        stage.close(100);
+        hub.with(|o| assert_eq!(o.spans.finished().len(), 1));
+
+        let abandoned = StageSpan::open("ue", "reg2", 0);
+        drop(abandoned);
+        hub.with(|o| {
+            assert_eq!(o.spans.finished().len(), 1);
+            assert_eq!(o.current(), None);
+        });
+    }
+}

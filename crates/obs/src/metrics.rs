@@ -1,0 +1,395 @@
+//! The metrics registry: counters, gauges, and log-linear histograms
+//! keyed by `(nf, endpoint, label)`.
+//!
+//! Storage is `BTreeMap`-only so iteration order — and therefore every
+//! exporter's output — is a pure function of what was recorded, never of
+//! hash seeds. Histogram buckets are log-linear (16 linear sub-buckets
+//! per power of two), bounding the relative quantile error at ~6% while
+//! keeping memory flat regardless of sample count.
+
+use std::collections::BTreeMap;
+
+/// Identifies one time series: which network function, which endpoint
+/// (address or path), and what is being measured.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Owning component (`amf`, `ausf`, `hmee`, `pool`, …).
+    pub nf: String,
+    /// Endpoint, address, or instance within the component.
+    pub endpoint: String,
+    /// What is measured (`requests`, `queue_wait_ns`, `eenter`, …).
+    pub label: String,
+}
+
+impl Key {
+    /// Builds a key from its three parts.
+    #[must_use]
+    pub fn new(nf: &str, endpoint: &str, label: &str) -> Key {
+        Key {
+            nf: nf.to_owned(),
+            endpoint: endpoint.to_owned(),
+            label: label.to_owned(),
+        }
+    }
+}
+
+/// Number of linear sub-buckets per power of two (2^4 = 16).
+const SUB_BITS: u32 = 4;
+
+/// A log-linear histogram over `u64` samples (virtual-time nanoseconds,
+/// counts, depths). Values below 16 get exact buckets; above that, each
+/// power of two is split into 16 linear sub-buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index of a value.
+fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let mag = 63 - v.leading_zeros();
+    let shift = mag - SUB_BITS;
+    let sub = ((v >> shift) & ((1 << SUB_BITS) - 1)) as usize;
+    ((mag - SUB_BITS) as usize + 1) * (1 << SUB_BITS) + sub
+}
+
+/// Lower bound of the value range covered by a bucket.
+fn bucket_floor(index: usize) -> u64 {
+    let per = 1usize << SUB_BITS;
+    if index < per {
+        return index as u64;
+    }
+    let octave = (index / per) as u32 - 1;
+    let sub = (index % per) as u64;
+    ((per as u64) + sub) << octave
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum sample (zero when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Exact maximum sample (zero when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`: the midpoint of
+    /// the bucket holding the `ceil(q·count)`-th sample, clamped to the
+    /// exact observed `[min, max]`. Relative error is bounded by the
+    /// bucket width (≤ 1/16 of the value).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = bucket_floor(idx);
+                let hi = bucket_floor(idx + 1);
+                return ((lo + hi) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The same statistic set as `shield5g_core::stats::Summary`
+    /// (count, min, p25, median, p75, p95, p99, max, mean), extracted
+    /// from the buckets.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: self.min,
+            p25: self.quantile(0.25),
+            median: self.quantile(0.50),
+            p75: self.quantile(0.75),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+            mean: self.mean(),
+        }
+    }
+}
+
+/// `Summary`-compatible statistics extracted from a [`Histogram`]:
+/// the same fields the paper's box plots and tables report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// First quartile (bucket-approximate).
+    pub p25: u64,
+    /// Median (bucket-approximate).
+    pub median: u64,
+    /// Third quartile (bucket-approximate).
+    pub p75: u64,
+    /// 95th percentile (bucket-approximate).
+    pub p95: u64,
+    /// 99th percentile (bucket-approximate).
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+}
+
+/// The registry: every counter, gauge, and histogram of one observed
+/// world, keyed by `(nf, endpoint, label)`.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `n` to a counter, creating it at zero first.
+    pub fn add(&mut self, nf: &str, endpoint: &str, label: &str, n: u64) {
+        *self
+            .counters
+            .entry(Key::new(nf, endpoint, label))
+            .or_insert(0) += n;
+    }
+
+    /// Reads a counter (zero when never touched).
+    #[must_use]
+    pub fn counter(&self, nf: &str, endpoint: &str, label: &str) -> u64 {
+        self.counters
+            .get(&Key::new(nf, endpoint, label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&mut self, nf: &str, endpoint: &str, label: &str, v: f64) {
+        self.gauges.insert(Key::new(nf, endpoint, label), v);
+    }
+
+    /// Raises a gauge to `v` if `v` exceeds its current value
+    /// (high-water marks: peak queue depth, peak pool occupancy).
+    pub fn max_gauge(&mut self, nf: &str, endpoint: &str, label: &str, v: f64) {
+        let entry = self
+            .gauges
+            .entry(Key::new(nf, endpoint, label))
+            .or_insert(v);
+        if v > *entry {
+            *entry = v;
+        }
+    }
+
+    /// Reads a gauge (`None` when never set).
+    #[must_use]
+    pub fn gauge(&self, nf: &str, endpoint: &str, label: &str) -> Option<f64> {
+        self.gauges.get(&Key::new(nf, endpoint, label)).copied()
+    }
+
+    /// Records a sample into a histogram, creating it first.
+    pub fn observe(&mut self, nf: &str, endpoint: &str, label: &str, v: u64) {
+        self.histograms
+            .entry(Key::new(nf, endpoint, label))
+            .or_default()
+            .record(v);
+    }
+
+    /// Reads a histogram (`None` when never observed).
+    #[must_use]
+    pub fn histogram(&self, nf: &str, endpoint: &str, label: &str) -> Option<&Histogram> {
+        self.histograms.get(&Key::new(nf, endpoint, label))
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&Key, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&Key, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&Key, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_contiguous_and_monotonic() {
+        let mut last = bucket_index(0);
+        assert_eq!(last, 0);
+        for v in 1..10_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == last || idx == last + 1, "gap at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for idx in 0..200 {
+            let lo = bucket_floor(idx);
+            assert_eq!(bucket_index(lo), idx, "floor({idx}) = {lo}");
+            if idx > 0 {
+                assert!(bucket_floor(idx) > bucket_floor(idx - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for &(q, exact) in &[(0.25, 2_500u64), (0.5, 5_000), (0.95, 9_500), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.07, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary().count, 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn summary_quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for v in [5u64, 90, 900, 17, 44_000, 230, 230, 8] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p25);
+        assert!(s.p25 <= s.median);
+        assert!(s.median <= s.p75);
+        assert!(s.p75 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = Registry::new();
+        r.add("amf", "/ngap", "requests", 2);
+        r.add("amf", "/ngap", "requests", 3);
+        assert_eq!(r.counter("amf", "/ngap", "requests"), 5);
+        assert_eq!(r.counter("amf", "/ngap", "ghost"), 0);
+
+        r.set_gauge("pool", "r0", "depth", 3.0);
+        r.max_gauge("pool", "r0", "depth", 1.0);
+        assert_eq!(r.gauge("pool", "r0", "depth"), Some(3.0));
+        r.max_gauge("pool", "r0", "depth", 9.0);
+        assert_eq!(r.gauge("pool", "r0", "depth"), Some(9.0));
+
+        r.observe("udm", "/av", "latency_ns", 1_000);
+        r.observe("udm", "/av", "latency_ns", 3_000);
+        let h = r.histogram("udm", "/av", "latency_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn registry_iteration_is_key_ordered() {
+        let mut r = Registry::new();
+        r.add("z", "e", "l", 1);
+        r.add("a", "e", "l", 1);
+        r.add("m", "e", "l", 1);
+        let nfs: Vec<&str> = r.counters().map(|(k, _)| k.nf.as_str()).collect();
+        assert_eq!(nfs, ["a", "m", "z"]);
+    }
+}

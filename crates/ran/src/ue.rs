@@ -15,6 +15,8 @@ use shield5g_crypto::ident::Guti;
 use shield5g_crypto::keys::{derive_kamf, ServingNetworkName};
 use shield5g_nf::messages::{AuthFailureCause, NasDownlink, NasUplink, UeIdentity};
 use shield5g_nf::nas_security::{NasSecurityContext, ProtectedNas};
+use shield5g_obs::hub as obs;
+use shield5g_obs::hub::StageSpan;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
 
@@ -188,6 +190,11 @@ impl CotsUe {
         self.sec = None;
         self.guti = None;
         let t0 = env.clock.now();
+        // Roots the registration's trace: every SBI hop and enclave
+        // transition below nests under this stage span, so the flame dump
+        // decomposes `setup_time` exactly. Dropped (abandoned) on the
+        // error returns below.
+        let stage = StageSpan::open("ue", "registration", t0.as_nanos());
         let ran_ue_id = gnb.rrc_connect(env, self.usim.plmn())?;
         self.ran_ue_id = Some(ran_ue_id);
         let snn = self.serving_network(gnb);
@@ -294,6 +301,15 @@ impl CotsUe {
             downlink = gnb.nas_exchange(env, ran_ue_id, protected, false)?;
         }
 
+        stage.close(env.clock.now().as_nanos());
+        obs::count("ue", "registration", "completed", 1);
+        obs::count("ue", "registration", "resyncs", u64::from(resyncs));
+        obs::observe(
+            "ue",
+            "registration",
+            "setup_time_ns",
+            (env.clock.now() - t0).as_nanos(),
+        );
         Ok(RegistrationReport {
             setup_time: env.clock.now() - t0,
             guti: self.guti.expect("registered"),

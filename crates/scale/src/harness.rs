@@ -174,7 +174,9 @@ pub fn pool_sweep(seed: u64, cfg: &SweepConfig) -> PoolReport {
     assert!(in_flight.is_empty(), "requests left in flight");
     pool.absorb_engine(&engine);
 
-    recorder.finish(&pool, cache.map(|c| c.stats()))
+    let report = recorder.finish(&pool, cache.map(|c| c.stats()));
+    report.record_obs(&format!("n{}", cfg.replicas));
+    report
 }
 
 fn single_request(

@@ -90,6 +90,48 @@ impl PoolReport {
             aex as f64 / self.served as f64
         }
     }
+
+    /// Mirrors this report into the ambient observability registry under
+    /// `("pool", label, …)` — pool occupancy, admission-queue outcomes and
+    /// shed counts per configuration point. A no-op when observability is
+    /// off.
+    pub fn record_obs(&self, label: &str) {
+        use shield5g_obs::hub as obs;
+        if !obs::is_active() {
+            return;
+        }
+        obs::count("pool", label, "arrivals", self.arrivals);
+        obs::count("pool", label, "served", self.served);
+        obs::count("pool", label, "shed", self.shed);
+        obs::gauge("pool", label, "replicas", f64::from(self.replicas));
+        obs::gauge("pool", label, "offered_per_sec", self.offered_per_sec);
+        obs::gauge("pool", label, "throughput_per_sec", self.throughput_per_sec);
+        obs::gauge("pool", label, "eenter_per_served", self.eenter_per_served());
+        obs::gauge(
+            "pool",
+            label,
+            "response_p50_ns",
+            self.response.median.as_nanos() as f64,
+        );
+        obs::gauge(
+            "pool",
+            label,
+            "response_p95_ns",
+            self.response.p95.as_nanos() as f64,
+        );
+        obs::gauge(
+            "pool",
+            label,
+            "queued_p50_ns",
+            self.queued.median.as_nanos() as f64,
+        );
+        for r in &self.per_replica {
+            let ep = format!("{label}/r{}", r.replica);
+            obs::count("pool", &ep, "served", r.served);
+            obs::count("pool", &ep, "shed", r.shed);
+            obs::gauge_max("pool", &ep, "depth_peak", r.depth_peak as f64);
+        }
+    }
 }
 
 impl std::fmt::Display for PoolReport {
@@ -219,6 +261,35 @@ pub struct RecoveryStats {
     /// `(first attempts + retransmissions) / first attempts`; 1.0 means
     /// no retry traffic.
     pub retry_amplification: f64,
+}
+
+impl RecoveryStats {
+    /// Mirrors the recovery figures into the ambient observability
+    /// registry under `("faults", label, …)` — fault counts, MTTR and
+    /// retry amplification per sweep point. A no-op when observability is
+    /// off.
+    pub fn record_obs(&self, label: &str) {
+        use shield5g_obs::hub as obs;
+        if !obs::is_active() {
+            return;
+        }
+        obs::count("faults", label, "injected", self.faults);
+        obs::count("faults", label, "failed", self.failed);
+        obs::gauge("faults", label, "mttr_ns", self.mttr.as_nanos() as f64);
+        obs::gauge(
+            "faults",
+            label,
+            "mttr_max_ns",
+            self.mttr_max.as_nanos() as f64,
+        );
+        obs::gauge("faults", label, "goodput_per_sec", self.goodput_per_sec);
+        obs::gauge(
+            "faults",
+            label,
+            "retry_amplification",
+            self.retry_amplification,
+        );
+    }
 }
 
 impl std::fmt::Display for RecoveryStats {

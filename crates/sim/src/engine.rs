@@ -31,6 +31,8 @@ use crate::http::{HttpRequest, HttpResponse};
 use crate::service::{Env, ServiceHandle};
 use crate::time::{SimDuration, SimTime};
 use crate::SimError;
+use shield5g_obs::hub as obs;
+use shield5g_obs::span::{SpanId, SpanKind};
 use std::any::Any;
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -227,6 +229,23 @@ struct ParentLink {
     state: Box<dyn Any>,
 }
 
+/// Per-context observability state: the span ids of this request leg.
+/// All `None` when no hub is installed — every touch point is then a
+/// no-op and the engine behaves byte-identically to an uninstrumented
+/// build (the zero-perturbation guarantee gated by
+/// `tests/determinism.rs`).
+#[derive(Default)]
+struct CtxObs {
+    /// The whole leg, from submission/call-out to delivery.
+    request: Option<SpanId>,
+    /// Admission wait at the destination endpoint, if the leg queued.
+    queue: Option<SpanId>,
+    /// Worker occupancy: `begin` until the final `Reply`. Entered as the
+    /// "current" span around `start`/`resume` so enclave-transition and
+    /// child-call spans nest under it.
+    service: Option<SpanId>,
+}
+
 struct Ctx {
     dest: String,
     path: String,
@@ -237,6 +256,7 @@ struct Ctx {
     arrived: SimTime,
     queued: SimDuration,
     ancestors: Vec<String>,
+    obs: CtxObs,
 }
 
 enum EventKind {
@@ -488,6 +508,10 @@ impl Engine {
     pub fn schedule_request(&mut self, at: SimTime, addr: &str, req: HttpRequest) -> u64 {
         let id = self.next_ctx;
         self.next_ctx += 1;
+        // Root legs parent under the ambient current span (a harness
+        // stage span, when one is open), so a whole registration's hops
+        // share one trace.
+        let request_span = obs::open_span(SpanKind::Request, addr, &req.path, at.as_nanos());
         self.ctxs.insert(
             id,
             Ctx {
@@ -500,6 +524,10 @@ impl Engine {
                 arrived: at,
                 queued: SimDuration::ZERO,
                 ancestors: Vec::new(),
+                obs: CtxObs {
+                    request: request_span,
+                    ..CtxObs::default()
+                },
             },
         );
         self.push_event(at, EventKind::Arrive { ctx: id });
@@ -562,6 +590,7 @@ impl Engine {
             )
         };
         self.note(now, "arrive", &dest, &path);
+        obs::count(&dest, &path, "arrivals", 1);
         if looped {
             let resp = HttpResponse::error(508, format!("call loop through {dest}"))
                 .with_header(ERROR_HEADER, "loop");
@@ -586,6 +615,8 @@ impl Engine {
             if ep.busy as usize + ep.waiting.len() >= cap {
                 ep.shed_full += 1;
                 self.note(now, "shed-full", &dest, &path);
+                obs::count(&dest, &path, "shed_queue_full", 1);
+                obs::span_attr(self.ctxs.get(&id).and_then(|c| c.obs.request), "shed", 1);
                 let resp = HttpResponse::error(503, "admission queue full")
                     .with_header(SHED_HEADER, "queue-full");
                 self.push_event(now, EventKind::Deliver { ctx: id, resp });
@@ -594,12 +625,23 @@ impl Engine {
         }
         let ep = self.endpoints.get_mut(&dest).expect("endpoint exists");
         ep.depth_peak = ep.depth_peak.max(ep.busy as usize + ep.waiting.len() + 1);
+        let depth = ep.depth_peak;
+        obs::gauge_max(&dest, &path, "depth_peak", depth as f64);
         if ep.busy < ep.workers {
             ep.busy += 1;
             self.run_begin(env, id);
         } else {
             ep.waiting.push_back(id);
             self.note(now, "queue", &dest, &path);
+            if let Some(ctx) = self.ctxs.get_mut(&id) {
+                ctx.obs.queue = obs::open_child(
+                    SpanKind::Queue,
+                    ctx.obs.request,
+                    &dest,
+                    &path,
+                    now.as_nanos(),
+                );
+            }
         }
     }
 
@@ -610,6 +652,7 @@ impl Engine {
         let (dest, path, wait, req) = {
             let ctx = self.ctxs.get_mut(&id).expect("beginning context exists");
             ctx.queued = now - ctx.arrived;
+            obs::close_span(ctx.obs.queue.take(), now.as_nanos());
             (
                 ctx.dest.clone(),
                 ctx.path.clone(),
@@ -617,11 +660,14 @@ impl Engine {
                 ctx.req.take().expect("request not yet started"),
             )
         };
+        obs::observe(&dest, &path, "queue_wait_ns", wait.as_nanos());
         let deadline = self.endpoints.get(&dest).and_then(|e| e.policy.deadline);
         if deadline.is_some_and(|d| wait > d) {
             let ep = self.endpoints.get_mut(&dest).expect("endpoint exists");
             ep.shed_deadline += 1;
             self.note(now, "shed-deadline", &dest, &path);
+            obs::count(&dest, &path, "shed_deadline", 1);
+            obs::span_attr(self.ctxs.get(&id).and_then(|c| c.obs.request), "shed", 1);
             self.push_event(now, EventKind::Release { dest: dest.clone() });
             let resp = HttpResponse::error(503, "admission deadline exceeded")
                 .with_header(SHED_HEADER, "deadline");
@@ -635,7 +681,19 @@ impl Engine {
             .expect("endpoint exists")
             .service
             .clone();
+        let service_span = self.ctxs.get_mut(&id).and_then(|ctx| {
+            ctx.obs.service = obs::open_child(
+                SpanKind::Service,
+                ctx.obs.request,
+                &dest,
+                &path,
+                now.as_nanos(),
+            );
+            ctx.obs.service
+        });
+        obs::enter_span(service_span);
         let step = service.borrow_mut().start(env, req);
+        obs::exit_span(service_span);
         self.apply_step(env, id, step);
     }
 
@@ -644,7 +702,8 @@ impl Engine {
         match step {
             Step::Reply(resp) => {
                 let (dest, path) = {
-                    let ctx = self.ctxs.get(&id).expect("replying context");
+                    let ctx = self.ctxs.get_mut(&id).expect("replying context");
+                    obs::close_span(ctx.obs.service.take(), now.as_nanos());
                     (ctx.dest.clone(), ctx.path.clone())
                 };
                 self.note(now, "reply", &dest, &resp.status.to_string());
@@ -661,17 +720,20 @@ impl Engine {
                     }
                     FaultAction::Drop { timeout } => {
                         self.note(now, "fault-drop", &dest, &path);
+                        obs::count(&dest, &path, "fault_drop", 1);
                         let resp = HttpResponse::error(504, "injected response drop")
                             .with_header(FAULT_HEADER, "drop");
                         self.push_event(now + timeout, EventKind::Deliver { ctx: id, resp });
                     }
                     FaultAction::Delay(d) => {
                         self.note(now, "fault-delay", &dest, &path);
+                        obs::count(&dest, &path, "fault_delay", 1);
                         let resp = resp.with_header(FAULT_HEADER, "delay");
                         self.push_event(now + d, EventKind::Deliver { ctx: id, resp });
                     }
                     FaultAction::Error { status } => {
                         self.note(now, "fault-5xx", &dest, &path);
+                        obs::count(&dest, &path, "fault_5xx", 1);
                         let resp = HttpResponse::error(status, "injected upstream failure")
                             .with_header(FAULT_HEADER, "injected-5xx");
                         self.push_event(now, EventKind::Deliver { ctx: id, resp });
@@ -681,18 +743,26 @@ impl Engine {
             Step::CallOut { dest, req, state } => {
                 let child = self.next_ctx;
                 self.next_ctx += 1;
-                let (ancestors, tag, submitted) = {
+                let (ancestors, tag, submitted, parent_service) = {
                     let parent = self.ctxs.get(&id).expect("calling context");
                     let mut chain = parent.ancestors.clone();
                     chain.push(parent.dest.clone());
-                    (chain, parent.tag, parent.submitted)
+                    (chain, parent.tag, parent.submitted, parent.obs.service)
                 };
                 self.note(now, "callout", &dest, &req.path);
+                obs::count(&dest, &req.path, "callouts", 1);
                 let action = match &self.fault {
                     Some(f) => f.borrow_mut().on_request(&dest, &req.path),
                     None => FaultAction::Deliver,
                 };
                 let path = req.path.clone();
+                let request_span = obs::open_child(
+                    SpanKind::Request,
+                    parent_service,
+                    &dest,
+                    &path,
+                    now.as_nanos(),
+                );
                 self.ctxs.insert(
                     child,
                     Ctx {
@@ -705,6 +775,10 @@ impl Engine {
                         arrived: now,
                         queued: SimDuration::ZERO,
                         ancestors,
+                        obs: CtxObs {
+                            request: request_span,
+                            ..CtxObs::default()
+                        },
                     },
                 );
                 match action {
@@ -716,12 +790,14 @@ impl Engine {
                         // sits on its supervision timer and resumes with
                         // a synthesized 504.
                         self.note(now, "fault-drop", &dest, &path);
+                        obs::count(&dest, &path, "fault_drop", 1);
                         let resp = HttpResponse::error(504, "injected request drop")
                             .with_header(FAULT_HEADER, "drop");
                         self.push_event(now + timeout, EventKind::Deliver { ctx: child, resp });
                     }
                     FaultAction::Delay(d) => {
                         self.note(now, "fault-delay", &dest, &path);
+                        obs::count(&dest, &path, "fault_delay", 1);
                         // In-network delay is not queueing delay: move the
                         // arrival instant so admission deadlines measure
                         // only the wait at the endpoint.
@@ -730,6 +806,7 @@ impl Engine {
                     }
                     FaultAction::Error { status } => {
                         self.note(now, "fault-5xx", &dest, &path);
+                        obs::count(&dest, &path, "fault_5xx", 1);
                         let resp = HttpResponse::error(status, "injected upstream failure")
                             .with_header(FAULT_HEADER, "injected-5xx");
                         self.push_event(now, EventKind::Deliver { ctx: child, resp });
@@ -756,9 +833,18 @@ impl Engine {
     fn on_deliver(&mut self, env: &mut Env, id: u64, resp: HttpResponse) {
         let now = env.clock.now();
         let ctx = self.ctxs.remove(&id).expect("delivered context exists");
+        obs::span_attr(ctx.obs.request, "status", u64::from(resp.status));
+        obs::close_span(ctx.obs.request, now.as_nanos());
         match ctx.parent {
             None => {
                 self.note(now, "complete", &ctx.dest, &resp.status.to_string());
+                obs::count(&ctx.dest, &ctx.path, "completions", 1);
+                obs::observe(
+                    &ctx.dest,
+                    &ctx.path,
+                    "latency_ns",
+                    (now - ctx.submitted).as_nanos(),
+                );
                 self.completions.push(Completion {
                     tag: ctx.tag,
                     response: resp,
@@ -790,7 +876,10 @@ impl Engine {
                     return;
                 };
                 let service = ep.service.clone();
+                let parent_service = self.ctxs.get(&link.ctx).and_then(|c| c.obs.service);
+                obs::enter_span(parent_service);
                 let step = service.borrow_mut().resume(env, link.state, resp);
+                obs::exit_span(parent_service);
                 self.apply_step(env, link.ctx, step);
             }
         }

@@ -24,8 +24,28 @@ echo "==> cargo test"
 cargo test --offline --workspace -q
 
 echo "==> bench smoke (pool_scaling + ablation_optimizations + fault_sweep, one rep)"
+# Absolute path: cargo runs bench binaries with the *package* directory
+# as cwd, so a relative artifact dir would land under crates/bench/.
+SHIELD5G_OBS_DIR="${SHIELD5G_OBS_DIR:-target/obs}"
+case "$SHIELD5G_OBS_DIR" in
+  /*) ;;
+  *) SHIELD5G_OBS_DIR="$(pwd)/$SHIELD5G_OBS_DIR" ;;
+esac
+export SHIELD5G_OBS_DIR
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench pool_scaling
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench ablation_optimizations
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench fault_sweep
+
+echo "==> observability artifacts (machine-readable bench output, non-empty)"
+for artifact in \
+  BENCH_pool_scaling.json BENCH_ablation.json BENCH_fault_sweep.json \
+  pool_scaling_metrics.prom pool_scaling_metrics.jsonl pool_scaling_spans.jsonl; do
+  path="$SHIELD5G_OBS_DIR/$artifact"
+  if [ ! -s "$path" ]; then
+    echo "missing or empty observability artifact: $path" >&2
+    exit 1
+  fi
+  echo "    ok $path ($(wc -c < "$path") bytes)"
+done
 
 echo "All checks passed."

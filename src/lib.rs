@@ -37,6 +37,10 @@
 //!   drop/delay/error plans, enclave crash and replica-death
 //!   orchestration, and the `fault_sweep` recovery experiment (MTTR,
 //!   goodput under fault, retry amplification).
+//! * [`obs`] — deterministic observability: virtual-time span tracing
+//!   with per-hop/per-enclave-transition flame decomposition, a
+//!   `(nf, endpoint, label)` metrics registry, and Prometheus/JSONL/
+//!   `BENCH_*.json` exporters — zero perturbation of engine traces.
 //!
 //! # Quickstart
 //!
@@ -63,6 +67,7 @@ pub use shield5g_hmee as hmee;
 pub use shield5g_infra as infra;
 pub use shield5g_libos as libos;
 pub use shield5g_nf as nf;
+pub use shield5g_obs as obs;
 pub use shield5g_ran as ran;
 pub use shield5g_scale as scale;
 pub use shield5g_sim as sim;

@@ -154,6 +154,25 @@ fn same_seed_byte_identical_fault_annotated_trace() {
 }
 
 #[test]
+fn observability_is_zero_perturbation() {
+    // The shielding gate for shield5g-obs: recording spans and metrics
+    // must not steer the simulation. Observability reads the virtual
+    // clock but never advances it, draws no randomness, and enqueues no
+    // events — so the engine event log with a hub installed is
+    // byte-identical to the log without one, same seed.
+    let bare = engine_trace_of(300);
+    let hub = shield5g::obs::hub::ObsHandle::new();
+    let observed = {
+        let _scope = shield5g::obs::hub::scoped(&hub);
+        engine_trace_of(300)
+    };
+    assert_eq!(bare, observed);
+    // Guard against a vacuous pass: the instrumented run really recorded.
+    let finished = hub.with(|o| o.spans.finished().len());
+    assert!(finished > 0, "installed hub recorded no spans");
+}
+
+#[test]
 fn different_seed_divergent_fault_schedule() {
     assert_ne!(
         faulted_trace_of(300, delay_heavy()),
