@@ -22,6 +22,7 @@ use shield5g_infra::bridge::BridgeNetwork;
 use shield5g_infra::host::Host;
 use shield5g_infra::image::{ContainerImage, Registry};
 use shield5g_libos::gsc::ImageSpec;
+use shield5g_mw::{FaultLayer, FaultSwitch, ObsCoreHandle, ObsLayer, Stack};
 use shield5g_nf::amf::AmfService;
 use shield5g_nf::ausf::AusfService;
 use shield5g_nf::backend::{LocalAmfAka, LocalAusfAka, LocalUdmAka};
@@ -32,7 +33,7 @@ use shield5g_nf::udm::UdmService;
 use shield5g_nf::udr::UdrService;
 use shield5g_nf::upf::UpfService;
 use shield5g_nf::{addr, NfType};
-use shield5g_sim::engine::Engine;
+use shield5g_sim::engine::{Engine, EngineServiceHandle};
 use shield5g_sim::http::HttpRequest;
 use shield5g_sim::service::service_handle;
 use shield5g_sim::Env;
@@ -142,6 +143,10 @@ pub struct Slice {
     pub amf: Rc<RefCell<AmfService>>,
     /// Typed NRF handle.
     pub nrf: Rc<RefCell<NrfService>>,
+    /// Arms/disarms fault injection across every slice endpoint at once
+    /// (each endpoint's [`FaultLayer`] holds a clone; fault plans install
+    /// through this switch after the slice is built).
+    pub fault_switch: FaultSwitch,
     modules: Vec<(PakaKind, Rc<RefCell<PakaModule>>)>,
     backend_metrics: Vec<(PakaKind, Rc<RefCell<ModuleMetricsLog>>)>,
 }
@@ -218,6 +223,18 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
     }
     let bridge = Rc::new(RefCell::new(BridgeNetwork::new("br-oai")));
     let engine = Rc::new(RefCell::new(Engine::new()));
+    // One span table and one fault switch per slice, shared by every
+    // endpoint's middleware stack (canonical order: Obs outermost, then
+    // Fault — admission/retry layers are added by harnesses that need
+    // them).
+    let obs_core: ObsCoreHandle = ObsLayer::core();
+    let fault_switch = FaultSwitch::new();
+    let stacked = |svc: EngineServiceHandle| -> EngineServiceHandle {
+        Stack::new(svc)
+            .with(ObsLayer::new(obs_core.clone()))
+            .with(FaultLayer::new(fault_switch.clone()))
+            .into_handle()
+    };
 
     // Subscribers.
     let subscribers: Vec<Subscriber> = (0..config.subscriber_count).map(Subscriber::test).collect();
@@ -320,7 +337,7 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
                     e.register(
                         endpoint_addr,
                         workers,
-                        Engine::leaf(service_handle(c.endpoint())),
+                        stacked(Engine::leaf(service_handle(c.endpoint()))),
                     );
                 }
             }
@@ -350,13 +367,25 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
 
     {
         let mut e = engine.borrow_mut();
-        e.register(addr::UDR, LEAF_WORKERS, Engine::leaf(service_handle(udr)));
-        e.register(addr::UDM, VNF_WORKERS, Rc::new(RefCell::new(udm)));
-        e.register(addr::AUSF, VNF_WORKERS, Rc::new(RefCell::new(ausf)));
-        e.register(addr::AMF, VNF_WORKERS, amf.clone());
-        e.register(addr::SMF, VNF_WORKERS, Rc::new(RefCell::new(smf)));
-        e.register(addr::UPF, LEAF_WORKERS, Engine::leaf(service_handle(upf)));
-        e.register(addr::NRF, LEAF_WORKERS, Engine::leaf(nrf.clone()));
+        e.register(
+            addr::UDR,
+            LEAF_WORKERS,
+            stacked(Engine::leaf(service_handle(udr))),
+        );
+        e.register(addr::UDM, VNF_WORKERS, stacked(Rc::new(RefCell::new(udm))));
+        e.register(
+            addr::AUSF,
+            VNF_WORKERS,
+            stacked(Rc::new(RefCell::new(ausf))),
+        );
+        e.register(addr::AMF, VNF_WORKERS, stacked(amf.clone()));
+        e.register(addr::SMF, VNF_WORKERS, stacked(Rc::new(RefCell::new(smf))));
+        e.register(
+            addr::UPF,
+            LEAF_WORKERS,
+            stacked(Engine::leaf(service_handle(upf))),
+        );
+        e.register(addr::NRF, LEAF_WORKERS, stacked(Engine::leaf(nrf.clone())));
     }
 
     // NRF registrations (mutual discovery, paper Fig. 2).
@@ -406,6 +435,7 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
         hn_key_id: hn_key.id(),
         amf,
         nrf,
+        fault_switch,
         modules,
         backend_metrics,
     })

@@ -1,7 +1,8 @@
 //! Seed-driven SBI fault plans.
 //!
-//! An [`SbiFaultPlan`] sits behind the engine's
-//! [`FaultInjector`](shield5g_sim::engine::FaultInjector) hook and
+//! An [`SbiFaultPlan`] sits behind a world's
+//! [`FaultSwitch`](shield5g_mw::FaultSwitch) — the shared slot every
+//! endpoint's [`FaultLayer`](shield5g_mw::FaultLayer) consults — and
 //! decides, per delivered message, whether to drop it (the waiting side
 //! eats a supervision timeout), delay it (congestion / rerouting), or
 //! replace it with a transport-level 5xx (connection reset, proxy
@@ -14,11 +15,12 @@
 //! whose rates are all zero installs nothing and — critically — forks
 //! nothing. A `DetRng::fork` consumes a draw from the parent stream, so
 //! even a dormant plan would perturb every subsequent random choice in
-//! the run. Returning `None` keeps fault-free runs bit-identical to
-//! builds that have never heard of this crate (the regression gate the
-//! determinism suite enforces).
+//! the run. Returning `None` leaves the switch disarmed and keeps
+//! fault-free runs bit-identical to builds that have never heard of this
+//! crate (the regression gate the determinism suite enforces).
 
-use shield5g_sim::engine::{Engine, FaultAction, FaultInjector};
+use shield5g_mw::FaultSwitch;
+use shield5g_sim::engine::{FaultAction, FaultInjector};
 use shield5g_sim::rng::DetRng;
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
@@ -98,12 +100,13 @@ pub struct SbiFaultPlan {
 }
 
 impl SbiFaultPlan {
-    /// Installs a plan for `cfg` on `engine`, forking the plan's RNG off
-    /// `env`. Returns a handle for reading [`FaultCounts`] after the run
-    /// — or `None`, touching neither the engine nor the RNG stream, when
-    /// every rate is zero (the zero-rate invariant above).
+    /// Installs a plan for `cfg` by arming `switch` (shared by every
+    /// endpoint's fault layer), forking the plan's RNG off `env`. Returns
+    /// a handle for reading [`FaultCounts`] after the run — or `None`,
+    /// touching neither the switch nor the RNG stream, when every rate is
+    /// zero (the zero-rate invariant above).
     pub fn install(
-        engine: &mut Engine,
+        switch: &FaultSwitch,
         env: &mut Env,
         cfg: FaultConfig,
     ) -> Option<Rc<RefCell<SbiFaultPlan>>> {
@@ -115,7 +118,7 @@ impl SbiFaultPlan {
             rng: env.rng.fork("sbi-fault-plan"),
             counts: FaultCounts::default(),
         }));
-        engine.set_fault_injector(Some(plan.clone()));
+        switch.install(Some(plan.clone()));
         Some(plan)
     }
 
@@ -183,10 +186,14 @@ mod tests {
     #[test]
     fn zero_rate_config_installs_nothing_and_draws_nothing() {
         let mut env = Env::new(3);
-        let mut engine = Engine::new();
+        let switch = FaultSwitch::new();
         let before = env.rng.fork("probe").bytes::<8>();
         let mut env2 = Env::new(3);
-        assert!(SbiFaultPlan::install(&mut engine, &mut env2, FaultConfig::default()).is_none());
+        assert!(SbiFaultPlan::install(&switch, &mut env2, FaultConfig::default()).is_none());
+        assert!(
+            !switch.is_armed(),
+            "zero-rate install must leave the switch cold"
+        );
         // The parent stream was not consumed: the next fork matches a
         // fresh environment's.
         assert_eq!(env2.rng.fork("probe").bytes::<8>(), before);
@@ -196,9 +203,9 @@ mod tests {
     fn same_seed_same_fault_schedule() {
         let schedule = |seed: u64| {
             let mut env = Env::new(seed);
-            let mut engine = Engine::new();
+            let switch = FaultSwitch::new();
             let plan = SbiFaultPlan::install(
-                &mut engine,
+                &switch,
                 &mut env,
                 FaultConfig {
                     drop_rate: 0.1,
@@ -228,9 +235,9 @@ mod tests {
     #[test]
     fn failed_responses_are_never_doubly_faulted() {
         let mut env = Env::new(9);
-        let mut engine = Engine::new();
+        let switch = FaultSwitch::new();
         let plan = SbiFaultPlan::install(
-            &mut engine,
+            &switch,
             &mut env,
             FaultConfig {
                 drop_rate: 1.0,
@@ -252,9 +259,9 @@ mod tests {
     #[test]
     fn counts_track_each_kind() {
         let mut env = Env::new(11);
-        let mut engine = Engine::new();
+        let switch = FaultSwitch::new();
         let plan = SbiFaultPlan::install(
-            &mut engine,
+            &switch,
             &mut env,
             FaultConfig {
                 drop_rate: 0.2,

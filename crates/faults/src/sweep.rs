@@ -27,8 +27,8 @@
 use crate::plan::{FaultConfig, FaultCounts, SbiFaultPlan};
 use shield5g_core::paka::PakaKind;
 use shield5g_crypto::keys::ServingNetworkName;
+use shield5g_mw::{RetryPolicy, RetryStats};
 use shield5g_nf::backend::{decode_he_av_batch, sqn_add, UdmAkaBatchRequest, UdmAkaRequest};
-use shield5g_nf::retry::{RetryPolicy, RetryStats};
 use shield5g_ran::workload::{poisson_registrations, test_supi, WorkloadSpec};
 use shield5g_scale::avcache::{AvCache, AvCacheConfig};
 use shield5g_scale::metrics::{PoolReport, RecoveryStats, RecoveryTracker, RunRecorder};
@@ -275,7 +275,7 @@ pub fn fault_sweep(seed: u64, cfg: &FaultSweepConfig) -> FaultReport {
 
     let mut engine = Engine::new();
     pool.register_on(&mut engine);
-    let plan = SbiFaultPlan::install(&mut engine, &mut env, cfg.sbi);
+    let plan = SbiFaultPlan::install(pool.fault_switch(), &mut env, cfg.sbi);
 
     let mut state = SweepState {
         cache: cfg.cache.map(AvCache::new),
@@ -382,12 +382,12 @@ pub fn fault_sweep(seed: u64, cfg: &FaultSweepConfig) -> FaultReport {
     recovery.record_obs("sweep");
     pool_report.record_obs("faulted");
     {
-        use shield5g_obs::hub as obs;
-        obs::count("faults", "sbi", "drops", sbi.drops);
-        obs::count("faults", "sbi", "delays", sbi.delays);
-        obs::count("faults", "sbi", "errors", sbi.errors);
-        obs::count("faults", "retry", "retransmissions", stats.retries);
-        obs::count("faults", "crash", "reloads", crash_recoveries);
+        use shield5g_obs::{hub as obs, labels};
+        obs::count("faults", "sbi", labels::DROPS, sbi.drops);
+        obs::count("faults", "sbi", labels::DELAYS, sbi.delays);
+        obs::count("faults", "sbi", labels::ERRORS, sbi.errors);
+        obs::count("faults", "retry", labels::RETRANSMISSIONS, stats.retries);
+        obs::count("faults", "crash", labels::RELOADS, crash_recoveries);
     }
     FaultReport {
         recovery,

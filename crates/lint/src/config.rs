@@ -29,6 +29,11 @@ pub struct Config {
     /// crates (rules DT001/DT002): anything here feeds the byte-exact
     /// deterministic simulation trace.
     pub trace_dirs: Vec<String>,
+    /// Path prefixes of NF service crates (rule MW001): code here must
+    /// not construct retriers, consult fault injectors, or manage
+    /// admission queues — those concerns live in the middleware stack
+    /// (`shield5g-mw`) composed at slice/pool construction.
+    pub mw_boundary_dirs: Vec<String>,
     /// Per-crate panic budget (rule PB001), loaded from the checked-in
     /// baseline. Crates not listed have budget zero.
     pub panic_budget: Vec<(String, usize)>,
@@ -98,7 +103,13 @@ impl Config {
                 // default-hasher map in a span/metric path would leak
                 // nondeterminism straight into the artifacts.
                 s("crates/obs/src"),
+                // The middleware stack sits on every endpoint's hot
+                // path: layer hooks run between trace notes, so any
+                // nondeterminism here lands directly in the engine
+                // trace.
+                s("crates/mw/src"),
             ],
+            mw_boundary_dirs: vec![s("crates/nf/src")],
             panic_budget: Vec::new(),
         }
     }

@@ -14,6 +14,9 @@
 //!   maps; the engine's byte-exact trace depends on it.
 //! * **Panic budget** (PB001) — `.unwrap()`/`.expect(` in non-test code
 //!   is capped by a checked-in, ratchet-down baseline.
+//! * **Middleware boundary** (MW001) — NF service crates must not
+//!   construct retriers, consult fault injectors, or manage admission
+//!   queues; those concerns live in the `shield5g-mw` layer stack.
 //!
 //! Findings can be locally suppressed with a
 //! `// shield5g-lint: allow(RULE)` marker on the offending or the
@@ -74,6 +77,7 @@ pub fn run_rules(analyses: &[FileAnalysis], config: &Config) -> Report {
         rules::secret_hygiene::check(analysis, config, &mut findings);
         rules::enclave_boundary::check(analysis, config, &mut findings);
         rules::determinism::check(analysis, config, &mut findings);
+        rules::mw_boundary::check(analysis, config, &mut findings);
     }
     let panic_counts = rules::panic_budget::count(analyses);
     rules::panic_budget::check(&panic_counts, &config.panic_budget, &mut findings);

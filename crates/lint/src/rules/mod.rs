@@ -7,5 +7,6 @@
 
 pub mod determinism;
 pub mod enclave_boundary;
+pub mod mw_boundary;
 pub mod panic_budget;
 pub mod secret_hygiene;

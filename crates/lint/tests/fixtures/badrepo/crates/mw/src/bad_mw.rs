@@ -1,0 +1,15 @@
+//! Seeded violation fixture: a middleware layer reading the wall clock
+//! and keying per-leg state by default hasher. Both must be caught —
+//! `crates/mw/src` is inside the determinism perimeter.
+
+use std::collections::HashMap;
+
+pub struct SloppyLayer {
+    started: HashMap<u64, std::time::Instant>,
+}
+
+impl SloppyLayer {
+    pub fn on_begin(&mut self, leg: u64) {
+        self.started.insert(leg, std::time::Instant::now());
+    }
+}

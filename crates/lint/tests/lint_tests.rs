@@ -103,6 +103,66 @@ fn obs_crate_is_determinism_covered() {
 }
 
 #[test]
+fn mw_crate_is_determinism_covered() {
+    // The middleware stack runs between trace notes on every endpoint's
+    // hot path; it must sit inside the determinism perimeter.
+    let config = Config::repo_default();
+    assert!(
+        config.trace_dirs.iter().any(|d| d == "crates/mw/src"),
+        "crates/mw/src missing from trace_dirs: {:?}",
+        config.trace_dirs
+    );
+    let src = "pub fn jitter() -> u64 {\n    std::collections::hash_map::RandomState::new();\n    u64::from(rand::random::<u32>())\n}\n";
+    let report = run_rules(
+        &[FileAnalysis::from_source("crates/mw/src/sloppy.rs", src)],
+        &config,
+    );
+    assert!(
+        rules_of(&report.findings).contains(&"DT001"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn mw_boundary_fixture_violations_are_caught() {
+    let mut config = Config::default();
+    config.mw_boundary_dirs.push("mw_boundary".into());
+    let report = run_rules(&[fixture("mw_boundary/bad_nf.rs")], &config);
+    let rules = rules_of(&report.findings);
+    assert!(!rules.is_empty());
+    assert!(rules.iter().all(|r| *r == "MW001"), "{:?}", report.findings);
+    // Every escaped concern is flagged: the retrier field, the injector
+    // install + consult, and the in-service admission policy.
+    let messages: Vec<_> = report.findings.iter().map(|f| &f.message).collect();
+    assert!(messages.iter().any(|m| m.contains("`Retrier`")));
+    assert!(messages.iter().any(|m| m.contains("`set_fault_injector`")));
+    assert!(messages.iter().any(|m| m.contains("`FaultInjector`")));
+    assert!(messages.iter().any(|m| m.contains("`AdmissionPolicy`")));
+}
+
+#[test]
+fn nf_crate_is_mw_boundary_covered() {
+    let config = Config::repo_default();
+    assert!(
+        config.mw_boundary_dirs.iter().any(|d| d == "crates/nf/src"),
+        "crates/nf/src missing from mw_boundary_dirs: {:?}",
+        config.mw_boundary_dirs
+    );
+    let src = "pub struct Amf { retrier: Retrier }\n";
+    let report = run_rules(
+        &[FileAnalysis::from_source("crates/nf/src/amf.rs", src)],
+        &config,
+    );
+    assert_eq!(
+        rules_of(&report.findings),
+        vec!["MW001"],
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn panic_budget_fixture_exceeds_baseline() {
     let mut config = Config::default();
     // The fixture has four unwrap/expect sites; allow only one.
@@ -153,6 +213,9 @@ fn cli_exits_nonzero_on_violating_tree() {
     // The seeded obs-crate violation (wall-clock span stamp) is caught
     // too: the observability layer is inside the determinism perimeter.
     assert!(stdout.contains("bad_obs.rs"), "stdout: {stdout}");
+    // And the seeded mw-crate violation: the middleware stack is inside
+    // the determinism perimeter as well.
+    assert!(stdout.contains("bad_mw.rs"), "stdout: {stdout}");
 }
 
 #[test]

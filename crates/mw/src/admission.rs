@@ -1,0 +1,88 @@
+//! [`AdmissionLayer`]: bounded-queue and queueing-deadline shedding,
+//! extracted verbatim from the engine's old per-endpoint bookkeeping.
+
+use crate::stack::Layer;
+use shield5g_obs::hub as obs;
+use shield5g_obs::labels;
+use shield5g_sim::engine::{AdmissionPolicy, AdmissionStats, Gate, LegMeta, SHED_HEADER};
+use shield5g_sim::http::HttpResponse;
+use shield5g_sim::time::SimDuration;
+use shield5g_sim::Env;
+
+/// Enforces an [`AdmissionPolicy`] at the endpoint's door: arrivals
+/// beyond `capacity` are shed immediately with a 503 (`x-sim-shed:
+/// queue-full`, no worker consumed), and admitted requests whose FIFO
+/// wait exceeded `deadline` by the time a worker frees up are shed at
+/// begin (503, `x-sim-shed: deadline`) — the caller's supervision timer
+/// has long expired, serving them would only waste the worker.
+///
+/// Tracks the shed counters and the peak in-flight depth the engine
+/// reports through [`shield5g_sim::engine::Engine::shed_counts`] /
+/// [`shield5g_sim::engine::Engine::depth_peak`]. Claims policies routed
+/// via [`shield5g_sim::engine::Engine::set_policy`].
+#[derive(Debug, Default)]
+pub struct AdmissionLayer {
+    policy: AdmissionPolicy,
+    stats: AdmissionStats,
+}
+
+impl AdmissionLayer {
+    /// A layer enforcing `policy` (the default policy is unbounded — an
+    /// always-admit layer that still tracks depth).
+    #[must_use]
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionLayer {
+            policy,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The currently enforced policy.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+}
+
+impl Layer for AdmissionLayer {
+    fn on_arrive(&mut self, _env: &mut Env, leg: &LegMeta, depth: usize) -> Gate {
+        if let Some(cap) = self.policy.capacity {
+            if depth >= cap {
+                self.stats.shed_full += 1;
+                obs::count(&leg.dest, &leg.path, labels::SHED_QUEUE_FULL, 1);
+                return Gate::Shed {
+                    resp: HttpResponse::error(503, "admission queue full")
+                        .with_header(SHED_HEADER, "queue-full"),
+                    note: "shed-full",
+                };
+            }
+        }
+        Gate::Admit
+    }
+
+    fn on_admitted(&mut self, _env: &mut Env, _leg: &LegMeta, depth: usize) {
+        self.stats.depth_peak = self.stats.depth_peak.max(depth);
+    }
+
+    fn on_begin(&mut self, _env: &mut Env, leg: &LegMeta, waited: SimDuration) -> Gate {
+        if self.policy.deadline.is_some_and(|d| waited > d) {
+            self.stats.shed_deadline += 1;
+            obs::count(&leg.dest, &leg.path, labels::SHED_DEADLINE, 1);
+            return Gate::Shed {
+                resp: HttpResponse::error(503, "admission deadline exceeded")
+                    .with_header(SHED_HEADER, "deadline"),
+                note: "shed-deadline",
+            };
+        }
+        Gate::Admit
+    }
+
+    fn set_admission_policy(&mut self, policy: AdmissionPolicy) -> bool {
+        self.policy = policy;
+        true
+    }
+
+    fn admission_stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}

@@ -1,5 +1,6 @@
-//! SBI supervision retries: capped exponential backoff with
-//! deterministic jitter.
+//! [`RetryLayer`]: SBI supervision retries — capped exponential backoff
+//! with deterministic jitter — replacing the hand-threaded `Retrier`
+//! that used to live inside each NF's continuation plumbing.
 //!
 //! OAI's NFs guard every SBI round trip with a supervision timer (the
 //! NAS T35xx family on the UE side, HTTP client timeouts between NFs).
@@ -8,22 +9,23 @@
 //! *fails fast* once the budget is spent — a registration that cannot
 //! reach its AUSF sheds cleanly instead of hanging forever.
 //!
-//! The mechanism is transparent to the continuation services: a
-//! [`Retrier`] wraps the service's continuation state in a
-//! [`Step::CallOut`], and [`Retrier::intercept`] unwraps it on resume.
-//! A failed-but-retryable response re-issues the stored request after
-//! the backoff (charged on the caller's timeline — the worker is held,
-//! thread-per-request, like every other wait in the model); anything
-//! else hands the original state and response through untouched. With
-//! retries disabled — the default — the wrapper is never created, so
-//! fault-free traces are byte-identical to a build without this module.
+//! As a layer the mechanism is transparent to the service: on the way
+//! out ([`crate::Layer::on_step`]) the layer wraps each `CallOut`'s
+//! continuation state and keeps a clone of the outbound request; on the
+//! way back in ([`crate::Layer::on_response`]) a failed-but-retryable
+//! response waits out the backoff (charged on the caller's timeline —
+//! the worker is held, thread-per-request, like every other wait in the
+//! model) and re-issues the stored request as a fresh `CallOut`;
+//! anything else unwraps and proceeds. With retries disabled — the
+//! default — the wrapper is never created, so fault-free traces are
+//! byte-identical to a stack without this layer.
 //!
 //! All jitter comes from the seeded [`Env`] RNG: same seed, same fault
 //! schedule, same backoff sequence, byte-identical trace.
 
-use crate::sbi::SbiClient;
-use shield5g_sim::engine::{self, Step};
-use shield5g_sim::http::HttpResponse;
+use crate::stack::{Layer, Resume};
+use shield5g_sim::engine::{LegMeta, Step, ERROR_HEADER};
+use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
 use std::any::Any;
@@ -87,7 +89,7 @@ impl RetryPolicy {
     }
 }
 
-/// Counters across every call guarded by one [`Retrier`].
+/// Counters across every call guarded by one [`RetryLayer`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RetryStats {
     /// First attempts (distinct guarded calls).
@@ -118,58 +120,63 @@ pub type RetryStatsHandle = Rc<RefCell<RetryStats>>;
 /// Continuation wrapper carried through the engine for a guarded call.
 struct RetryState {
     dest: String,
-    path: String,
-    body: Vec<u8>,
+    req: HttpRequest,
     attempt: u32,
     inner: Box<dyn Any>,
-}
-
-/// What [`Retrier::intercept`] decided about a resumed response.
-pub enum Outcome {
-    /// A retransmission was issued; yield this step to the engine.
-    Retry(Step),
-    /// Hand the (unwrapped) state and response to the service's own
-    /// resume logic — success, final failure, or an unguarded call.
-    Proceed(Box<dyn Any>, HttpResponse),
-}
-
-/// Per-service retry driver: policy plus shared counters.
-#[derive(Clone, Debug)]
-pub struct Retrier {
-    policy: RetryPolicy,
-    stats: RetryStatsHandle,
-}
-
-impl Default for Retrier {
-    fn default() -> Self {
-        Self::disabled()
-    }
 }
 
 /// Whether a response is worth retransmitting for: transport-level 5xx
 /// (including injected faults and supervision-timeout 504s), but never
 /// a call-loop cut — re-sending into a loop can only loop again.
 fn retryable(resp: &HttpResponse) -> bool {
-    resp.status >= 500 && resp.header(engine::ERROR_HEADER) != Some("loop")
+    resp.status >= 500 && resp.header(ERROR_HEADER) != Some("loop")
 }
 
-impl Retrier {
-    /// A retrier that never retries (the default everywhere).
+/// Callback charging the send-side cost of a retransmission (TLS record,
+/// link transfer) on the caller's timeline before the request is
+/// re-issued. Without one, retransmissions reuse the stored request
+/// as-is — the backoff dominates by orders of magnitude.
+pub type ResendCharge = Box<dyn FnMut(&mut Env, &HttpRequest)>;
+
+/// Guards every `CallOut` the wrapped service emits with the policy's
+/// retransmission budget.
+pub struct RetryLayer {
+    policy: RetryPolicy,
+    stats: RetryStatsHandle,
+    charge: Option<ResendCharge>,
+}
+
+impl std::fmt::Debug for RetryLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryLayer")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats.borrow())
+            .finish()
+    }
+}
+
+impl RetryLayer {
+    /// A layer with `policy`, tracking into a fresh counter set.
     #[must_use]
-    pub fn disabled() -> Self {
-        Retrier {
-            policy: RetryPolicy::disabled(),
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetryLayer {
+            policy,
             stats: Rc::new(RefCell::new(RetryStats::default())),
+            charge: None,
         }
     }
 
-    /// A retrier with `policy`, tracking into a fresh counter set.
+    /// A layer that never retries (pass-through, no wrapping).
     #[must_use]
-    pub fn new(policy: RetryPolicy) -> Self {
-        Retrier {
-            policy,
-            stats: Rc::new(RefCell::new(RetryStats::default())),
-        }
+    pub fn disabled() -> Self {
+        Self::new(RetryPolicy::disabled())
+    }
+
+    /// Adds a per-retransmission send-cost charge.
+    #[must_use]
+    pub fn with_charge(mut self, charge: ResendCharge) -> Self {
+        self.charge = Some(charge);
+        self
     }
 
     /// The active policy.
@@ -189,57 +196,42 @@ impl Retrier {
     pub fn stats_handle(&self) -> RetryStatsHandle {
         self.stats.clone()
     }
+}
 
-    /// Issues a guarded outbound call: charges the send cost via
-    /// `client` and wraps `inner` so [`Retrier::intercept`] can
-    /// retransmit on failure. With retries disabled this is exactly
-    /// `client.send` + `Step::CallOut` — no wrapper, no body clone.
-    pub fn call_out(
-        &self,
-        env: &mut Env,
-        client: &SbiClient,
-        dest: String,
-        path: &str,
-        body: Vec<u8>,
-        inner: Box<dyn Any>,
-    ) -> Step {
+impl Layer for RetryLayer {
+    fn on_step(&mut self, _env: &mut Env, _leg: &LegMeta, step: Step) -> Step {
         if !self.policy.enabled() {
-            let req = client.send(env, path, body);
-            return Step::CallOut {
-                dest,
-                req,
-                state: inner,
-            };
+            return step;
         }
-        self.stats.borrow_mut().calls += 1;
-        let req = client.send(env, path, body.clone());
-        Step::CallOut {
-            dest: dest.clone(),
-            req,
-            state: Box::new(RetryState {
-                dest,
-                path: path.to_owned(),
-                body,
-                attempt: 0,
-                inner,
-            }),
+        match step {
+            Step::CallOut { dest, req, state } => {
+                self.stats.borrow_mut().calls += 1;
+                let wrapped = RetryState {
+                    dest: dest.clone(),
+                    req: req.clone(),
+                    attempt: 0,
+                    inner: state,
+                };
+                Step::CallOut {
+                    dest,
+                    req,
+                    state: Box::new(wrapped),
+                }
+            }
+            reply @ Step::Reply(_) => reply,
         }
     }
 
-    /// First stop in a service's `resume`: if `state` is one of this
-    /// retrier's wrappers and `resp` warrants a retransmission within
-    /// budget, waits out the backoff (on the caller's timeline) and
-    /// re-issues the stored request. Otherwise unwraps and proceeds.
-    pub fn intercept(
-        &self,
+    fn on_response(
+        &mut self,
         env: &mut Env,
-        client: &SbiClient,
+        _leg: &LegMeta,
         state: Box<dyn Any>,
         resp: HttpResponse,
-    ) -> Outcome {
+    ) -> Resume {
         let mut rs = match state.downcast::<RetryState>() {
             Ok(rs) => *rs,
-            Err(other) => return Outcome::Proceed(other, resp),
+            Err(other) => return Resume::Continue(other, resp),
         };
         if retryable(&resp) && rs.attempt < self.policy.max_retries {
             rs.attempt += 1;
@@ -252,11 +244,14 @@ impl Retrier {
                 "retry",
                 format!(
                     "retransmit {} {} (attempt {}/{})",
-                    rs.dest, rs.path, rs.attempt, self.policy.max_retries
+                    rs.dest, rs.req.path, rs.attempt, self.policy.max_retries
                 ),
             );
-            let req = client.send(env, &rs.path, rs.body.clone());
-            return Outcome::Retry(Step::CallOut {
+            if let Some(charge) = &mut self.charge {
+                charge(env, &rs.req);
+            }
+            let req = rs.req.clone();
+            return Resume::Break(Step::CallOut {
                 dest: rs.dest.clone(),
                 req,
                 state: Box::new(rs),
@@ -278,7 +273,7 @@ impl Retrier {
                 stats.exhausted += 1;
             }
         }
-        Outcome::Proceed(rs.inner, resp)
+        Resume::Continue(rs.inner, resp)
     }
 }
 
@@ -290,66 +285,68 @@ mod tests {
         Env::new(42)
     }
 
+    fn leg() -> LegMeta {
+        LegMeta {
+            id: 1,
+            dest: "amf.oai".into(),
+            path: "/p".into(),
+            submitted: shield5g_sim::time::SimTime::from_nanos(0),
+            arrived: shield5g_sim::time::SimTime::from_nanos(0),
+            root: true,
+        }
+    }
+
+    fn callout(body: Vec<u8>, inner: Box<dyn Any>) -> Step {
+        Step::CallOut {
+            dest: "ausf.oai".into(),
+            req: HttpRequest::post("/p", body),
+            state: inner,
+        }
+    }
+
     #[test]
     fn disabled_policy_passes_state_through_unwrapped() {
         let mut env = env();
-        let r = Retrier::disabled();
-        let client = SbiClient::new();
-        let step = r.call_out(
-            &mut env,
-            &client,
-            "ausf.oai".into(),
-            "/p",
-            vec![1, 2],
-            Box::new(7u32),
-        );
+        let mut layer = RetryLayer::disabled();
+        let step = layer.on_step(&mut env, &leg(), callout(vec![1, 2], Box::new(7u32)));
         let Step::CallOut { state, .. } = step else {
             panic!("expected callout");
         };
         // No wrapper: the state is the inner value itself.
         assert_eq!(*state.downcast::<u32>().unwrap(), 7);
-        assert_eq!(r.stats(), RetryStats::default());
+        assert_eq!(layer.stats(), RetryStats::default());
     }
 
     #[test]
     fn foreign_state_proceeds_untouched() {
         let mut env = env();
-        let r = Retrier::new(RetryPolicy::supervision());
-        let client = SbiClient::new();
-        let out = r.intercept(
+        let mut layer = RetryLayer::new(RetryPolicy::supervision());
+        let out = layer.on_response(
             &mut env,
-            &client,
+            &leg(),
             Box::new("not-a-retry-state"),
             HttpResponse::error(504, "x"),
         );
         match out {
-            Outcome::Proceed(state, resp) => {
+            Resume::Continue(state, resp) => {
                 assert!(state.downcast::<&str>().is_ok());
                 assert_eq!(resp.status, 504);
             }
-            Outcome::Retry(_) => panic!("foreign state must not be retried"),
+            Resume::Break(_) => panic!("foreign state must not be retried"),
         }
     }
 
     #[test]
     fn retryable_5xx_is_retransmitted_with_backoff() {
         let mut env = env();
-        let r = Retrier::new(RetryPolicy::supervision());
-        let client = SbiClient::new();
-        let step = r.call_out(
-            &mut env,
-            &client,
-            "ausf.oai".into(),
-            "/p",
-            vec![9],
-            Box::new(1u8),
-        );
+        let mut layer = RetryLayer::new(RetryPolicy::supervision());
+        let step = layer.on_step(&mut env, &leg(), callout(vec![9], Box::new(1u8)));
         let Step::CallOut { state, .. } = step else {
             panic!("expected callout");
         };
         let before = env.clock.now();
-        let out = r.intercept(&mut env, &client, state, HttpResponse::error(504, "drop"));
-        let Outcome::Retry(Step::CallOut { dest, req, .. }) = out else {
+        let out = layer.on_response(&mut env, &leg(), state, HttpResponse::error(504, "drop"));
+        let Resume::Break(Step::CallOut { dest, req, .. }) = out else {
             panic!("expected a retransmission");
         };
         assert_eq!(dest, "ausf.oai");
@@ -357,7 +354,7 @@ mod tests {
         assert_eq!(req.body, vec![9]);
         // The backoff was charged on the caller's timeline.
         assert!(env.clock.now() - before >= SimDuration::from_micros(3_000));
-        assert_eq!(r.stats().retries, 1);
+        assert_eq!(layer.stats().retries, 1);
     }
 
     #[test]
@@ -367,29 +364,28 @@ mod tests {
             max_retries: 2,
             ..RetryPolicy::supervision()
         };
-        let r = Retrier::new(policy);
-        let client = SbiClient::new();
-        let mut step = r.call_out(&mut env, &client, "d".into(), "/p", vec![], Box::new(5i64));
+        let mut layer = RetryLayer::new(policy);
+        let mut step = layer.on_step(&mut env, &leg(), callout(vec![], Box::new(5i64)));
         for _ in 0..2 {
             let Step::CallOut { state, .. } = step else {
                 panic!("expected callout");
             };
-            match r.intercept(&mut env, &client, state, HttpResponse::error(503, "x")) {
-                Outcome::Retry(s) => step = s,
-                Outcome::Proceed(..) => panic!("budget not yet spent"),
+            match layer.on_response(&mut env, &leg(), state, HttpResponse::error(503, "x")) {
+                Resume::Break(s) => step = s,
+                Resume::Continue(..) => panic!("budget not yet spent"),
             }
         }
         let Step::CallOut { state, .. } = step else {
             panic!("expected callout");
         };
-        match r.intercept(&mut env, &client, state, HttpResponse::error(503, "x")) {
-            Outcome::Proceed(inner, resp) => {
+        match layer.on_response(&mut env, &leg(), state, HttpResponse::error(503, "x")) {
+            Resume::Continue(inner, resp) => {
                 assert_eq!(*inner.downcast::<i64>().unwrap(), 5);
                 assert_eq!(resp.status, 503);
             }
-            Outcome::Retry(_) => panic!("budget exceeded"),
+            Resume::Break(_) => panic!("budget exceeded"),
         }
-        let s = r.stats();
+        let s = layer.stats();
         assert_eq!((s.calls, s.retries, s.exhausted, s.recovered), (1, 2, 1, 0));
         assert!((s.amplification() - 3.0).abs() < 1e-9);
     }
@@ -397,38 +393,36 @@ mod tests {
     #[test]
     fn success_after_retry_counts_as_recovered() {
         let mut env = env();
-        let r = Retrier::new(RetryPolicy::supervision());
-        let client = SbiClient::new();
-        let step = r.call_out(&mut env, &client, "d".into(), "/p", vec![], Box::new(0u8));
+        let mut layer = RetryLayer::new(RetryPolicy::supervision());
+        let step = layer.on_step(&mut env, &leg(), callout(vec![], Box::new(0u8)));
         let Step::CallOut { state, .. } = step else {
             panic!("expected callout");
         };
-        let Outcome::Retry(Step::CallOut { state, .. }) =
-            r.intercept(&mut env, &client, state, HttpResponse::error(502, "x"))
+        let Resume::Break(Step::CallOut { state, .. }) =
+            layer.on_response(&mut env, &leg(), state, HttpResponse::error(502, "x"))
         else {
             panic!("expected a retransmission");
         };
-        match r.intercept(&mut env, &client, state, HttpResponse::ok(vec![1])) {
-            Outcome::Proceed(_, resp) => assert!(resp.is_success()),
-            Outcome::Retry(_) => panic!("success must not retry"),
+        match layer.on_response(&mut env, &leg(), state, HttpResponse::ok(vec![1])) {
+            Resume::Continue(_, resp) => assert!(resp.is_success()),
+            Resume::Break(_) => panic!("success must not retry"),
         }
-        let s = r.stats();
+        let s = layer.stats();
         assert_eq!((s.recovered, s.exhausted), (1, 0));
     }
 
     #[test]
     fn call_loops_are_never_retried() {
         let mut env = env();
-        let r = Retrier::new(RetryPolicy::supervision());
-        let client = SbiClient::new();
-        let step = r.call_out(&mut env, &client, "d".into(), "/p", vec![], Box::new(0u8));
+        let mut layer = RetryLayer::new(RetryPolicy::supervision());
+        let step = layer.on_step(&mut env, &leg(), callout(vec![], Box::new(0u8)));
         let Step::CallOut { state, .. } = step else {
             panic!("expected callout");
         };
-        let resp = HttpResponse::error(508, "loop").with_header(engine::ERROR_HEADER, "loop");
-        match r.intercept(&mut env, &client, state, resp) {
-            Outcome::Proceed(_, resp) => assert_eq!(resp.status, 508),
-            Outcome::Retry(_) => panic!("loops must fail immediately"),
+        let resp = HttpResponse::error(508, "loop").with_header(ERROR_HEADER, "loop");
+        match layer.on_response(&mut env, &leg(), state, resp) {
+            Resume::Continue(_, resp) => assert_eq!(resp.status, 508),
+            Resume::Break(_) => panic!("loops must fail immediately"),
         }
     }
 
@@ -445,24 +439,44 @@ mod tests {
     fn same_seed_same_backoff_sequence() {
         let run = || {
             let mut env = Env::new(77);
-            let r = Retrier::new(RetryPolicy::supervision());
-            let client = SbiClient::new();
+            let mut layer = RetryLayer::new(RetryPolicy::supervision());
             let mut times = Vec::new();
-            let mut step = r.call_out(&mut env, &client, "d".into(), "/p", vec![], Box::new(0u8));
+            let mut step = layer.on_step(&mut env, &leg(), callout(vec![], Box::new(0u8)));
             for _ in 0..3 {
                 let Step::CallOut { state, .. } = step else {
                     panic!("expected callout");
                 };
-                match r.intercept(&mut env, &client, state, HttpResponse::error(504, "x")) {
-                    Outcome::Retry(s) => {
+                match layer.on_response(&mut env, &leg(), state, HttpResponse::error(504, "x")) {
+                    Resume::Break(s) => {
                         times.push(env.clock.now());
                         step = s;
                     }
-                    Outcome::Proceed(..) => break,
+                    Resume::Continue(..) => break,
                 }
             }
             times
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn resend_charge_runs_per_retransmission() {
+        let mut env = env();
+        let charged = Rc::new(RefCell::new(0u32));
+        let seen = charged.clone();
+        let mut layer =
+            RetryLayer::new(RetryPolicy::supervision()).with_charge(Box::new(move |_env, _req| {
+                *seen.borrow_mut() += 1;
+            }));
+        let step = layer.on_step(&mut env, &leg(), callout(vec![], Box::new(0u8)));
+        let Step::CallOut { state, .. } = step else {
+            panic!("expected callout");
+        };
+        let Resume::Break(_) =
+            layer.on_response(&mut env, &leg(), state, HttpResponse::error(504, "x"))
+        else {
+            panic!("expected a retransmission");
+        };
+        assert_eq!(*charged.borrow(), 1);
     }
 }

@@ -10,7 +10,6 @@
 use crate::backend::{AmfAkaBackend, AmfAkaRequest, BackendOp};
 use crate::messages::{AuthFailureCause, NasDownlink, NasUplink, Ngap, UeIdentity};
 use crate::nas_security::{NasSecurityContext, ProtectedNas, CIPHER_ALG_AES, INTEGRITY_ALG_HMAC};
-use crate::retry::{self, Retrier};
 use crate::sbi::{
     AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse,
     CreateSessionRequest, CreateSessionResponse, ResyncRequest, SbiClient,
@@ -19,7 +18,7 @@ use crate::NfError;
 use shield5g_crypto::ident::Guti;
 use shield5g_crypto::keys::derive_hxres_star;
 use shield5g_crypto::sqn::Auts;
-use shield5g_sim::engine::{EngineService, Step};
+use shield5g_sim::engine::{EngineService, LegMeta, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
@@ -67,7 +66,6 @@ enum UeState {
 /// The AMF service.
 pub struct AmfService {
     client: SbiClient,
-    retrier: Retrier,
     ausf_addr: String,
     smf_addr: String,
     backend: Box<dyn AmfAkaBackend>,
@@ -104,7 +102,6 @@ impl AmfService {
     ) -> Self {
         AmfService {
             client,
-            retrier: Retrier::disabled(),
             ausf_addr: ausf_addr.into(),
             smf_addr: smf_addr.into(),
             backend,
@@ -126,17 +123,19 @@ impl AmfService {
         self.registrations_completed
     }
 
-    /// Installs the supervision retrier guarding this AMF's outbound SBI
-    /// calls (disabled by default — behaviour and traces are unchanged
-    /// until a fault harness turns it on).
-    pub fn set_retrier(&mut self, retrier: Retrier) {
-        self.retrier = retrier;
-    }
-
-    /// The active retrier (counters live behind its shared handle).
-    #[must_use]
-    pub fn retrier(&self) -> &Retrier {
-        &self.retrier
+    /// Charges the SBI send cost and yields the call to the engine.
+    /// Supervision retries live in the middleware stack
+    /// (`shield5g_mw::RetryLayer`), not in the NF.
+    fn call_out(
+        &self,
+        env: &mut Env,
+        dest: String,
+        path: &str,
+        body: Vec<u8>,
+        state: Box<dyn Any>,
+    ) -> Step {
+        let req = self.client.send(env, path, body);
+        Step::CallOut { dest, req, state }
     }
 
     /// Completed deregistrations.
@@ -193,9 +192,8 @@ impl AmfService {
             snn_mcc: self.serving_mcc.clone(),
             snn_mnc: self.serving_mnc.clone(),
         };
-        Ok(self.retrier.call_out(
+        Ok(self.call_out(
             env,
-            &self.client,
             self.ausf_addr.clone(),
             "/nausf-auth/authenticate",
             req.encode(),
@@ -240,9 +238,8 @@ impl AmfService {
             auth_ctx_id,
             res_star,
         };
-        Ok(self.retrier.call_out(
+        Ok(self.call_out(
             env,
-            &self.client,
             self.ausf_addr.clone(),
             "/nausf-auth/confirm",
             confirm.encode(),
@@ -316,9 +313,8 @@ impl AmfService {
                         snn_mcc: self.serving_mcc.clone(),
                         snn_mnc: self.serving_mnc.clone(),
                     };
-                    return Ok(self.retrier.call_out(
+                    return Ok(self.call_out(
                         env,
-                        &self.client,
                         crate::addr::UDM.to_owned(),
                         "/nudm-ueau/generate-auth-data",
                         req.encode(),
@@ -353,9 +349,8 @@ impl AmfService {
             rand,
             auts: auts.clone(),
         };
-        Ok(self.retrier.call_out(
+        Ok(self.call_out(
             env,
-            &self.client,
             self.ausf_addr.clone(),
             "/nausf-auth/resync",
             resync.encode(),
@@ -412,7 +407,12 @@ impl AmfService {
                 match NasUplink::decode(&plain)? {
                     NasUplink::RegistrationComplete => {
                         self.registrations_completed += 1;
-                        shield5g_obs::hub::count("amf", "/ngap", "registrations_completed", 1);
+                        shield5g_obs::hub::count(
+                            "amf",
+                            "/ngap",
+                            shield5g_obs::labels::REGISTRATIONS_COMPLETED,
+                            1,
+                        );
                         env.log.record(
                             env.clock.now(),
                             "aka",
@@ -443,7 +443,12 @@ impl AmfService {
                         // tombstone before `finish_ngap` clears it.
                         self.guti_to_supi.remove(&guti.tmsi);
                         self.deregistrations += 1;
-                        shield5g_obs::hub::count("amf", "/ngap", "deregistrations", 1);
+                        shield5g_obs::hub::count(
+                            "amf",
+                            "/ngap",
+                            shield5g_obs::labels::DEREGISTRATIONS,
+                            1,
+                        );
                         self.pending_teardown.insert(ran_ue_id);
                         env.log.record(
                             env.clock.now(),
@@ -465,9 +470,8 @@ impl AmfService {
                                 guti,
                             },
                         );
-                        Ok(self.retrier.call_out(
+                        Ok(self.call_out(
                             env,
-                            &self.client,
                             self.smf_addr.clone(),
                             "/nsmf-pdusession/create",
                             CreateSessionRequest {
@@ -725,7 +729,7 @@ enum AmfFlow {
 }
 
 impl EngineService for AmfService {
-    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
+    fn start(&mut self, env: &mut Env, _leg: &LegMeta, req: HttpRequest) -> Step {
         if req.path != "/ngap" {
             return Step::Reply(HttpResponse::error(
                 404,
@@ -741,13 +745,13 @@ impl EngineService for AmfService {
         }
     }
 
-    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
-        // Supervision retries come first: a retryable failure within
-        // budget retransmits before the flow ever sees the response.
-        let (state, resp) = match self.retrier.intercept(env, &self.client, state, resp) {
-            retry::Outcome::Retry(step) => return step,
-            retry::Outcome::Proceed(state, resp) => (state, resp),
-        };
+    fn resume(
+        &mut self,
+        env: &mut Env,
+        _leg: &LegMeta,
+        state: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Step {
         let flow = match state.downcast::<AmfFlow>() {
             Ok(f) => *f,
             Err(_) => return Step::Reply(HttpResponse::error(500, "amf: foreign state")),
@@ -781,10 +785,21 @@ mod tests {
         )
     }
 
+    fn leg() -> LegMeta {
+        LegMeta {
+            id: 0,
+            dest: "amf.oai".into(),
+            path: "/ngap".into(),
+            submitted: shield5g_sim::time::SimTime::from_nanos(0),
+            arrived: shield5g_sim::time::SimTime::from_nanos(0),
+            root: true,
+        }
+    }
+
     /// Runs a request straight into the service (no engine) and expects it
     /// to finish without yielding a downstream call.
     fn reply(amf: &mut AmfService, env: &mut Env, req: HttpRequest) -> HttpResponse {
-        match amf.start(env, req) {
+        match amf.start(env, &leg(), req) {
             Step::Reply(resp) => resp,
             Step::CallOut { dest, .. } => panic!("expected a reply, got a call to {dest}"),
         }

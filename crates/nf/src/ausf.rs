@@ -7,7 +7,6 @@
 //! (TS 33.501 §6.1.3.2 step 10/11).
 
 use crate::backend::{decode_he_av, AusfAkaBackend, AusfAkaRequest, BackendOp};
-use crate::retry::{self, Retrier};
 use crate::sbi::{
     AuthenticateRequest, AuthenticateResponse, ConfirmRequest, ConfirmResponse, ResyncRequest,
     SbiClient, UdmAuthGetRequest, UdmAuthGetResponse,
@@ -15,7 +14,7 @@ use crate::sbi::{
 use crate::NfError;
 use shield5g_crypto::keys::{HeAv, SeAv, ServingNetworkName};
 use shield5g_crypto::secret::SecretBytes;
-use shield5g_sim::engine::{EngineService, Step};
+use shield5g_sim::engine::{EngineService, LegMeta, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
@@ -35,7 +34,6 @@ struct AuthContext {
 /// The AUSF service.
 pub struct AusfService {
     client: SbiClient,
-    retrier: Retrier,
     udm_addr: String,
     backend: Box<dyn AusfAkaBackend>,
     contexts: BTreeMap<u64, AuthContext>,
@@ -61,7 +59,6 @@ impl AusfService {
     ) -> Self {
         AusfService {
             client,
-            retrier: Retrier::disabled(),
             udm_addr: udm_addr.into(),
             backend,
             contexts: BTreeMap::new(),
@@ -73,18 +70,6 @@ impl AusfService {
     #[must_use]
     pub fn pending_contexts(&self) -> usize {
         self.contexts.len()
-    }
-
-    /// Installs the supervision retrier guarding this AUSF's outbound
-    /// SBI calls (disabled by default).
-    pub fn set_retrier(&mut self, retrier: Retrier) {
-        self.retrier = retrier;
-    }
-
-    /// The active retrier.
-    #[must_use]
-    pub fn retrier(&self) -> &Retrier {
-        &self.retrier
     }
 
     /// Error mapping shared by the authenticate and resync handler paths.
@@ -116,7 +101,12 @@ impl AusfService {
                 kseaf,
             },
         );
-        shield5g_obs::hub::count("ausf", "/nausf-auth/authenticate", "se_av_issued", 1);
+        shield5g_obs::hub::count(
+            "ausf",
+            "/nausf-auth/authenticate",
+            shield5g_obs::labels::SE_AV_ISSUED,
+            1,
+        );
         env.log.record(
             env.clock.now(),
             "aka",
@@ -142,7 +132,12 @@ impl AusfService {
             NfError::Protocol(format!("unknown auth context {}", req.auth_ctx_id))
         })?;
         if shield5g_crypto::ct_eq(&ctx.xres_star, &req.res_star) {
-            shield5g_obs::hub::count("ausf", "/nausf-auth/confirm", "res_star_confirmed", 1);
+            shield5g_obs::hub::count(
+                "ausf",
+                "/nausf-auth/confirm",
+                shield5g_obs::labels::RES_STAR_CONFIRMED,
+                1,
+            );
             env.log.record(
                 env.clock.now(),
                 "aka",
@@ -154,7 +149,12 @@ impl AusfService {
                 kseaf: ctx.kseaf,
             })
         } else {
-            shield5g_obs::hub::count("ausf", "/nausf-auth/confirm", "res_star_rejected", 1);
+            shield5g_obs::hub::count(
+                "ausf",
+                "/nausf-auth/confirm",
+                shield5g_obs::labels::RES_STAR_REJECTED,
+                1,
+            );
             env.log
                 .record(env.clock.now(), "aka", "AUSF rejected RES*".to_string());
             Ok(ConfirmResponse {
@@ -182,7 +182,7 @@ enum AusfFlow {
 }
 
 impl EngineService for AusfService {
-    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
+    fn start(&mut self, env: &mut Env, _leg: &LegMeta, req: HttpRequest) -> Step {
         match req.path.as_str() {
             "/nausf-auth/authenticate" => {
                 env.clock
@@ -199,14 +199,16 @@ impl EngineService for AusfService {
                     snn_mnc: decoded.snn_mnc.clone(),
                 };
                 let snn = ServingNetworkName::new(&decoded.snn_mcc, &decoded.snn_mnc);
-                self.retrier.call_out(
-                    env,
-                    &self.client,
-                    self.udm_addr.clone(),
-                    "/nudm-ueau/generate-auth-data",
-                    udm_req.encode(),
-                    Box::new(AusfFlow::AwaitUdm { snn }),
-                )
+                {
+                    let req =
+                        self.client
+                            .send(env, "/nudm-ueau/generate-auth-data", udm_req.encode());
+                    Step::CallOut {
+                        dest: self.udm_addr.clone(),
+                        req,
+                        state: Box::new(AusfFlow::AwaitUdm { snn }),
+                    }
+                }
             }
             "/nausf-auth/confirm" => {
                 match ConfirmRequest::decode(&req.body).and_then(|r| self.confirm(env, &r)) {
@@ -218,14 +220,14 @@ impl EngineService for AusfService {
                 env.clock
                     .advance(SimDuration::from_nanos(AUSF_HANDLER_NANOS / 2));
                 match ResyncRequest::decode(&req.body) {
-                    Ok(decoded) => self.retrier.call_out(
-                        env,
-                        &self.client,
-                        self.udm_addr.clone(),
-                        "/nudm-ueau/resync",
-                        decoded.encode(),
-                        Box::new(AusfFlow::AwaitUdmResync),
-                    ),
+                    Ok(decoded) => {
+                        let req = self.client.send(env, "/nudm-ueau/resync", decoded.encode());
+                        Step::CallOut {
+                            dest: self.udm_addr.clone(),
+                            req,
+                            state: Box::new(AusfFlow::AwaitUdmResync),
+                        }
+                    }
                     Err(e) => Step::Reply(Self::upstream_error(e)),
                 }
             }
@@ -233,12 +235,13 @@ impl EngineService for AusfService {
         }
     }
 
-    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
-        // Supervision retries come first (see `crate::retry`).
-        let (state, resp) = match self.retrier.intercept(env, &self.client, state, resp) {
-            retry::Outcome::Retry(step) => return step,
-            retry::Outcome::Proceed(state, resp) => (state, resp),
-        };
+    fn resume(
+        &mut self,
+        env: &mut Env,
+        _leg: &LegMeta,
+        state: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Step {
         let flow = match state.downcast::<AusfFlow>() {
             Ok(f) => *f,
             Err(_) => return Step::Reply(HttpResponse::error(500, "ausf: foreign state")),

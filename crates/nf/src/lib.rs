@@ -26,7 +26,6 @@ pub mod backend;
 pub mod messages;
 pub mod nas_security;
 pub mod nrf;
-pub mod retry;
 pub mod sbi;
 pub mod smf;
 pub mod udm;

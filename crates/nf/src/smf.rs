@@ -5,7 +5,7 @@
 use crate::sbi::{CreateSessionRequest, CreateSessionResponse, SbiClient};
 use crate::NfError;
 use shield5g_sim::codec::{Reader, Writer};
-use shield5g_sim::engine::{EngineService, Step};
+use shield5g_sim::engine::{EngineService, LegMeta, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
@@ -141,7 +141,7 @@ enum SmfFlow {
 }
 
 impl EngineService for SmfService {
-    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
+    fn start(&mut self, env: &mut Env, _leg: &LegMeta, req: HttpRequest) -> Step {
         match req.path.as_str() {
             "/nsmf-pdusession/create" => match CreateSessionRequest::decode(&req.body) {
                 Ok(decoded) => self.start_create(env, &decoded),
@@ -151,7 +151,13 @@ impl EngineService for SmfService {
         }
     }
 
-    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+    fn resume(
+        &mut self,
+        env: &mut Env,
+        _leg: &LegMeta,
+        state: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Step {
         let SmfFlow::AwaitUpf { session } = match state.downcast::<SmfFlow>() {
             Ok(f) => *f,
             Err(_) => return Step::Reply(HttpResponse::error(500, "smf: foreign state")),

@@ -15,7 +15,7 @@ use crate::sbi::{
 use crate::NfError;
 use shield5g_crypto::ecies::HomeNetworkKeyPair;
 use shield5g_crypto::keys::ServingNetworkName;
-use shield5g_sim::engine::{EngineService, Step};
+use shield5g_sim::engine::{EngineService, LegMeta, Step};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::time::SimDuration;
 use shield5g_sim::Env;
@@ -132,7 +132,12 @@ impl UdmService {
     }
 
     fn finish_av(&mut self, env: &mut Env, supi: String, av: &shield5g_crypto::keys::HeAv) -> Step {
-        shield5g_obs::hub::count("udm", "/nudm-ueau", "he_av_generated", 1);
+        shield5g_obs::hub::count(
+            "udm",
+            "/nudm-ueau",
+            shield5g_obs::labels::HE_AV_GENERATED,
+            1,
+        );
         env.log.record(
             env.clock.now(),
             "aka",
@@ -219,7 +224,7 @@ enum UdmFlow {
 }
 
 impl EngineService for UdmService {
-    fn start(&mut self, env: &mut Env, req: HttpRequest) -> Step {
+    fn start(&mut self, env: &mut Env, _leg: &LegMeta, req: HttpRequest) -> Step {
         match req.path.as_str() {
             "/nudm-ueau/generate-auth-data" => {
                 env.clock
@@ -255,7 +260,13 @@ impl EngineService for UdmService {
         }
     }
 
-    fn resume(&mut self, env: &mut Env, state: Box<dyn Any>, resp: HttpResponse) -> Step {
+    fn resume(
+        &mut self,
+        env: &mut Env,
+        _leg: &LegMeta,
+        state: Box<dyn Any>,
+        resp: HttpResponse,
+    ) -> Step {
         let flow = match state.downcast::<UdmFlow>() {
             Ok(f) => *f,
             Err(_) => return Step::Reply(HttpResponse::error(500, "udm: foreign state")),

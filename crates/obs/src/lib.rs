@@ -17,6 +17,9 @@
 //!   is installed every instrumentation site is a no-op, so obs-disabled
 //!   runs are byte-identical to obs-enabled runs — the
 //!   **zero-perturbation guarantee**, gated by `tests/determinism.rs`.
+//! * [`labels`] — the closed registry of series label constants every
+//!   instrumentation site draws from (typo'd inline labels are caught by
+//!   a membership test over emitted keys).
 //! * [`export`] — Prometheus text exposition, JSONL span/metric dumps,
 //!   and the `BENCH_*.json` perf-point emitter the bench harnesses use
 //!   to record a machine-readable trajectory per PR.
@@ -31,6 +34,7 @@
 
 pub mod export;
 pub mod hub;
+pub mod labels;
 pub mod metrics;
 pub mod span;
 

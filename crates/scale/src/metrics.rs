@@ -96,40 +96,50 @@ impl PoolReport {
     /// shed counts per configuration point. A no-op when observability is
     /// off.
     pub fn record_obs(&self, label: &str) {
-        use shield5g_obs::hub as obs;
+        use shield5g_obs::{hub as obs, labels};
         if !obs::is_active() {
             return;
         }
-        obs::count("pool", label, "arrivals", self.arrivals);
-        obs::count("pool", label, "served", self.served);
-        obs::count("pool", label, "shed", self.shed);
-        obs::gauge("pool", label, "replicas", f64::from(self.replicas));
-        obs::gauge("pool", label, "offered_per_sec", self.offered_per_sec);
-        obs::gauge("pool", label, "throughput_per_sec", self.throughput_per_sec);
-        obs::gauge("pool", label, "eenter_per_served", self.eenter_per_served());
+        obs::count("pool", label, labels::ARRIVALS, self.arrivals);
+        obs::count("pool", label, labels::SERVED, self.served);
+        obs::count("pool", label, labels::SHED, self.shed);
+        obs::gauge("pool", label, labels::REPLICAS, f64::from(self.replicas));
+        obs::gauge("pool", label, labels::OFFERED_PER_SEC, self.offered_per_sec);
         obs::gauge(
             "pool",
             label,
-            "response_p50_ns",
+            labels::THROUGHPUT_PER_SEC,
+            self.throughput_per_sec,
+        );
+        obs::gauge(
+            "pool",
+            label,
+            labels::EENTER_PER_SERVED,
+            self.eenter_per_served(),
+        );
+        obs::gauge(
+            "pool",
+            label,
+            labels::RESPONSE_P50_NS,
             self.response.median.as_nanos() as f64,
         );
         obs::gauge(
             "pool",
             label,
-            "response_p95_ns",
+            labels::RESPONSE_P95_NS,
             self.response.p95.as_nanos() as f64,
         );
         obs::gauge(
             "pool",
             label,
-            "queued_p50_ns",
+            labels::QUEUED_P50_NS,
             self.queued.median.as_nanos() as f64,
         );
         for r in &self.per_replica {
             let ep = format!("{label}/r{}", r.replica);
-            obs::count("pool", &ep, "served", r.served);
-            obs::count("pool", &ep, "shed", r.shed);
-            obs::gauge_max("pool", &ep, "depth_peak", r.depth_peak as f64);
+            obs::count("pool", &ep, labels::SERVED, r.served);
+            obs::count("pool", &ep, labels::SHED, r.shed);
+            obs::gauge_max("pool", &ep, labels::DEPTH_PEAK, r.depth_peak as f64);
         }
     }
 }
@@ -269,24 +279,34 @@ impl RecoveryStats {
     /// retry amplification per sweep point. A no-op when observability is
     /// off.
     pub fn record_obs(&self, label: &str) {
-        use shield5g_obs::hub as obs;
+        use shield5g_obs::{hub as obs, labels};
         if !obs::is_active() {
             return;
         }
-        obs::count("faults", label, "injected", self.faults);
-        obs::count("faults", label, "failed", self.failed);
-        obs::gauge("faults", label, "mttr_ns", self.mttr.as_nanos() as f64);
+        obs::count("faults", label, labels::INJECTED, self.faults);
+        obs::count("faults", label, labels::FAILED, self.failed);
         obs::gauge(
             "faults",
             label,
-            "mttr_max_ns",
+            labels::MTTR_NS,
+            self.mttr.as_nanos() as f64,
+        );
+        obs::gauge(
+            "faults",
+            label,
+            labels::MTTR_MAX_NS,
             self.mttr_max.as_nanos() as f64,
         );
-        obs::gauge("faults", label, "goodput_per_sec", self.goodput_per_sec);
         obs::gauge(
             "faults",
             label,
-            "retry_amplification",
+            labels::GOODPUT_PER_SEC,
+            self.goodput_per_sec,
+        );
+        obs::gauge(
+            "faults",
+            label,
+            labels::RETRY_AMPLIFICATION,
             self.retry_amplification,
         );
     }

@@ -19,6 +19,7 @@ use shield5g_hmee::counters::SgxCounters;
 use shield5g_hmee::platform::SgxPlatform;
 use shield5g_infra::host::Host;
 use shield5g_infra::image::Registry;
+use shield5g_mw::{AdmissionLayer, FaultLayer, FaultSwitch, ObsCoreHandle, ObsLayer, Stack};
 use shield5g_sim::engine::{AdmissionPolicy, Engine, FAULT_HEADER};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::service::{service_handle, Service};
@@ -212,6 +213,12 @@ pub struct EnclavePool {
     /// Subscriber keys provisioned so far — replayed into newly spawned
     /// replicas so standbys can serve any routed SUPI.
     provisioned: Vec<(String, [u8; 16])>,
+    /// Span table shared by every replica endpoint's [`ObsLayer`].
+    obs_core: ObsCoreHandle,
+    /// Arms/disarms fault injection across every replica endpoint at
+    /// once (fault plans are installed per experiment, after stacks are
+    /// built).
+    fault_switch: FaultSwitch,
 }
 
 impl std::fmt::Debug for EnclavePool {
@@ -241,6 +248,8 @@ impl EnclavePool {
             ring: HashRing::new(cfg.vnodes),
             next_id: 0,
             provisioned: Vec::new(),
+            obs_core: ObsLayer::core(),
+            fault_switch: FaultSwitch::new(),
         };
         for _ in 0..cfg.replicas {
             let id = pool.spawn_replica(env);
@@ -332,22 +341,29 @@ impl EnclavePool {
             return;
         }
         let workers = replica.module.borrow().app_threads();
-        engine.register(
-            addr.clone(),
-            workers,
-            Engine::leaf(service_handle(ReplicaService {
-                module: replica.module.clone(),
-                served: replica.served.clone(),
-                dead: replica.dead.clone(),
-            })),
-        );
-        engine.set_policy(
-            &addr,
-            AdmissionPolicy {
-                capacity: Some(self.cfg.queue.capacity),
-                deadline: Some(self.cfg.queue.deadline),
-            },
-        );
+        // Canonical layer order (outermost first): Obs sees every
+        // arrival including the ones Admission sheds; Fault only decides
+        // fates for legs that were admitted.
+        let stack = Stack::new(Engine::leaf(service_handle(ReplicaService {
+            module: replica.module.clone(),
+            served: replica.served.clone(),
+            dead: replica.dead.clone(),
+        })))
+        .with(ObsLayer::new(self.obs_core.clone()))
+        .with(AdmissionLayer::new(AdmissionPolicy {
+            capacity: Some(self.cfg.queue.capacity),
+            deadline: Some(self.cfg.queue.deadline),
+        }))
+        .with(FaultLayer::new(self.fault_switch.clone()));
+        engine.register(addr.clone(), workers, stack.into_handle());
+    }
+
+    /// The shared switch arming fault injection on every replica
+    /// endpoint registered by this pool (see
+    /// [`shield5g_mw::FaultSwitch`]).
+    #[must_use]
+    pub fn fault_switch(&self) -> &FaultSwitch {
+        &self.fault_switch
     }
 
     /// Copies per-endpoint shed counters and depth peaks from a finished

@@ -66,6 +66,7 @@ pub use shield5g_faults as faults;
 pub use shield5g_hmee as hmee;
 pub use shield5g_infra as infra;
 pub use shield5g_libos as libos;
+pub use shield5g_mw as mw;
 pub use shield5g_nf as nf;
 pub use shield5g_obs as obs;
 pub use shield5g_ran as ran;

@@ -89,6 +89,40 @@ fn same_seed_byte_identical_engine_event_log() {
 }
 
 #[test]
+fn engine_trace_matches_pre_refactor_golden() {
+    // The refactor gate for the middleware extraction: the same-seed,
+    // fault-rate-0, obs-off SGX registration trace must stay byte-for-
+    // byte what the pre-refactor engine produced. The golden file was
+    // generated from the monolithic engine (admission + faults + obs
+    // inlined in the scheduler); regenerate only for an intentional
+    // trace-format change:
+    //   SHIELD5G_REGEN_GOLDEN=1 cargo test engine_trace_matches
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/engine_trace_seed300.txt");
+    let trace = engine_trace_of(300).join("\n") + "\n";
+    if std::env::var_os("SHIELD5G_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &trace).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden trace present");
+    assert!(
+        golden == trace,
+        "engine trace diverged from the pre-refactor golden \
+         (first differing line: {:?})",
+        golden
+            .lines()
+            .zip(trace.lines())
+            .find(|(g, t)| g != t)
+            .map(|(g, t)| format!("golden `{g}` vs live `{t}`"))
+            .unwrap_or_else(|| format!(
+                "length {} vs {}",
+                golden.lines().count(),
+                trace.lines().count()
+            ))
+    );
+}
+
+#[test]
 fn different_seed_diverging_engine_event_log() {
     // A different seed shifts RANDs and jitter, which moves event
     // timestamps — the logs must not coincide.
@@ -108,11 +142,8 @@ fn faulted_trace_of(seed: u64, cfg: shield5g::faults::FaultConfig) -> Vec<String
         },
     )
     .unwrap();
-    {
-        let mut engine = slice.engine.borrow_mut();
-        engine.set_trace(true);
-        let _ = shield5g::faults::SbiFaultPlan::install(&mut engine, &mut env, cfg);
-    }
+    slice.engine.borrow_mut().set_trace(true);
+    let _ = shield5g::faults::SbiFaultPlan::install(&slice.fault_switch, &mut env, cfg);
     let mut sim = GnbSim::new(&slice);
     sim.register_ues(&mut env, &slice, 2).unwrap();
     let trace = slice.engine.borrow().trace().to_vec();

@@ -175,3 +175,79 @@ fn registry_sees_the_whole_registration_pipeline() {
         assert_eq!(setup.count(), 1);
     });
 }
+
+#[test]
+fn label_registry_covers_every_emitted_key() {
+    // Satellite gate for `shield5g_obs::labels`: every metric key any
+    // subsystem emits must use a label from the central registry, so a
+    // typo'd or ad-hoc label in an NF or harness fails here instead of
+    // silently forking a new time series. The run mix below (a full SGX
+    // registration, an overloaded pool sweep, and a faulted sweep with
+    // retries) exercises the engine, NF, enclave, pool, and faults
+    // label families together.
+    use shield5g::faults::{fault_sweep, FaultConfig, FaultSweepConfig};
+    use shield5g::obs::labels;
+    use shield5g::scale::harness::{pool_sweep, SweepConfig};
+    use shield5g::scale::queue::QueueConfig;
+    let recorder = ObsHandle::new();
+    {
+        let _scope = hub::scoped(&recorder);
+        let mut env = Env::new(705);
+        env.log.disable();
+        let slice = build_slice(
+            &mut env,
+            &SliceConfig {
+                deployment: AkaDeployment::Sgx(SgxConfig::default()),
+                subscriber_count: 1,
+            },
+        )
+        .expect("slice builds");
+        let mut sim = GnbSim::new(&slice);
+        sim.register_ues(&mut env, &slice, 1).expect("registration");
+        let _ = pool_sweep(
+            706,
+            &SweepConfig {
+                replicas: 1,
+                offered_per_sec: 5_000.0,
+                arrivals: 20,
+                ues: 6,
+                queue: QueueConfig::default(),
+                cache: None,
+            },
+        );
+        let _ = fault_sweep(
+            707,
+            &FaultSweepConfig {
+                sbi: FaultConfig {
+                    drop_rate: 0.1,
+                    delay_rate: 0.2,
+                    error_rate: 0.1,
+                    ..FaultConfig::default()
+                },
+                ..FaultSweepConfig::default()
+            },
+        );
+    }
+    recorder.with(|o| {
+        let mut seen = std::collections::BTreeSet::new();
+        for (k, _) in o.registry.counters() {
+            seen.insert(k.label.clone());
+        }
+        for (k, _) in o.registry.gauges() {
+            seen.insert(k.label.clone());
+        }
+        for (k, _) in o.registry.histograms() {
+            seen.insert(k.label.clone());
+        }
+        assert!(
+            seen.len() > 20,
+            "run mix emitted suspiciously few distinct labels: {seen:?}"
+        );
+        for label in &seen {
+            assert!(
+                labels::is_registered(label),
+                "emitted metric label {label:?} is not in shield5g_obs::labels::ALL"
+            );
+        }
+    });
+}
