@@ -1,0 +1,315 @@
+//! Call-site extraction and the workspace call graph.
+//!
+//! [`calls_in`] lexes one function body into [`CallSite`]s: plain calls
+//! (`helper(x)`), method calls (`key.expose()`), and macro invocations
+//! (`format!(...)`). Each site carries its argument texts (split on
+//! top-level commas) so the taint pass can match tainted identifiers
+//! against individual arguments, plus the receiver identifier for
+//! method calls.
+//!
+//! [`CallGraph`] resolves sites to [`SymbolGraph`] candidates by bare
+//! name — a deliberate over-approximation (see [`crate::symbols`]).
+
+use crate::symbols::{split_top_commas, SymbolGraph};
+
+/// Rust keywords that look like call heads (`match (a, b)` …).
+const KEYWORDS: [&str; 10] = [
+    "if", "else", "while", "for", "match", "loop", "return", "in", "move", "fn",
+];
+
+/// One syntactic call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Byte offset of the callee name in the file's clean text.
+    pub offset: usize,
+    /// Callee name (without `!` for macros).
+    pub callee: String,
+    /// `true` for `recv.name(...)` method syntax.
+    pub method: bool,
+    /// `true` for `name!(...)` macro syntax.
+    pub is_macro: bool,
+    /// Receiver identifier for simple method calls (`key.expose()`).
+    pub recv: Option<String>,
+    /// The path segment before `::` for qualified calls
+    /// (`HmacSha256::new(..)` → `Some("HmacSha256")`). Lets resolution
+    /// distinguish the many `new`s in a workspace.
+    pub qual: Option<String>,
+    /// `(offset_in_clean, text)` of each top-level argument.
+    pub args: Vec<(usize, String)>,
+}
+
+/// Extracts every call site inside `clean[body.0..body.1]`.
+#[must_use]
+pub fn calls_in(clean: &str, body: (usize, usize)) -> Vec<CallSite> {
+    let bytes = clean.as_bytes();
+    let (start, end) = body;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        // Start of an identifier; require a word boundary on the left.
+        if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+            i += 1;
+            while i < end && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            continue;
+        }
+        let mut j = i;
+        while j < end && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        let name = &clean[i..j];
+        let mut k = j;
+        let is_macro = bytes.get(k) == Some(&b'!');
+        if is_macro {
+            k += 1;
+        }
+        while k < end && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        let open = bytes.get(k).copied();
+        let is_call = matches!(open, Some(b'(')) || (is_macro && matches!(open, Some(b'[' | b'{')));
+        if !is_call || KEYWORDS.contains(&name) {
+            i = j;
+            continue;
+        }
+        let close_byte = match open {
+            Some(b'(') => b')',
+            Some(b'[') => b']',
+            _ => b'}',
+        };
+        let Some(close) = matching(bytes, k, open.unwrap_or(b'('), close_byte) else {
+            i = j;
+            continue;
+        };
+        let method = preceded_by_dot(bytes, i);
+        let recv = if method { recv_ident(clean, i) } else { None };
+        let qual = if method { None } else { qual_ident(clean, i) };
+        let args = split_top_commas(&clean[k + 1..close])
+            .into_iter()
+            .map(|(off, piece)| {
+                // Keep the offset aligned with the trimmed text so
+                // `(offset, offset + text.len())` is a valid clean span.
+                let lead = piece.len() - piece.trim_start().len();
+                (k + 1 + off + lead, piece.trim().to_owned())
+            })
+            .filter(|(_, piece)| !piece.is_empty())
+            .collect();
+        out.push(CallSite {
+            offset: i,
+            callee: name.to_owned(),
+            method,
+            is_macro,
+            recv,
+            qual,
+            args,
+        });
+        // Continue *inside* the argument list so nested calls are seen.
+        i = j;
+    }
+    out
+}
+
+fn matching(bytes: &[u8], open: usize, open_byte: u8, close_byte: u8) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == open_byte {
+            depth += 1;
+        } else if bytes[i] == close_byte {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Is the identifier at `at` preceded (modulo whitespace) by a `.`?
+fn preceded_by_dot(bytes: &[u8], at: usize) -> bool {
+    let mut i = at;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    i > 0 && bytes[i - 1] == b'.'
+}
+
+/// The simple identifier receiver of a method call, when there is one
+/// (`key.expose()` → `key`; `make().expose()` → `None`).
+fn recv_ident(clean: &str, at: usize) -> Option<String> {
+    let bytes = clean.as_bytes();
+    let mut i = at;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i == 0 || bytes[i - 1] != b'.' {
+        return None;
+    }
+    i -= 1; // the dot
+    let end = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(clean[i..end].to_owned())
+}
+
+/// The path segment immediately before `::name` (`Plmn::new` → `Plmn`),
+/// when the call is path-qualified.
+fn qual_ident(clean: &str, at: usize) -> Option<String> {
+    let bytes = clean.as_bytes();
+    if at < 2 || &clean[at - 2..at] != "::" {
+        return None;
+    }
+    let end = at - 2;
+    let mut i = end;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(clean[i..end].to_owned())
+}
+
+/// Resolves a call site to candidate function indices, using what the
+/// syntax gives us to prune the bare-name over-approximation:
+///
+/// * `Type::name(..)` resolves only to `name`s owned by `Type`
+///   (`Self::` maps to the calling function's own impl owner); an
+///   uppercase qualifier with no owned match is an external call and
+///   resolves to nothing, rather than to every same-named function.
+/// * `recv.name(..)` method syntax resolves only to `self`-taking
+///   candidates.
+/// * Lowercase qualifiers (`hub::count(..)`) are module paths, not
+///   owners, and keep the name-based candidate set.
+#[must_use]
+pub fn resolve(graph: &SymbolGraph, caller_owner: Option<&str>, site: &CallSite) -> Vec<usize> {
+    let cands = graph.candidates(&site.callee);
+    if site.method {
+        return cands
+            .iter()
+            .copied()
+            .filter(|&c| graph.fns[c].has_self())
+            .collect();
+    }
+    if let Some(q) = site.qual.as_deref() {
+        let q = if q == "Self" { caller_owner } else { Some(q) };
+        let Some(q) = q else {
+            return cands.to_vec();
+        };
+        let owned: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| graph.fns[c].owner.as_deref() == Some(q))
+            .collect();
+        if !owned.is_empty() || q.starts_with(|c: char| c.is_ascii_uppercase()) || is_primitive(q) {
+            return owned;
+        }
+    }
+    cands.to_vec()
+}
+
+/// Primitive type names: `usize::from(..)` is std's impl, never one of
+/// ours, despite the lowercase qualifier.
+fn is_primitive(q: &str) -> bool {
+    matches!(
+        q,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+            | "bool"
+            | "char"
+            | "str"
+    )
+}
+
+/// Per-function resolved call edges over a [`SymbolGraph`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `sites[f]` lists the call sites inside `graph.fns[f]`'s body.
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Extracts call sites for every function body in the graph.
+    #[must_use]
+    pub fn build(analyses: &[crate::scan::FileAnalysis], graph: &SymbolGraph) -> CallGraph {
+        let sites = graph
+            .fns
+            .iter()
+            .map(|f| {
+                f.body
+                    .map(|span| calls_in(&analyses[f.file].clean, span))
+                    .unwrap_or_default()
+            })
+            .collect();
+        CallGraph { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean_source;
+
+    fn sites(src: &str) -> Vec<CallSite> {
+        let clean = clean_source(src);
+        calls_in(&clean, (0, clean.len()))
+    }
+
+    #[test]
+    fn plain_method_and_macro_calls() {
+        let s =
+            sites("let raw = peek(key);\nlet t = key.expose();\nlet m = format!(\"{:?}\", raw);\n");
+        let names: Vec<_> = s.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, ["peek", "expose", "format"]);
+        assert!(!s[0].method && !s[0].is_macro);
+        assert!(s[1].method && s[1].recv.as_deref() == Some("key"));
+        assert!(s[2].is_macro);
+        assert_eq!(s[2].args.len(), 2);
+        assert_eq!(s[2].args[1].1, "raw");
+    }
+
+    #[test]
+    fn nested_calls_are_all_seen() {
+        let s = sites("emit(format!(\"{}\", peek(k)));\n");
+        let names: Vec<_> = s.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, ["emit", "format", "peek"]);
+        // The outer call's single argument is the whole format! text.
+        assert_eq!(s[0].args.len(), 1);
+    }
+
+    #[test]
+    fn keywords_and_field_access_are_not_calls() {
+        let s = sites("if (a) { match (x, y) { _ => self.field } }\n");
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn chained_receiver_is_only_simple_idents() {
+        let s = sites("make().expose();\n");
+        let expose = s.iter().find(|c| c.callee == "expose").unwrap();
+        assert!(expose.method);
+        assert_eq!(expose.recv, None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Machine-readable finding output: plain JSON and SARIF 2.1.0.
+//!
+//! Dependency-free like the rest of the linter: the two emitters build
+//! the documents by hand with a conservative string escaper. The SARIF
+//! output targets the subset GitHub code scanning and `sarif-tools`
+//! consume: one run, one driver, a rule table, and one result per
+//! finding with a physical location.
+
+use crate::Report;
+
+/// `(id, short description)` for every rule the linter can emit —
+/// SARIF consumers surface these next to each result.
+pub const RULE_TABLE: [(&str, &str); 12] = [
+    (
+        "SH001",
+        "Registered secret type derives or hand-writes a leaking Debug/Display/Serialize",
+    ),
+    (
+        "SH002",
+        "Registered secret type stores raw key bytes with no redacted Debug",
+    ),
+    ("SH003", "Registered secret type does not zeroize on drop"),
+    (
+        "SH004",
+        "Raw secret bytes flow (interprocedurally) into a format/metric/export sink",
+    ),
+    (
+        "EB001",
+        "Enclave-side module calls std::fs/net/time/thread/process directly",
+    ),
+    (
+        "DT001",
+        "Trace-affecting code reads a wall clock or ambient randomness",
+    ),
+    (
+        "DT002",
+        "Trace-affecting code iterates a default-hasher HashMap/HashSet",
+    ),
+    (
+        "PB001",
+        "Per-crate unwrap/expect count exceeds the ratchet baseline",
+    ),
+    (
+        "MW001",
+        "NF code re-grows retry/fault/admission machinery owned by the mw stack",
+    ),
+    (
+        "MW002",
+        "Stack::with chain composes layers against the declared partial order",
+    ),
+    (
+        "OB001",
+        "Non-RAII hub span is not closed on every return path",
+    ),
+    (
+        "LN001",
+        "Stale shield5g-lint allow marker suppresses nothing",
+    ),
+];
+
+/// Escapes `s` for a JSON string body.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Plain JSON findings document (`{"findings": [...], "panic_counts": {...}}`).
+#[must_use]
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(&f.rule),
+            esc(&f.path),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    out.push_str("\n  ],\n  \"panic_counts\": {");
+    for (i, (krate, n)) in report.panic_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {n}", esc(krate)));
+    }
+    out.push_str("\n  },\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {}\n}}\n",
+        report.files_scanned
+    ));
+    out
+}
+
+/// SARIF 2.1.0 document with one run and one result per finding.
+#[must_use]
+pub fn to_sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"shield5g-lint\",\n          \"informationUri\": \"https://github.com/shield5g/shield5g\",\n          \"rules\": [",
+    );
+    for (i, (id, desc)) in RULE_TABLE.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(desc)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \"artifactLocation\": {{\"uri\": \"{}\"}},\n                \"region\": {{\"startLine\": {}}}\n              }}\n            }}\n          ]\n        }}",
+            esc(&f.rule),
+            esc(&f.message),
+            esc(&f.path),
+            f.line.max(1)
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+    use std::collections::BTreeMap;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "SH004".into(),
+                path: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "secret \"bytes\" reach `format!`".into(),
+            }],
+            panic_counts: BTreeMap::from([("core".to_owned(), 3)]),
+            files_scanned: 42,
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let doc = to_json(&sample());
+        assert!(doc.contains("secret \\\"bytes\\\" reach"));
+        assert!(doc.contains("\"files_scanned\": 42"));
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let doc = to_sarif(&sample());
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "\"name\": \"shield5g-lint\"",
+            "\"ruleId\": \"SH004\"",
+            "\"startLine\": 7",
+            "\"uri\": \"crates/x/src/a.rs\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+    }
+
+    #[test]
+    fn every_emitted_rule_is_in_the_table() {
+        // Keep the SARIF rule metadata in sync with what rules emit.
+        let ids: Vec<&str> = RULE_TABLE.iter().map(|(id, _)| *id).collect();
+        for id in [
+            "SH001", "SH002", "SH003", "SH004", "EB001", "DT001", "DT002", "PB001", "MW001",
+            "MW002", "OB001", "LN001",
+        ] {
+            assert!(ids.contains(&id), "{id} missing from RULE_TABLE");
+        }
+    }
+}

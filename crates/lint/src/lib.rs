@@ -17,6 +17,17 @@
 //! * **Middleware boundary** (MW001) — NF service crates must not
 //!   construct retriers, consult fault injectors, or manage admission
 //!   queues; those concerns live in the `shield5g-mw` layer stack.
+//! * **Secret taint** (SH004) — raw secret bytes (`.expose()` results,
+//!   secret-returning helpers) must not flow — across function calls —
+//!   into format macros, `obs::hub` metric/span values, or exporter
+//!   writes. Interprocedural: see [`taint`].
+//! * **Layer order** (MW002) — `Stack::with` chains must respect the
+//!   declared layer partial order (obs outside admission, deadline
+//!   outside retry, admission outside fault).
+//! * **Span discipline** (OB001) — a non-RAII hub span opened in a
+//!   function must be closed on every return path of that function.
+//! * **Suppression hygiene** (LN001) — allow markers that no longer
+//!   suppress a live finding are themselves findings.
 //!
 //! Findings can be locally suppressed with a
 //! `// shield5g-lint: allow(RULE)` marker on the offending or the
@@ -24,15 +35,23 @@
 //!
 //! The linter is dependency-free: a small lexer ([`lexer`]) blanks
 //! comments and literal bodies so the rules can use honest substring
-//! and word matching, with `#[cfg(test)]` spans excluded.
+//! and word matching, with `#[cfg(test)]` spans excluded. On top of
+//! the lexer sit an item/signature parser and workspace symbol graph
+//! ([`symbols`]), a name-resolved call graph ([`callgraph`]), and the
+//! bounded interprocedural taint pass ([`taint`]) that powers SH004.
+//! [`emit`] renders findings as JSON or SARIF for CI annotation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod emit;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
 use config::Config;
 use scan::FileAnalysis;
@@ -67,9 +86,13 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Per-crate panic-path counts (for baseline updates).
     pub panic_counts: std::collections::BTreeMap<String, usize>,
+    /// Number of files analysed (for the self-benchmark line).
+    pub files_scanned: usize,
 }
 
-/// Runs every per-file rule family over the given analyses.
+/// Runs every rule family — per-file passes, then the graph-powered
+/// interprocedural passes, then suppression hygiene (which must come
+/// last: it audits the markers the other passes consumed).
 #[must_use]
 pub fn run_rules(analyses: &[FileAnalysis], config: &Config) -> Report {
     let mut findings = Vec::new();
@@ -78,13 +101,22 @@ pub fn run_rules(analyses: &[FileAnalysis], config: &Config) -> Report {
         rules::enclave_boundary::check(analysis, config, &mut findings);
         rules::determinism::check(analysis, config, &mut findings);
         rules::mw_boundary::check(analysis, config, &mut findings);
+        rules::layer_order::check(analysis, config, &mut findings);
     }
+    let graph = symbols::SymbolGraph::build(analyses);
+    rules::secret_taint::check(analyses, &graph, config, &mut findings);
+    rules::span_discipline::check(analyses, &graph, config, &mut findings);
     let panic_counts = rules::panic_budget::count(analyses);
     rules::panic_budget::check(&panic_counts, &config.panic_budget, &mut findings);
+    rules::suppressions::check(analyses, &mut findings);
     findings.sort_by(|a, b| (&a.rule, &a.path, a.line).cmp(&(&b.rule, &b.path, b.line)));
+    // Nested fns are analysed in both their own and the enclosing
+    // body; collapse duplicate reports of the same site.
+    findings.dedup();
     Report {
         findings,
         panic_counts,
+        files_scanned: analyses.len(),
     }
 }
 

@@ -1,19 +1,34 @@
 //! CLI for `shield5g-lint`.
 //!
 //! ```text
-//! cargo run -p shield5g-lint                  # lint the repo, exit 1 on findings
-//! cargo run -p shield5g-lint -- --root PATH   # lint another tree
+//! cargo run -p shield5g-lint                        # lint the repo, exit 1 on findings
+//! cargo run -p shield5g-lint -- --root PATH         # lint another tree
+//! cargo run -p shield5g-lint -- --format sarif      # SARIF 2.1.0 on stdout
+//! cargo run -p shield5g-lint -- --format json       # plain JSON on stdout
 //! cargo run -p shield5g-lint -- --update-baseline
 //! ```
+//!
+//! Whatever the stdout format, when `$SHIELD5G_OBS_DIR` is set a SARIF
+//! copy of the findings is written there (`lint_findings.sarif`) so CI
+//! can upload it next to the other observability artifacts. A
+//! self-benchmark line (files scanned, wall time) goes to stderr so
+//! lint cost stays visible without corrupting machine-readable stdout.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut update_baseline = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,12 +39,27 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(p);
             }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "--format requires text|json|sarif (got {})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--update-baseline" => update_baseline = true,
             "--help" | "-h" => {
                 println!(
-                    "shield5g-lint: secret-hygiene, enclave-boundary, determinism and \
-                     panic-budget checks\n\n\
-                     USAGE: shield5g-lint [--root PATH] [--update-baseline]"
+                    "shield5g-lint: secret-hygiene/taint, enclave-boundary, determinism, \
+                     layer-order, span-discipline and panic-budget checks\n\n\
+                     USAGE: shield5g-lint [--root PATH] [--format text|json|sarif] \
+                     [--update-baseline]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -40,7 +70,15 @@ fn main() -> ExitCode {
         }
     }
 
+    let started = std::time::Instant::now();
     let report = shield5g_lint::run_repo(&root);
+    let elapsed_ms = started.elapsed().as_millis();
+    eprintln!(
+        "shield5g-lint: scanned {} files in {} ms ({} finding(s))",
+        report.files_scanned,
+        elapsed_ms,
+        report.findings.len()
+    );
 
     if update_baseline {
         let text = shield5g_lint::rules::panic_budget::baseline_text(&report.panic_counts);
@@ -49,7 +87,19 @@ fn main() -> ExitCode {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::from(2);
         }
-        println!("wrote {}", path.display());
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Machine-readable copy for CI artifact upload.
+    if let Ok(dir) = std::env::var("SHIELD5G_OBS_DIR") {
+        if !dir.is_empty() {
+            let dir = PathBuf::from(dir);
+            let _ = std::fs::create_dir_all(&dir);
+            let path = dir.join("lint_findings.sarif");
+            if let Err(e) = std::fs::write(&path, shield5g_lint::emit::to_sarif(&report)) {
+                eprintln!("failed to write {}: {e}", path.display());
+            }
+        }
     }
 
     let findings: Vec<_> = report
@@ -57,18 +107,27 @@ fn main() -> ExitCode {
         .iter()
         .filter(|f| !(update_baseline && f.rule == "PB001"))
         .collect();
-    for finding in &findings {
-        println!("{finding}");
+    match format {
+        Format::Json => print!("{}", shield5g_lint::emit::to_json(&report)),
+        Format::Sarif => print!("{}", shield5g_lint::emit::to_sarif(&report)),
+        Format::Text => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            if findings.is_empty() {
+                let total: usize = report.panic_counts.values().sum();
+                println!(
+                    "shield5g-lint: clean ({} panic-path sites within budget)",
+                    total
+                );
+            } else {
+                println!("shield5g-lint: {} finding(s)", findings.len());
+            }
+        }
     }
     if findings.is_empty() {
-        let total: usize = report.panic_counts.values().sum();
-        println!(
-            "shield5g-lint: clean ({} panic-path sites within budget)",
-            total
-        );
         ExitCode::SUCCESS
     } else {
-        println!("shield5g-lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }

@@ -7,6 +7,10 @@
 
 pub mod determinism;
 pub mod enclave_boundary;
+pub mod layer_order;
 pub mod mw_boundary;
 pub mod panic_budget;
 pub mod secret_hygiene;
+pub mod secret_taint;
+pub mod span_discipline;
+pub mod suppressions;

@@ -1,0 +1,59 @@
+//! Interprocedural secret-taint rule.
+//!
+//! * **SH004** — raw secret bytes (an `.expose()` result, or a value
+//!   returned by a function the taint summaries mark as
+//!   secret-returning) reach a rendering or export sink: a
+//!   format-family macro, an `obs::hub` metric/span-attribute call, or
+//!   an exporter/trace write. Findings name the source→sink path so
+//!   the leak is reviewable without re-running the analysis; see
+//!   [`crate::taint`] for the propagation model.
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::scan::{is_test_path, FileAnalysis};
+use crate::symbols::SymbolGraph;
+use crate::taint::{fn_sink_hits, Summaries};
+use crate::Finding;
+
+/// Runs the taint pass over every function in the workspace.
+pub fn check(
+    analyses: &[FileAnalysis],
+    graph: &SymbolGraph,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let callgraph = CallGraph::build(analyses, graph);
+    let summaries = Summaries::compute(analyses, graph, &callgraph.sites, config);
+    for (fi, item) in graph.fns.iter().enumerate() {
+        let analysis = &analyses[item.file];
+        // Test code may format key material to assert redaction; the
+        // rule guards production flows.
+        if item.in_test || is_test_path(&analysis.rel_path) {
+            continue;
+        }
+        for hit in fn_sink_hits(
+            analyses,
+            graph,
+            &summaries,
+            &callgraph.sites[fi],
+            fi,
+            config,
+        ) {
+            let line = analysis.line(hit.offset);
+            if analysis.allowed("SH004", line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "SH004".to_owned(),
+                path: analysis.rel_path.clone(),
+                line,
+                message: format!(
+                    "secret bytes reach {} in `{}`: tainted by {}",
+                    hit.sink,
+                    item.qual_name(),
+                    hit.source.desc
+                ),
+            });
+        }
+    }
+}

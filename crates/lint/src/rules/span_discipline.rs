@@ -1,0 +1,283 @@
+//! Span-discipline rule for non-RAII hub spans.
+//!
+//! * **OB001** — a function binds a non-RAII span open
+//!   (`let s = obs::open_span(..)` / `open_child(..)`) but does not
+//!   close it on every return path: either no `close_span(s, ..)`
+//!   exists at all, or a `return` sits between the open and the first
+//!   close (the early exit leaks an open span, which the exporter then
+//!   reports as abandoned and the strict-nesting invariant breaks).
+//!
+//! Spans that *escape* the function — stored in a struct/map, returned,
+//! or passed to anything other than the span API — are exempt: their
+//! lifetime is legitimately longer than the function's (the middleware
+//! obs layer parks request/queue spans in `ObsCore` between hooks).
+//! RAII guards (`StageSpan::open`) are self-balancing and never bind a
+//! raw span id, so they are untouched by this rule.
+
+use crate::config::Config;
+use crate::lexer::find_word;
+use crate::scan::{is_test_path, FileAnalysis};
+use crate::symbols::SymbolGraph;
+use crate::Finding;
+
+/// Runs the span-discipline pass over every parsed function.
+pub fn check(
+    analyses: &[FileAnalysis],
+    graph: &SymbolGraph,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for item in &graph.fns {
+        let analysis = &analyses[item.file];
+        if item.in_test || is_test_path(&analysis.rel_path) {
+            continue;
+        }
+        // The hub implementation itself opens/closes spans as API.
+        if config
+            .span_impl_dirs
+            .iter()
+            .any(|d| analysis.rel_path.starts_with(d.as_str()))
+        {
+            continue;
+        }
+        let Some(body) = item.body else { continue };
+        check_body(analysis, body, config, findings);
+    }
+}
+
+fn check_body(
+    analysis: &FileAnalysis,
+    body: (usize, usize),
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let clean = &analysis.clean;
+    for open_fn in &config.span_open_fns {
+        let mut from = body.0;
+        while let Some(at) = find_word(clean, open_fn, from) {
+            if at >= body.1 {
+                break;
+            }
+            from = at + open_fn.len();
+            if clean.as_bytes().get(at + open_fn.len()).copied() != Some(b'(') {
+                continue;
+            }
+            let Some(var) = binding_name(clean, body.0, at) else {
+                continue; // not bound to a local: field store or RAII
+            };
+            if escapes(clean, body, at, &var, config) {
+                continue;
+            }
+            let line = analysis.line(at);
+            if analysis.allowed("OB001", line) {
+                continue;
+            }
+            let closes = close_offsets(clean, body, at, &var, config);
+            if closes.is_empty() {
+                findings.push(Finding {
+                    rule: "OB001".to_owned(),
+                    path: analysis.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "span `{var}` opened with `{open_fn}` is never closed in this \
+                         function; call `close_span({var}, ..)` or use a RAII `StageSpan`"
+                    ),
+                });
+                continue;
+            }
+            // An early `return` between the open and the first close
+            // leaves the span dangling on that path.
+            let first_close = closes[0];
+            if let Some(ret) = find_word(clean, "return", at).filter(|&r| r < first_close) {
+                findings.push(Finding {
+                    rule: "OB001".to_owned(),
+                    path: analysis.rel_path.clone(),
+                    line: analysis.line(ret),
+                    message: format!(
+                        "early return leaks span `{var}` (opened line {line}); close it \
+                         before returning or use a RAII `StageSpan`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The local name the call at `at` is bound to (`let NAME = <call>`),
+/// when the call is the binding's initializer.
+fn binding_name(clean: &str, body_start: usize, at: usize) -> Option<String> {
+    // Scan back to the start of the statement.
+    let stmt_start = clean[body_start..at]
+        .rfind([';', '{', '}'])
+        .map_or(body_start, |r| body_start + r + 1);
+    let stmt = clean[stmt_start..at].trim_start();
+    let rest = stmt.strip_prefix("let ")?.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    // Everything between the name and the call must be the `=` (and
+    // possibly a type ascription) — otherwise the call is nested in a
+    // larger initializer and the binding is not the span id itself.
+    let after = rest[name_end..].trim_start();
+    let after = after
+        .split_once('=')
+        .map_or(after, |(_, rhs)| rhs)
+        .trim_start();
+    let bare =
+        after.trim_start_matches(|c: char| c.is_ascii_alphanumeric() || c == ':' || c == '_');
+    if !bare.trim_start().is_empty() {
+        return None;
+    }
+    Some(name.to_owned())
+}
+
+/// Does `var` escape the function (used outside the span API)?
+fn escapes(clean: &str, body: (usize, usize), open_at: usize, var: &str, config: &Config) -> bool {
+    let mut from = open_at;
+    while let Some(at) = find_word(clean, var, from) {
+        if at >= body.1 {
+            break;
+        }
+        from = at + var.len();
+        // How is this use framed? Look at the nearest call-ish context:
+        // the identifier chain immediately before the enclosing `(`.
+        let head = call_head(clean, at);
+        let span_api = config
+            .span_open_fns
+            .iter()
+            .chain(config.span_close_fns.iter())
+            .any(|f| head.as_deref() == Some(f.as_str()))
+            || matches!(
+                head.as_deref(),
+                Some("enter_span" | "exit_span" | "span_attr" | "Some")
+            );
+        if head.is_none() || !span_api {
+            // Struct literal, assignment, return, unknown call: escaped.
+            // The open call itself (binding RHS) is not a use.
+            if at != open_at {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Offsets of `close_span(var`-style closes after `open_at`.
+fn close_offsets(
+    clean: &str,
+    body: (usize, usize),
+    open_at: usize,
+    var: &str,
+    config: &Config,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for close_fn in &config.span_close_fns {
+        let mut from = open_at;
+        while let Some(at) = find_word(clean, close_fn, from) {
+            if at >= body.1 {
+                break;
+            }
+            from = at + close_fn.len();
+            let tail_end = body.1.min(at + close_fn.len() + 64 + var.len());
+            let tail = &clean[at + close_fn.len()..tail_end];
+            if let Some(rel) = find_word(tail, var, 0) {
+                // Only count it when `var` is in the argument head.
+                if tail[..rel].chars().all(|c| "( \n\t,Some".contains(c)) {
+                    out.push(at);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The function-name identifier owning the innermost `(` that encloses
+/// the use at `at`.
+fn call_head(clean: &str, at: usize) -> Option<String> {
+    let bytes = clean.as_bytes();
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                if depth == 0 {
+                    // Identifier directly before this paren.
+                    let mut end = i;
+                    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+                        end -= 1;
+                    }
+                    let mut start = end;
+                    while start > 0
+                        && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_')
+                    {
+                        start -= 1;
+                    }
+                    if start == end {
+                        return None;
+                    }
+                    return Some(clean[start..end].to_owned());
+                }
+                depth -= 1;
+            }
+            b';' | b'{' | b'}' if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_of(src: &str) -> Vec<Finding> {
+        let analyses = [FileAnalysis::from_source("x.rs", src)];
+        let graph = SymbolGraph::build(&analyses);
+        let config = Config::repo_default();
+        let mut findings = Vec::new();
+        check(&analyses, &graph, &config, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn balanced_open_close_is_clean() {
+        let src = "fn ok() {\n    let span = open_span(SpanKind::Enclave, \"e\", \"t\", 0);\n    span_attr(span, \"k\", 1);\n    close_span(span, 9);\n}\n";
+        assert!(findings_of(src).is_empty());
+    }
+
+    #[test]
+    fn never_closed_is_flagged() {
+        let src = "fn bad() {\n    let span = open_span(SpanKind::Stage, \"x\", \"y\", 0);\n    span_attr(span, \"k\", 1);\n}\n";
+        let f = findings_of(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never closed"));
+    }
+
+    #[test]
+    fn early_return_before_close_is_flagged() {
+        let src = "fn bad(x: bool) {\n    let span = open_span(SpanKind::Stage, \"x\", \"y\", 0);\n    if x {\n        return;\n    }\n    close_span(span, 9);\n}\n";
+        let f = findings_of(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("early return"));
+    }
+
+    #[test]
+    fn escaped_spans_are_exempt() {
+        let src = "fn park(core: &mut Core) {\n    let request = open_span(SpanKind::Request, \"a\", \"b\", 0);\n    core.legs.insert(7, LegSpans { request, queue: None });\n}\n";
+        assert!(findings_of(src).is_empty());
+    }
+
+    #[test]
+    fn unbound_field_stores_are_exempt() {
+        let src = "fn park(entry: &mut LegSpans) {\n    entry.queue = open_child(SpanKind::Queue, entry.request, \"a\", \"b\", 0);\n}\n";
+        assert!(findings_of(src).is_empty());
+    }
+}

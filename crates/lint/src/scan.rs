@@ -1,6 +1,8 @@
 //! File discovery and per-file analysis state shared by all rules.
 
 use crate::lexer::{clean_source, line_of, test_spans};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// A source file prepared for rule passes.
@@ -13,6 +15,20 @@ pub struct FileAnalysis {
     pub clean: String,
     /// Byte spans of `#[cfg(test)]` items in `clean`.
     pub test_spans: Vec<(usize, usize)>,
+    /// `(rule, marker line)` of every allow marker that suppressed a
+    /// finding this run — consumed by the LN001 stale-marker pass.
+    used_allows: RefCell<BTreeSet<(String, usize)>>,
+}
+
+/// Is this path an integration-test tree (workspace `tests/` or a
+/// crate's `tests/` directory)? Such files are exercised by the panic
+/// budget and the per-file pattern rules, but the graph rules
+/// (SH004/MW002/OB001) skip them: tests legitimately format key
+/// material to assert redaction and compose mis-ordered stacks on
+/// purpose.
+#[must_use]
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/") || rel_path.contains("/tests/")
 }
 
 impl FileAnalysis {
@@ -27,7 +43,11 @@ impl FileAnalysis {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        // Integration-test files are test code end to end.
+        // The workspace-level integration suite is test code end to
+        // end and stays fully exempt. Crate-level `tests/`, `examples/`
+        // and `benches/` are walked as regular code (only their
+        // `#[cfg(test)]` islands are exempt): they ship in the repo,
+        // run in CI, and their panic sites count against the budget.
         let spans = if rel.starts_with("tests/") {
             vec![(0, clean.len())]
         } else {
@@ -38,6 +58,7 @@ impl FileAnalysis {
             raw,
             clean,
             test_spans: spans,
+            used_allows: RefCell::new(BTreeSet::new()),
         })
     }
 
@@ -51,6 +72,7 @@ impl FileAnalysis {
             raw: raw.to_owned(),
             clean,
             test_spans: spans,
+            used_allows: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -70,7 +92,8 @@ impl FileAnalysis {
 
     /// Is a finding of `rule` at `line` suppressed by an inline
     /// `// shield5g-lint: allow(RULE)` marker on the same or the
-    /// preceding line?
+    /// preceding line? A hit is recorded so the LN001 pass can tell
+    /// live markers from stale ones.
     #[must_use]
     pub fn allowed(&self, rule: &str, line: usize) -> bool {
         let marker = format!("shield5g-lint: allow({rule})");
@@ -80,24 +103,49 @@ impl FileAnalysis {
                 .nth(idx)
                 .is_some_and(|l| l.contains(&marker))
         };
-        has(line.saturating_sub(1)) || (line >= 2 && has(line - 2))
+        if has(line.saturating_sub(1)) {
+            self.used_allows
+                .borrow_mut()
+                .insert((rule.to_owned(), line));
+            return true;
+        }
+        if line >= 2 && has(line - 2) {
+            self.used_allows
+                .borrow_mut()
+                .insert((rule.to_owned(), line - 1));
+            return true;
+        }
+        false
+    }
+
+    /// Did a marker for `rule` on `marker_line` suppress a finding this
+    /// run?
+    #[must_use]
+    pub fn marker_was_used(&self, rule: &str, marker_line: usize) -> bool {
+        self.used_allows
+            .borrow()
+            .contains(&(rule.to_owned(), marker_line))
     }
 }
 
-/// Collects the `.rs` files the lint walks: `crates/*/src/**` plus the
-/// top-level `src/` and `tests/`. Vendored crates, build output and the
-/// lint's own violation fixtures are excluded.
+/// Collects the `.rs` files the lint walks: each crate's `src/`,
+/// `tests/`, `examples/` and `benches/`, plus the top-level `src/`,
+/// `tests/`, `examples/` and `benches/`. Vendored crates, build output
+/// and the lint's own violation fixtures are excluded.
 #[must_use]
 pub fn collect_files(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
     if let Ok(entries) = std::fs::read_dir(&crates_dir) {
         for entry in entries.flatten() {
-            walk(&entry.path().join("src"), &mut out);
+            for sub in ["src", "tests", "examples", "benches"] {
+                walk(&entry.path().join(sub), &mut out);
+            }
         }
     }
-    walk(&root.join("src"), &mut out);
-    walk(&root.join("tests"), &mut out);
+    for sub in ["src", "tests", "examples", "benches"] {
+        walk(&root.join(sub), &mut out);
+    }
     out.retain(|p| {
         let s = p
             .strip_prefix(root)
@@ -136,9 +184,20 @@ mod tests {
         let src = "fn live() { x.unwrap(); }\n// shield5g-lint: allow(PB001)\nfn shh() { y.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() {} }\n";
         let a = FileAnalysis::from_source("x.rs", src);
         assert!(a.allowed("PB001", 3));
+        assert!(a.marker_was_used("PB001", 2));
         assert!(!a.allowed("PB001", 1));
+        assert!(!a.marker_was_used("PB001", 1));
         let test_start = a.clean.find("#[cfg(test)]").unwrap();
         assert!(a.in_test(test_start + 5));
         assert!(!a.in_test(0));
+    }
+
+    #[test]
+    fn test_path_classification() {
+        assert!(is_test_path("tests/determinism.rs"));
+        assert!(is_test_path("crates/mw/tests/layers.rs"));
+        assert!(!is_test_path("crates/mw/src/stack.rs"));
+        assert!(!is_test_path("examples/quickstart.rs"));
+        assert!(!is_test_path("crates/bench/benches/pool_scaling.rs"));
     }
 }

@@ -1,0 +1,414 @@
+//! Item/signature parsing and the workspace symbol graph.
+//!
+//! Built on the same philosophy as the lexer: no `syn`, no full grammar
+//! — just enough structure for the interprocedural rules. The parser
+//! recognises `fn` items (name, parameters, return type, body span),
+//! `impl` blocks (so methods know their self type), and groups
+//! everything into a [`SymbolGraph`] indexed by bare function name.
+//!
+//! Name-based resolution is deliberate: the workspace has no proc-macro
+//! codegen and few overloaded names, so resolving a call `foo(...)` to
+//! *every* function named `foo` is a sound over-approximation for the
+//! taint pass (it may produce a reviewable false positive, never a
+//! silent miss from an unresolved call).
+
+use crate::lexer::brace_block;
+use crate::scan::FileAnalysis;
+use std::collections::BTreeMap;
+
+/// One parsed parameter: `name: Type` (or `self`).
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers, `_` for wildcard patterns).
+    pub name: String,
+    /// Raw type text as written (empty for bare `self` receivers).
+    pub ty: String,
+}
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Index of the declaring file in the analysis slice.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword in the file's clean text.
+    pub decl: usize,
+    /// Parsed parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Raw return-type text (empty when the function returns `()`).
+    pub ret: String,
+    /// Body byte span in clean text (`None` for trait-method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Self type of the enclosing `impl` block, if any.
+    pub owner: Option<String>,
+    /// Whether the item sits inside a `#[cfg(test)]` span.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// Display name for findings: `Type::name` or plain `name`.
+    #[must_use]
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether the first parameter is a `self` receiver.
+    #[must_use]
+    pub fn has_self(&self) -> bool {
+        self.params.first().is_some_and(|p| p.name == "self")
+    }
+}
+
+/// All functions across the analysed files, indexed by bare name.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// Every parsed function item.
+    pub fns: Vec<FnItem>,
+    /// Bare function name → indices into [`SymbolGraph::fns`].
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolGraph {
+    /// Parses every file into the graph.
+    #[must_use]
+    pub fn build(analyses: &[FileAnalysis]) -> SymbolGraph {
+        let mut graph = SymbolGraph::default();
+        for (file, analysis) in analyses.iter().enumerate() {
+            let impls = impl_spans(&analysis.clean);
+            for mut item in parse_fns(&analysis.clean, file) {
+                item.in_test = analysis.in_test(item.decl);
+                item.owner = impls
+                    .iter()
+                    .find(|(s, e, _)| item.decl >= *s && item.decl < *e)
+                    .map(|(_, _, ty)| ty.clone());
+                graph
+                    .by_name
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(graph.fns.len());
+                graph.fns.push(item);
+            }
+        }
+        graph
+    }
+
+    /// Indices of every function with this bare name.
+    #[must_use]
+    pub fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Reads the identifier starting at `at` (empty if none).
+fn ident_at(clean: &str, at: usize) -> &str {
+    let bytes = clean.as_bytes();
+    let mut end = at;
+    while end < bytes.len() && is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    &clean[at..end]
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Skips a balanced `<...>` generics group starting at `i` (which must
+/// point at `<`); returns the index just past the closing `>`.
+fn skip_generics(bytes: &[u8], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            // `->` inside generics would be a fn-pointer type; its `>`
+            // must not close our group.
+            b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Finds the matching `)` for the `(` at `open`.
+fn close_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits `text` on top-level commas (ignoring commas nested in any
+/// bracket pair), returning `(offset_in_text, piece)` pairs.
+#[must_use]
+pub fn split_top_commas(text: &str) -> Vec<(usize, &str)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            // `->` in fn-pointer types is not a closing bracket.
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b')' | b']' | b'}' | b'>' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push((start, &text[start..i]));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < text.len() {
+        out.push((start, &text[start..]));
+    }
+    out
+}
+
+fn parse_param(piece: &str) -> Option<Param> {
+    let trimmed = piece.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    // Receivers: `self`, `&self`, `&mut self`, `mut self`.
+    let stripped = trimmed
+        .trim_start_matches('&')
+        .trim_start_matches("'_ ")
+        .trim_start();
+    let stripped = stripped.strip_prefix("mut ").unwrap_or(stripped).trim();
+    if stripped == "self" {
+        return Some(Param {
+            name: "self".to_owned(),
+            ty: String::new(),
+        });
+    }
+    // `name: Type` (skip non-trivial patterns like tuples).
+    let colon = trimmed.find(':')?;
+    let name_part = trimmed[..colon].trim();
+    let name = name_part.strip_prefix("mut ").unwrap_or(name_part).trim();
+    if name.is_empty() || !name.bytes().all(is_ident_byte) {
+        return None;
+    }
+    Some(Param {
+        name: name.to_owned(),
+        ty: trimmed[colon + 1..].trim().to_owned(),
+    })
+}
+
+/// Parses every `fn` item in one file's clean text.
+fn parse_fns(clean: &str, file: usize) -> Vec<FnItem> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = crate::lexer::find_word(clean, "fn", from) {
+        from = at + 2;
+        let mut i = skip_ws(bytes, at + 2);
+        let name = ident_at(clean, i);
+        if name.is_empty() {
+            continue; // `fn(...)` pointer type, not an item
+        }
+        i += name.len();
+        i = skip_ws(bytes, i);
+        if bytes.get(i) == Some(&b'<') {
+            i = skip_generics(bytes, i);
+            i = skip_ws(bytes, i);
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let Some(close) = close_paren(bytes, i) else {
+            continue;
+        };
+        let params: Vec<Param> = split_top_commas(&clean[i + 1..close])
+            .into_iter()
+            .filter_map(|(_, piece)| parse_param(piece))
+            .collect();
+        // Return type: between `->` and the body `{`, a `;`, or a
+        // `where` clause.
+        let mut j = skip_ws(bytes, close + 1);
+        let mut ret = String::new();
+        if bytes.get(j) == Some(&b'-') && bytes.get(j + 1) == Some(&b'>') {
+            j += 2;
+            let start = skip_ws(bytes, j);
+            let mut k = start;
+            let mut depth = 0i32;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'<' | b'(' | b'[' => depth += 1,
+                    b'>' | b')' | b']' => depth -= 1,
+                    b'{' | b';' if depth <= 0 => break,
+                    _ => {}
+                }
+                if depth <= 0 && clean[k..].starts_with("where") && !is_ident_byte(bytes[k - 1]) {
+                    break;
+                }
+                k += 1;
+            }
+            ret = clean[start..k].trim().to_owned();
+            j = k;
+        }
+        // Body: next `{` before a `;` at this level.
+        let body = loop {
+            match bytes.get(j) {
+                Some(b'{') => break brace_block(clean, j),
+                Some(b';') | None => break None,
+                _ => j += 1,
+            }
+        };
+        out.push(FnItem {
+            file,
+            name: name.to_owned(),
+            decl: at,
+            params,
+            ret,
+            body,
+            owner: None,
+            in_test: false,
+        });
+        if let Some((_, end)) = body {
+            // Continue after the signature, not the body: nested fns
+            // still get their own items.
+            let _ = end;
+        }
+    }
+    out
+}
+
+/// `(start, end, self_type)` spans of every `impl` block in clean text.
+fn impl_spans(clean: &str) -> Vec<(usize, usize, String)> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = crate::lexer::find_word(clean, "impl", from) {
+        from = at + 4;
+        let mut i = skip_ws(bytes, at + 4);
+        if bytes.get(i) == Some(&b'<') {
+            i = skip_generics(bytes, i);
+            i = skip_ws(bytes, i);
+        }
+        // `impl Trait for Type` or `impl Type`; the self type is the
+        // path after `for` when present, else the first path.
+        let header_end = match clean[i..].find('{') {
+            Some(rel) => i + rel,
+            None => continue,
+        };
+        let header = &clean[i..header_end];
+        let self_part = match header.find(" for ") {
+            Some(pos) => &header[pos + 5..],
+            None => header,
+        };
+        let self_ty = self_part
+            .trim()
+            .trim_start_matches('&')
+            .split(['<', ' ', '\n'])
+            .next()
+            .unwrap_or("")
+            .rsplit("::")
+            .next()
+            .unwrap_or("")
+            .to_owned();
+        if let Some((s, e)) = brace_block(clean, header_end) {
+            out.push((s, e, self_ty));
+            from = header_end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> SymbolGraph {
+        SymbolGraph::build(&[FileAnalysis::from_source("x.rs", src)])
+    }
+
+    #[test]
+    fn parses_free_fn_signature() {
+        let g = graph_of("pub fn add(a: u32, b: u32) -> u32 { a + b }\n");
+        assert_eq!(g.fns.len(), 1);
+        let f = &g.fns[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].name, "b");
+        assert_eq!(f.params[1].ty, "u32");
+        assert_eq!(f.ret, "u32");
+        assert!(f.body.is_some());
+        assert!(f.owner.is_none());
+    }
+
+    #[test]
+    fn parses_method_owner_and_self() {
+        let src = "struct Key([u8; 16]);\nimpl Key {\n    fn expose(&self) -> &[u8; 16] { &self.0 }\n}\nimpl std::fmt::Debug for Key {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n}\n";
+        let g = graph_of(src);
+        assert_eq!(g.fns.len(), 2);
+        assert_eq!(g.fns[0].owner.as_deref(), Some("Key"));
+        assert!(g.fns[0].has_self());
+        assert_eq!(g.fns[0].ret, "&[u8; 16]");
+        assert_eq!(g.fns[1].owner.as_deref(), Some("Key"));
+        assert_eq!(g.fns[1].qual_name(), "Key::fmt");
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_ret() {
+        let src =
+            "fn pick<T: Clone>(xs: &[T]) -> Option<T> where T: Default { xs.first().cloned() }\n";
+        let g = graph_of(src);
+        assert_eq!(g.fns[0].ret, "Option<T>");
+        assert_eq!(g.fns[0].params[0].name, "xs");
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let g = graph_of("trait T {\n    fn act(&mut self, n: u64);\n}\n");
+        assert_eq!(g.fns.len(), 1);
+        assert!(g.fns[0].body.is_none());
+        assert!(g.fns[0].has_self());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let g = graph_of("static F: fn(u8) -> u8 = id;\nfn id(x: u8) -> u8 { x }\n");
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "id");
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let g = graph_of(src);
+        assert!(!g.fns[0].in_test);
+        assert!(g.fns[1].in_test);
+    }
+}

@@ -1,0 +1,729 @@
+//! Interprocedural secret-taint analysis (rule SH004's engine).
+//!
+//! **Sources.** Raw key material enters a function three ways: calling
+//! a secret accessor (`.expose()` / `.expose_mut()` on a
+//! `SecretBytes`/`Secret` container), calling a function whose summary
+//! says it *returns* raw secret bytes, or receiving raw bytes back from
+//! a callee that forwards a tainted argument to its return value.
+//!
+//! **Propagation.** Within a body, taint flows through `let` bindings
+//! (a binding whose right-hand side mentions a tainted identifier or a
+//! source call becomes tainted) to a local fixpoint. Across functions,
+//! three per-function summaries are iterated to a bounded fixpoint
+//! ([`Config::taint_depth`] rounds):
+//!
+//! * `returns_raw` — the function's return value carries raw secret
+//!   bytes (a tainted `return`/tail expression).
+//! * `ret_params` — parameter indices that flow to the return value, so
+//!   `fn first(b: &[u8]) -> u8` propagates taint from argument to
+//!   caller.
+//! * `sink_params` — parameter indices that reach a sink inside the
+//!   callee (directly or transitively), so passing raw bytes to
+//!   `Engine::note`'s `detail` parameter is flagged at the call site.
+//!
+//! **Sinks.** Format-family macros (`format!`, `println!`, `write!`,
+//! `panic!`, `dbg!` …, including inline `{ident}` captures, which are
+//! matched against the *raw* text since the lexer blanks literals) and
+//! the policy sinks from [`Config::taint_sink_fns`] — `obs::hub` metric
+//! labels, span attributes, exporter writes — whose values end up in
+//! JSONL/Prometheus artifacts or the engine trace.
+//!
+//! The analysis is name-resolved and flow-insensitive inside a
+//! statement, which over-approximates: it can report a reviewable
+//! false positive but will not silently miss a flow through the
+//! constructs it models.
+
+use crate::callgraph::CallSite;
+use crate::config::Config;
+use crate::lexer::find_word;
+use crate::scan::FileAnalysis;
+use crate::symbols::SymbolGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a tainted value originally came from (for finding messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Source {
+    /// Human-readable origin, e.g. ``"`k.expose()` (crypto/src/a.rs:7)"``.
+    pub desc: String,
+}
+
+/// One tainted-value-reaches-sink event inside a function body.
+#[derive(Clone, Debug)]
+pub struct SinkHit {
+    /// Byte offset of the sink call in the file's clean text.
+    pub offset: usize,
+    /// Sink description, e.g. ``"`format!`"`` or
+    /// ``"`note` (param `detail` reaches a format sink)"``.
+    pub sink: String,
+    /// The taint origin.
+    pub source: Source,
+}
+
+/// Per-function interprocedural summaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// The return value carries raw secret bytes.
+    pub returns_raw: bool,
+    /// Parameter indices that flow to the return value.
+    pub ret_params: BTreeSet<usize>,
+    /// Parameter indices that reach a sink.
+    pub sink_params: BTreeSet<usize>,
+}
+
+/// Summaries for every function in a [`SymbolGraph`].
+#[derive(Debug, Default)]
+pub struct Summaries {
+    /// Indexed like `SymbolGraph::fns`.
+    pub fns: Vec<Summary>,
+}
+
+impl Summaries {
+    /// Iterates all function summaries to a fixpoint, bounded by
+    /// [`Config::taint_depth`] rounds.
+    #[must_use]
+    pub fn compute(
+        analyses: &[FileAnalysis],
+        graph: &SymbolGraph,
+        sites: &[Vec<CallSite>],
+        config: &Config,
+    ) -> Summaries {
+        let mut summaries = Summaries {
+            fns: vec![Summary::default(); graph.fns.len()],
+        };
+        for _round in 0..config.taint_depth.max(1) {
+            let mut changed = false;
+            for (fi, item) in graph.fns.iter().enumerate() {
+                let Some(body) = item.body else { continue };
+                let analysis = &analyses[item.file];
+                let next = summarize_fn(analysis, graph, &summaries, &sites[fi], body, fi, config);
+                if next != summaries.fns[fi] {
+                    summaries.fns[fi] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        summaries
+    }
+}
+
+/// Recomputes one function's summary from the current round's state.
+fn summarize_fn(
+    analysis: &FileAnalysis,
+    graph: &SymbolGraph,
+    summaries: &Summaries,
+    sites: &[CallSite],
+    body: (usize, usize),
+    fi: usize,
+    config: &Config,
+) -> Summary {
+    let item = &graph.fns[fi];
+    let mut summary = Summary::default();
+
+    // returns_raw: real sources enabled, no pseudo-taint.
+    let flow = analyze_body(
+        analysis,
+        graph,
+        summaries,
+        sites,
+        body,
+        item.owner.as_deref(),
+        BTreeMap::new(),
+        true,
+        config,
+    );
+    // A function that returns a secret *container* is safe: the
+    // container's Debug/Display redact. Only raw-typed returns count.
+    let container_ret = config
+        .secret_containers
+        .iter()
+        .any(|c| item.ret.contains(c.as_str()));
+    summary.returns_raw = !item.ret.is_empty() && !container_ret && flow.ret_tainted;
+
+    // Per-parameter pseudo-taint: does param i flow to the return value
+    // or to a sink? Sources disabled so only the pseudo-taint flows.
+    for (idx, param) in item.params.iter().enumerate() {
+        if param.name == "self" || param.name == "_" {
+            continue;
+        }
+        let seed: BTreeMap<String, Source> = [(
+            param.name.clone(),
+            Source {
+                desc: format!("parameter `{}`", param.name),
+            },
+        )]
+        .into();
+        let flow = analyze_body(
+            analysis,
+            graph,
+            summaries,
+            sites,
+            body,
+            item.owner.as_deref(),
+            seed,
+            false,
+            config,
+        );
+        if flow.ret_tainted && !item.ret.is_empty() && !container_ret {
+            summary.ret_params.insert(idx);
+        }
+        if !flow.sink_hits.is_empty() {
+            summary.sink_params.insert(idx);
+        }
+    }
+    summary
+}
+
+/// Result of one body dataflow pass.
+struct Flow {
+    sink_hits: Vec<SinkHit>,
+    ret_tainted: bool,
+}
+
+/// Sink hits for a function with real sources enabled — what rule SH004
+/// reports.
+#[must_use]
+pub fn fn_sink_hits(
+    analyses: &[FileAnalysis],
+    graph: &SymbolGraph,
+    summaries: &Summaries,
+    sites: &[CallSite],
+    fi: usize,
+    config: &Config,
+) -> Vec<SinkHit> {
+    let item = &graph.fns[fi];
+    let Some(body) = item.body else {
+        return Vec::new();
+    };
+    analyze_body(
+        &analyses[item.file],
+        graph,
+        summaries,
+        sites,
+        body,
+        item.owner.as_deref(),
+        BTreeMap::new(),
+        true,
+        config,
+    )
+    .sink_hits
+}
+
+/// One `let` binding in a body.
+struct Binding {
+    name: String,
+    rhs: (usize, usize),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_body(
+    analysis: &FileAnalysis,
+    graph: &SymbolGraph,
+    summaries: &Summaries,
+    sites: &[CallSite],
+    body: (usize, usize),
+    caller_owner: Option<&str>,
+    seed: BTreeMap<String, Source>,
+    real_sources: bool,
+    config: &Config,
+) -> Flow {
+    let clean = &analysis.clean;
+    let bindings = collect_bindings(clean, body);
+    let mut tainted = seed;
+
+    // Local fixpoint over let-bindings.
+    for _ in 0..8 {
+        let mut changed = false;
+        for binding in &bindings {
+            if tainted.contains_key(&binding.name) {
+                continue;
+            }
+            if let Some(src) = span_taint(
+                analysis,
+                graph,
+                summaries,
+                sites,
+                binding.rhs,
+                caller_owner,
+                &tainted,
+                real_sources,
+                config,
+            ) {
+                tainted.insert(binding.name.clone(), src);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sinks.
+    let mut sink_hits = Vec::new();
+    for site in sites {
+        let span_of = |arg: &(usize, String)| (arg.0, arg.0 + arg.1.len());
+        if site.is_macro && config.taint_sink_macros.contains(&site.callee) {
+            let macro_span = site
+                .args
+                .first()
+                .zip(site.args.last())
+                .map(|(first, last)| (first.0, last.0 + last.1.len()));
+            if let Some(span) = macro_span {
+                let mut hit = span_taint(
+                    analysis,
+                    graph,
+                    summaries,
+                    sites,
+                    span,
+                    caller_owner,
+                    &tainted,
+                    real_sources,
+                    config,
+                );
+                // Inline captures (`{raw:x?}`) live inside the string
+                // literal, which the lexer blanked — scan the raw text.
+                if hit.is_none() {
+                    hit = raw_span_taint(analysis, span, &tainted);
+                }
+                if let Some(source) = hit {
+                    sink_hits.push(SinkHit {
+                        offset: site.offset,
+                        sink: format!("`{}!`", site.callee),
+                        source,
+                    });
+                }
+            }
+            continue;
+        }
+        if !site.is_macro && config.taint_sink_fns.contains(&site.callee) {
+            for arg in &site.args {
+                if let Some(source) = span_taint(
+                    analysis,
+                    graph,
+                    summaries,
+                    sites,
+                    span_of(arg),
+                    caller_owner,
+                    &tainted,
+                    real_sources,
+                    config,
+                ) {
+                    sink_hits.push(SinkHit {
+                        offset: site.offset,
+                        sink: format!("`{}` (observability/export sink)", site.callee),
+                        source,
+                    });
+                    break;
+                }
+            }
+            continue;
+        }
+        // Interprocedural: a tainted argument handed to a callee whose
+        // summary says that parameter reaches a sink.
+        if site.is_macro {
+            continue;
+        }
+        for (arg_idx, arg) in site.args.iter().enumerate() {
+            let Some(source) = span_taint(
+                analysis,
+                graph,
+                summaries,
+                sites,
+                span_of(arg),
+                caller_owner,
+                &tainted,
+                real_sources,
+                config,
+            ) else {
+                continue;
+            };
+            for cand in crate::callgraph::resolve(graph, caller_owner, site) {
+                let callee = &graph.fns[cand];
+                let param_idx = arg_idx + usize::from(site.method && callee.has_self());
+                if summaries.fns[cand].sink_params.contains(&param_idx) {
+                    let pname = callee
+                        .params
+                        .get(param_idx)
+                        .map_or("?", |p| p.name.as_str());
+                    sink_hits.push(SinkHit {
+                        offset: site.offset,
+                        sink: format!(
+                            "`{}` (its param `{pname}` reaches a sink)",
+                            callee.qual_name()
+                        ),
+                        source,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Return-value taint: any `return <expr>;` or the tail expression.
+    let mut ret_tainted = false;
+    let mut from = body.0;
+    while let Some(at) = find_word(clean, "return", from) {
+        if at >= body.1 {
+            break;
+        }
+        from = at + 6;
+        let end = clean[at..body.1].find(';').map_or(body.1, |r| at + r);
+        if span_taint(
+            analysis,
+            graph,
+            summaries,
+            sites,
+            (at, end),
+            caller_owner,
+            &tainted,
+            real_sources,
+            config,
+        )
+        .is_some()
+        {
+            ret_tainted = true;
+        }
+    }
+    if let Some(tail) = tail_span(clean, body) {
+        if span_taint(
+            analysis,
+            graph,
+            summaries,
+            sites,
+            tail,
+            caller_owner,
+            &tainted,
+            real_sources,
+            config,
+        )
+        .is_some()
+        {
+            ret_tainted = true;
+        }
+    }
+
+    Flow {
+        sink_hits,
+        ret_tainted,
+    }
+}
+
+/// `let` bindings with their right-hand-side spans.
+fn collect_bindings(clean: &str, body: (usize, usize)) -> Vec<Binding> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut from = body.0;
+    while let Some(at) = find_word(clean, "let", from) {
+        if at >= body.1 {
+            break;
+        }
+        from = at + 3;
+        let mut i = at + 3;
+        while i < body.1 && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if clean[i..].starts_with("mut ") {
+            i += 4;
+            while i < body.1 && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+        }
+        let mut j = i;
+        while j < body.1 && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if i == j {
+            continue; // pattern binding (tuple/struct) — not tracked
+        }
+        let name = clean[i..j].to_owned();
+        // RHS: from `=` to the `;` at nesting depth 0. An `=` past the
+        // statement's own `;` belongs to a later statement (`let x;`).
+        let stmt_end = clean[j..body.1].find(';').map_or(body.1, |r| j + r);
+        let Some(eq_rel) = clean[j..stmt_end].find('=') else {
+            continue;
+        };
+        let eq = j + eq_rel;
+        if bytes.get(eq + 1) == Some(&b'=') {
+            continue; // `==` — a `let` inside a larger expr; skip
+        }
+        let mut depth = 0i32;
+        let mut end = body.1;
+        let mut k = eq + 1;
+        while k < body.1 {
+            match bytes[k] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b';' if depth <= 0 => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(Binding {
+            name,
+            rhs: (eq + 1, end),
+        });
+    }
+    out
+}
+
+/// Does `clean[span]` carry taint? Returns the originating source.
+#[allow(clippy::too_many_arguments)]
+fn span_taint(
+    analysis: &FileAnalysis,
+    graph: &SymbolGraph,
+    summaries: &Summaries,
+    sites: &[CallSite],
+    span: (usize, usize),
+    caller_owner: Option<&str>,
+    tainted: &BTreeMap<String, Source>,
+    real_sources: bool,
+    config: &Config,
+) -> Option<Source> {
+    let clean = &analysis.clean;
+    let text = &clean[span.0..span.1];
+    // 1. A tainted identifier appears (word match).
+    for (name, source) in tainted {
+        if tainted_word_in(text, name) {
+            return Some(source.clone());
+        }
+    }
+    if !real_sources {
+        return None;
+    }
+    // 2. A source call appears inside the span.
+    for site in sites {
+        if site.offset < span.0 || site.offset >= span.1 {
+            continue;
+        }
+        if site.method && config.taint_source_methods.contains(&site.callee) {
+            let recv = site.recv.as_deref().unwrap_or("<expr>");
+            return Some(Source {
+                desc: format!(
+                    "`{recv}.{}()` ({}:{})",
+                    site.callee,
+                    analysis.rel_path,
+                    analysis.line(site.offset)
+                ),
+            });
+        }
+        if site.is_macro {
+            continue;
+        }
+        for cand in crate::callgraph::resolve(graph, caller_owner, site) {
+            let callee = &graph.fns[cand];
+            let summary = &summaries.fns[cand];
+            if summary.returns_raw {
+                return Some(Source {
+                    desc: format!(
+                        "`{}(..)` which returns raw secret bytes ({}:{})",
+                        callee.qual_name(),
+                        analysis.rel_path,
+                        analysis.line(site.offset)
+                    ),
+                });
+            }
+            // Param → return forwarding of an already-tainted argument.
+            for (arg_idx, arg) in site.args.iter().enumerate() {
+                let param_idx = arg_idx + usize::from(site.method && callee.has_self());
+                if summary.ret_params.contains(&param_idx) {
+                    for (name, source) in tainted {
+                        if tainted_word_in(&arg.1, name) {
+                            return Some(source.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Does the tainted identifier `name` appear in `text` carrying its
+/// value? Length-like projections (`name.len()`, `name.is_empty()`)
+/// expose only metadata, not the secret bytes, and are sanitizing.
+fn tainted_word_in(text: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = find_word(text, name, from) {
+        from = at + name.len();
+        let rest = &text[at + name.len()..];
+        if rest.starts_with(".len()") || rest.starts_with(".is_empty()") {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+/// Tainted identifiers appearing in the *raw* text of a span — catches
+/// inline format captures (`"{raw:x?}"`) the lexer blanked out.
+fn raw_span_taint(
+    analysis: &FileAnalysis,
+    span: (usize, usize),
+    tainted: &BTreeMap<String, Source>,
+) -> Option<Source> {
+    let raw = analysis.raw.get(span.0..span.1)?;
+    for (name, source) in tainted {
+        let mut from = 0;
+        while let Some(at) = find_word(raw, name, from) {
+            from = at + name.len();
+            // Require it to look like a `{name` capture, not prose.
+            if raw[..at].trim_end().ends_with('{') {
+                return Some(source.clone());
+            }
+        }
+    }
+    None
+}
+
+/// The body's tail-expression span (after the last top-level `;`/`}`),
+/// or `None` for an empty/statement-only body.
+fn tail_span(clean: &str, body: (usize, usize)) -> Option<(usize, usize)> {
+    let bytes = clean.as_bytes();
+    let (open, close) = body;
+    if close <= open + 2 {
+        return None;
+    }
+    let content = (open + 1, close - 1);
+    let mut depth = 0i32;
+    let mut last_sep = content.0;
+    let mut k = content.0;
+    while k < content.1 {
+        match bytes[k] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+                if depth == 0 {
+                    last_sep = k + 1;
+                }
+            }
+            b';' if depth == 0 => last_sep = k + 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    let tail = clean[last_sep..content.1].trim();
+    if tail.is_empty() {
+        None
+    } else {
+        let lead = clean[last_sep..content.1].len() - clean[last_sep..content.1].trim_start().len();
+        Some((last_sep + lead, last_sep + lead + tail.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn run(srcs: &[(&str, &str)]) -> (Vec<FileAnalysis>, SymbolGraph, CallGraph, Summaries) {
+        let analyses: Vec<FileAnalysis> = srcs
+            .iter()
+            .map(|(path, src)| FileAnalysis::from_source(path, src))
+            .collect();
+        let graph = SymbolGraph::build(&analyses);
+        let cg = CallGraph::build(&analyses, &graph);
+        let config = Config::repo_default();
+        let summaries = Summaries::compute(&analyses, &graph, &cg.sites, &config);
+        (analyses, graph, cg, summaries)
+    }
+
+    fn hits_of(
+        name: &str,
+        world: &(Vec<FileAnalysis>, SymbolGraph, CallGraph, Summaries),
+    ) -> Vec<SinkHit> {
+        let (analyses, graph, cg, summaries) = world;
+        let config = Config::repo_default();
+        let fi = graph.candidates(name)[0];
+        fn_sink_hits(analyses, graph, summaries, &cg.sites[fi], fi, &config)
+    }
+
+    #[test]
+    fn local_expose_to_format_is_a_hit() {
+        let world = run(&[(
+            "a.rs",
+            "fn log_key(k: &SecretBytes<16>) -> String {\n    let raw = k.expose();\n    format!(\"{:x?}\", raw)\n}\n",
+        )]);
+        let hits = hits_of("log_key", &world);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].sink.contains("format"));
+        assert!(hits[0].source.desc.contains("k.expose()"));
+    }
+
+    #[test]
+    fn cross_function_return_flow_is_a_hit() {
+        let world = run(&[
+            (
+                "helper.rs",
+                "pub fn peek_key(k: &SecretBytes<16>) -> [u8; 16] {\n    *k.expose()\n}\n",
+            ),
+            (
+                "caller.rs",
+                "pub fn audit(k: &SecretBytes<16>) -> String {\n    let raw = peek_key(k);\n    format!(\"{:02x?}\", raw)\n}\n",
+            ),
+        ]);
+        let (_, graph, _, summaries) = &world;
+        let helper = graph.candidates("peek_key")[0];
+        assert!(summaries.fns[helper].returns_raw);
+        let hits = hits_of("audit", &world);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].source.desc.contains("peek_key"));
+    }
+
+    #[test]
+    fn sink_param_summary_flags_the_call_site() {
+        let world = run(&[(
+            "a.rs",
+            "fn render(bytes: &[u8]) -> String {\n    format!(\"{:x?}\", bytes)\n}\nfn leak(k: &SecretBytes<16>) -> String {\n    let raw = k.expose();\n    render(raw)\n}\n",
+        )]);
+        let (_, graph, _, summaries) = &world;
+        let render = graph.candidates("render")[0];
+        assert!(summaries.fns[render].sink_params.contains(&0));
+        let hits = hits_of("leak", &world);
+        assert!(hits.iter().any(|h| h.sink.contains("render")), "{hits:?}");
+    }
+
+    #[test]
+    fn container_returns_and_plain_data_are_clean() {
+        let world = run(&[(
+            "a.rs",
+            "fn kausf(av: &HeAv) -> &SecretBytes<32> { av.kausf() }\nfn show(n: u64) -> String { format!(\"{n:x}\") }\nfn status(k: &SecretBytes<16>) -> String { format!(\"{:?}\", k) }\n",
+        )]);
+        for name in ["kausf", "show", "status"] {
+            let hits = hits_of(name, &world);
+            assert!(hits.is_empty(), "{name}: {hits:?}");
+        }
+        let (_, graph, _, summaries) = &world;
+        let kausf = graph.candidates("kausf")[0];
+        assert!(!summaries.fns[kausf].returns_raw);
+    }
+
+    #[test]
+    fn inline_capture_in_format_string_is_caught() {
+        let world = run(&[(
+            "a.rs",
+            "fn leak(k: &SecretBytes<16>) -> String {\n    let raw = k.expose();\n    format!(\"key={raw:x?}\")\n}\n",
+        )]);
+        let hits = hits_of("leak", &world);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn obs_label_sink_is_caught() {
+        let world = run(&[(
+            "a.rs",
+            "fn emit(k: &SecretBytes<16>) {\n    let raw = k.expose();\n    span_attr(sid, \"key\", raw[0] as u64);\n}\n",
+        )]);
+        let hits = hits_of("emit", &world);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].sink.contains("span_attr"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded MW002 fixture: a `Stack::with` chain composed against the
+//! declared partial order. The first `.with` is the *outermost* layer,
+//! so adding `AdmissionLayer` before `ObsLayer` hides shed arrivals
+//! from the observability counters — exactly what the dynamic
+//! permutation tests in `crates/mw/tests/layers.rs` pin down.
+
+pub fn build_bad(svc: Echo) -> Stack<Echo> {
+    Stack::new(svc)
+        .with(AdmissionLayer::new(Admission::new(4, 16)))
+        .with(ObsLayer::new("nf", "aka"))
+}
+
+/// Clean twin: obs outermost, admission inside, fault innermost.
+pub fn build_good(svc: Echo) -> Stack<Echo> {
+    Stack::new(svc)
+        .with(ObsLayer::new("nf", "aka"))
+        .with(AdmissionLayer::new(Admission::new(4, 16)))
+        .with(FaultLayer::new(plan))
+}

@@ -1,0 +1,32 @@
+//! Seeded OB001 fixture: non-RAII hub spans left dangling.
+
+/// Never closed: the exporter reports the span as abandoned and strict
+/// nesting breaks for every span opened after it.
+pub fn forgot_close(env: &Env) {
+    let span = open_span(SpanKind::Stage, "nf", "aka", env.now());
+    span_attr(span, "attempts", 1);
+}
+
+/// Closed on the happy path only: the early return leaks it.
+pub fn early_return_leak(env: &Env, shed: bool) -> bool {
+    let span = open_span(SpanKind::Stage, "nf", "admit", env.now());
+    if shed {
+        return false;
+    }
+    close_span(span, env.now());
+    true
+}
+
+/// Clean: balanced on the single path.
+pub fn balanced(env: &Env) {
+    let span = open_span(SpanKind::Stage, "nf", "verify", env.now());
+    span_attr(span, "ok", 1);
+    close_span(span, env.now());
+}
+
+/// Clean: the span escapes into a struct — its lifetime is managed by
+/// the owner (the mw obs layer parks spans between hooks this way).
+pub fn parked(core: &mut Core, id: u64) {
+    let request = open_span(SpanKind::Request, "nf", "leg", 0);
+    core.legs.insert(id, LegSpans { request, queue: None });
+}

@@ -1,0 +1,16 @@
+//! Seeded LN001 fixture: one live marker, one stale marker.
+
+// The first marker suppresses a real DT001 finding (wall-clock read in
+// a trace-affecting dir) and must NOT be reported.
+pub fn stamp() -> u64 {
+    // shield5g-lint: allow(DT001)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+// This marker suppresses nothing — the offending code was removed long
+// ago — and must be reported as stale.
+// shield5g-lint: allow(DT002)
+pub fn quiet() -> u32 {
+    7
+}

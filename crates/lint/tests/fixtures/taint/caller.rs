@@ -1,0 +1,20 @@
+//! Seeded SH004 fixture, file 2 of 2: a separate compilation unit
+//! formats the bytes the helper laundered out — the leak only exists
+//! across the call, so a per-file pass cannot see it.
+
+pub fn audit_log_entry(k: &SecretBytes<16>) -> String {
+    let raw = peek_key_bytes(k);
+    format!("installed key {raw:02x?}")
+}
+
+/// Clean: holds the container, renders only its (redacted) Debug.
+pub fn status_line(k: &SecretBytes<16>) -> String {
+    let held = clone_key(k);
+    format!("key loaded: {held:?}")
+}
+
+/// Clean: only length metadata of the raw bytes is rendered.
+pub fn size_line(k: &SecretBytes<16>) -> String {
+    let raw = peek_key_bytes(k);
+    format!("key length: {}", raw.len())
+}

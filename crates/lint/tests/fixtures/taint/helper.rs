@@ -1,0 +1,12 @@
+//! Seeded SH004 fixture, file 1 of 2: a helper that launders raw key
+//! bytes out of the redacting container. Returning `[u8; 16]` (not a
+//! `SecretBytes`) is what makes the *caller's* format call dangerous.
+
+pub fn peek_key_bytes(k: &SecretBytes<16>) -> [u8; 16] {
+    *k.expose()
+}
+
+/// Safe twin: returns the container itself, whose `Debug` redacts.
+pub fn clone_key(k: &SecretBytes<16>) -> SecretBytes<16> {
+    k.clone()
+}

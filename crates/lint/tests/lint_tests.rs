@@ -248,6 +248,212 @@ fn repo_is_lint_clean() {
 }
 
 #[test]
+fn taint_fixture_cross_function_leak_is_caught() {
+    // helper.rs returns raw secret bytes; caller.rs (a separate file)
+    // formats them. Only the interprocedural pass can connect the two.
+    let config = Config::repo_default();
+    let report = run_rules(
+        &[fixture("taint/helper.rs"), fixture("taint/caller.rs")],
+        &config,
+    );
+    let sh004: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "SH004")
+        .collect();
+    assert_eq!(sh004.len(), 1, "findings: {:?}", report.findings);
+    let f = sh004[0];
+    assert_eq!(f.path, "taint/caller.rs");
+    assert!(
+        f.message.contains("audit_log_entry") && f.message.contains("peek_key_bytes"),
+        "message should name the source->sink path: {}",
+        f.message
+    );
+}
+
+#[test]
+fn layer_order_fixture_violation_is_caught() {
+    let config = Config::repo_default();
+    let report = run_rules(&[fixture("layer_order/bad_stack.rs")], &config);
+    let rules = rules_of(&report.findings);
+    assert_eq!(rules, vec!["MW002"], "{:?}", report.findings);
+    assert!(
+        report.findings[0].message.contains("ObsLayer")
+            && report.findings[0].message.contains("AdmissionLayer"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn span_discipline_fixture_violations_are_caught() {
+    let config = Config::repo_default();
+    let report = run_rules(&[fixture("span_discipline/leaky_span.rs")], &config);
+    let rules = rules_of(&report.findings);
+    assert_eq!(rules, vec!["OB001", "OB001"], "{:?}", report.findings);
+    let messages: Vec<_> = report.findings.iter().map(|f| &f.message).collect();
+    assert!(messages.iter().any(|m| m.contains("never closed")));
+    assert!(messages.iter().any(|m| m.contains("early return")));
+}
+
+#[test]
+fn suppressions_fixture_flags_only_the_stale_marker() {
+    let mut config = Config::repo_default();
+    config.trace_dirs.push("suppressions".into());
+    let report = run_rules(&[fixture("suppressions/stale.rs")], &config);
+    let rules = rules_of(&report.findings);
+    assert_eq!(rules, vec!["LN001"], "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("DT002"));
+}
+
+/// Minimal JSON well-formedness checker (the linter is dependency-free,
+/// so the test brings its own): verifies balanced structure, string
+/// escaping, and that the document parses as one value.
+fn assert_well_formed_json(doc: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut i = i + 1;
+                while i < b.len()
+                    && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if b[i..].starts_with(lit.as_bytes()) {
+                        return Ok(i + lit.len());
+                    }
+                }
+                Err(format!("unexpected byte at {i}"))
+            }
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        let mut i = i + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return Ok(i + 1),
+                c if c < 0x20 => return Err(format!("raw control char at {i}")),
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    let b = doc.as_bytes();
+    let end = value(b, 0).unwrap_or_else(|e| panic!("malformed JSON: {e}\n{doc}"));
+    assert!(
+        doc[end..].trim().is_empty(),
+        "trailing garbage after JSON value"
+    );
+}
+
+#[test]
+fn sarif_output_is_valid_and_lists_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badrepo");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_shield5g-lint"))
+        .args(["--format", "sarif", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run shield5g-lint");
+    assert!(!out.status.success(), "badrepo must still fail the lint");
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert_well_formed_json(&doc);
+    for needle in [
+        "\"version\": \"2.1.0\"",
+        "\"name\": \"shield5g-lint\"",
+        "\"ruleId\": \"DT001\"",
+        "physicalLocation",
+    ] {
+        assert!(
+            needle.is_empty() || doc.contains(needle),
+            "missing {needle}"
+        );
+    }
+}
+
+#[test]
+fn json_output_is_valid() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badrepo");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_shield5g-lint"))
+        .args(["--format", "json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run shield5g-lint");
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert_well_formed_json(&doc);
+    assert!(doc.contains("\"findings\""));
+    assert!(doc.contains("\"files_scanned\""));
+}
+
+#[test]
+fn obs_dir_gets_a_sarif_artifact() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badrepo");
+    let dir = std::env::temp_dir().join(format!("lint_sarif_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_shield5g-lint"))
+        .args(["--root"])
+        .arg(&root)
+        .env("SHIELD5G_OBS_DIR", &dir)
+        .output()
+        .expect("run shield5g-lint");
+    assert!(!out.status.success());
+    let artifact = dir.join("lint_findings.sarif");
+    let doc = std::fs::read_to_string(&artifact).expect("sarif artifact written");
+    assert_well_formed_json(&doc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn panic_baseline_ratchets_below_issue_floor() {
     // The issue's starting point was 431 unwrap/expect sites; the
     // checked-in baseline must stay strictly below it.

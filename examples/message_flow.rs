@@ -11,7 +11,7 @@ use shield5g::core::slice::{build_slice, AkaDeployment, SliceConfig};
 use shield5g::ran::gnbsim::GnbSim;
 use shield5g::sim::Env;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== one UE registration, narrated (paper Fig. 5) ==\n");
     let mut env = Env::new(555);
     let slice = build_slice(
@@ -20,11 +20,10 @@ fn main() {
             deployment: AkaDeployment::Sgx(SgxConfig::default()),
             subscriber_count: 1,
         },
-    )
-    .expect("slice deploys");
+    )?;
     let mut sim = GnbSim::new(&slice);
     let mark = env.log.len();
-    sim.register_ues(&mut env, &slice, 1).expect("registration");
+    sim.register_ues(&mut env, &slice, 1)?;
 
     for event in &env.log.events()[mark..] {
         println!(
@@ -51,4 +50,5 @@ fn main() {
     println!("\n  With sgx.max_threads = 4, Gramine's 3 helper threads leave one");
     println!("  application thread: concurrent flows queue. Raising the thread");
     println!("  budget restores parallel service — the paper's §V-B2 point.");
+    Ok(())
 }

@@ -14,8 +14,25 @@ cargo clippy --offline --workspace --all-targets \
   --exclude serde --exclude serde_derive \
   -- -D warnings
 
-echo "==> shield5g-lint (secret-hygiene / enclave-boundary / determinism / panic budget)"
-cargo run --offline -q -p shield5g-lint
+# The lint step also writes a SARIF copy of its findings into the
+# observability dir so CI can upload it with the other artifacts; the
+# self-benchmark line (files scanned, wall time) goes to stderr.
+SHIELD5G_OBS_DIR="${SHIELD5G_OBS_DIR:-target/obs}"
+case "$SHIELD5G_OBS_DIR" in
+  /*) ;;
+  *) SHIELD5G_OBS_DIR="$(pwd)/$SHIELD5G_OBS_DIR" ;;
+esac
+export SHIELD5G_OBS_DIR
+
+mkdir -p "$SHIELD5G_OBS_DIR"
+
+echo "==> shield5g-lint (secret taint / enclave boundary / determinism / layer order / span discipline / panic budget)"
+cargo run --offline -q -p shield5g-lint -- --format sarif > /dev/null || {
+  echo "lint findings (full report):" >&2
+  cargo run --offline -q -p shield5g-lint || true
+  exit 1
+}
+echo "    ok $SHIELD5G_OBS_DIR/lint_findings.sarif ($(wc -c < "$SHIELD5G_OBS_DIR/lint_findings.sarif") bytes)"
 
 echo "==> cargo build (offline)"
 cargo build --offline --workspace
@@ -24,14 +41,9 @@ echo "==> cargo test"
 cargo test --offline --workspace -q
 
 echo "==> bench smoke (pool_scaling + ablation_optimizations + fault_sweep, one rep)"
-# Absolute path: cargo runs bench binaries with the *package* directory
-# as cwd, so a relative artifact dir would land under crates/bench/.
-SHIELD5G_OBS_DIR="${SHIELD5G_OBS_DIR:-target/obs}"
-case "$SHIELD5G_OBS_DIR" in
-  /*) ;;
-  *) SHIELD5G_OBS_DIR="$(pwd)/$SHIELD5G_OBS_DIR" ;;
-esac
-export SHIELD5G_OBS_DIR
+# Absolute SHIELD5G_OBS_DIR (exported above): cargo runs bench binaries
+# with the *package* directory as cwd, so a relative artifact dir would
+# land under crates/bench/.
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench pool_scaling
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench ablation_optimizations
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench fault_sweep
@@ -39,7 +51,8 @@ SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench fault_swe
 echo "==> observability artifacts (machine-readable bench output, non-empty)"
 for artifact in \
   BENCH_pool_scaling.json BENCH_ablation.json BENCH_fault_sweep.json \
-  pool_scaling_metrics.prom pool_scaling_metrics.jsonl pool_scaling_spans.jsonl; do
+  pool_scaling_metrics.prom pool_scaling_metrics.jsonl pool_scaling_spans.jsonl \
+  lint_findings.sarif; do
   path="$SHIELD5G_OBS_DIR/$artifact"
   if [ ! -s "$path" ]; then
     echo "missing or empty observability artifact: $path" >&2
