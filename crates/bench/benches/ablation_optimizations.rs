@@ -1,13 +1,18 @@
 //! §V-B7: optimisation ablations — exitless OCALLs and a user-level
 //! network stack (mTCP-style) inside the enclave.
 //!
-//! Every measured configuration also lands as a machine-readable point
-//! in `BENCH_ablation.json` in the observability artifact directory.
+//! The optimisation ablation and each horizontal-scaling instance count
+//! run as independent jobs on the deterministic runner
+//! (`SHIELD5G_BENCH_THREADS`); results merge in canonical point order,
+//! so the artifact is byte-identical across thread counts (the
+//! `"runner"` wall-time line excluded). Every measured configuration
+//! lands as a machine-readable point in `BENCH_ablation.json` in the
+//! observability artifact directory.
 
-use shield5g_bench::{banner, emit_bench_json, fmt_summary, reps, smoke};
-use shield5g_core::harness::ablation_optimizations;
-use shield5g_obs::export::JsonObj;
-use shield5g_scale::harness::horizontal_scaling;
+use shield5g_bench::runner::threads;
+use shield5g_bench::sweeps::ablation_sweep;
+use shield5g_bench::{banner, emit_bench_json_with_runner, reps, smoke};
+use shield5g_obs::hub::ObsHandle;
 
 fn main() {
     banner(
@@ -17,48 +22,23 @@ fn main() {
     let smoke = smoke();
     let reps = if smoke { 1 } else { reps() };
     println!("    {reps} stable requests per configuration\n");
-    let mut points = Vec::new();
-    let rows = ablation_optimizations(1800, reps);
-    let baseline = rows[0].r_stable.median;
-    for row in &rows {
-        let speedup = baseline.as_nanos() as f64 / row.r_stable.median.as_nanos() as f64;
-        println!(
-            "    {:24} {:>26}   {:.2}x vs baseline",
-            row.label,
-            fmt_summary(&row.r_stable),
-            speedup
-        );
-        points.push(
-            JsonObj::new()
-                .str("scenario", "ablation")
-                .str("label", &row.label)
-                .f64("speedup_vs_baseline", speedup)
-                .raw("r_stable", &row.r_stable.to_json())
-                .render(),
-        );
-    }
-    println!("\n    Horizontal scaling (real eUDM replica pool, shield5g-scale):");
-    let max_instances = if smoke { 2 } else { 4 };
-    for row in horizontal_scaling(1900, (reps / 4).max(10), max_instances) {
-        println!(
-            "      {} instance(s): stable R {} -> {:.0} authentications/s ({} shed)",
-            row.instances, row.stable_response, row.throughput_per_sec, row.shed
-        );
-        points.push(
-            JsonObj::new()
-                .str("scenario", "horizontal_scaling")
-                .u64("instances", u64::from(row.instances))
-                .u64("stable_response_ns", row.stable_response.as_nanos())
-                .f64("throughput_per_sec", row.throughput_per_sec)
-                .u64("shed", row.shed)
-                .render(),
-        );
+    let hub = ObsHandle::new();
+    let run = ablation_sweep(&hub, threads(), smoke, reps);
+    for line in &run.lines {
+        println!("{line}");
     }
     println!("\n    As §V-B7 argues: exitless OCALLs remove transition costs (but are");
     println!("    'insecure for production usage as of now'); pulling a user-level");
     println!("    TCP stack into the enclave removes the network-I/O OCALLs entirely");
     println!("    at the price of a larger TCB.");
+    println!(
+        "\n    [runner] {} jobs on {} thread(s): wall {:.2}s, {:.2}x speedup",
+        run.stats.jobs,
+        run.stats.threads,
+        run.stats.wall.as_secs_f64(),
+        run.stats.speedup(),
+    );
 
     println!();
-    emit_bench_json("ablation", &points);
+    emit_bench_json_with_runner("ablation", &run.points, &run.stats);
 }

@@ -2,146 +2,36 @@
 //! against a real sharded eUDM pool (`shield5g-faults`), plus the two
 //! whole-instance failure scenarios (replica kill, enclave crash).
 //!
-//! Every measured configuration also lands as a machine-readable point
-//! in `BENCH_fault_sweep.json` in the observability artifact directory.
+//! Sweep points run in parallel on the deterministic runner
+//! (`SHIELD5G_BENCH_THREADS`); results and observability merge in
+//! canonical point order, so the artifact is byte-identical across
+//! thread counts (the `"runner"` wall-time line excluded). Every
+//! measured configuration lands as a machine-readable point in
+//! `BENCH_fault_sweep.json` in the observability artifact directory.
 
-use shield5g_bench::{banner, emit_bench_json, smoke};
-use shield5g_faults::{fault_sweep, FaultConfig, FaultReport, FaultSweepConfig};
-use shield5g_obs::export::JsonObj;
-use shield5g_scale::avcache::AvCacheConfig;
-use shield5g_sim::time::SimDuration;
-
-fn availability(served: u64, arrivals: u64) -> f64 {
-    100.0 * served as f64 / arrivals as f64
-}
-
-fn point(scenario: &str, rate: f64, report: &FaultReport) -> String {
-    JsonObj::new()
-        .str("scenario", scenario)
-        .f64("sbi_fault_rate", rate)
-        .u64("arrivals", report.pool.arrivals)
-        .u64("served", report.pool.served)
-        .u64("shed", report.pool.shed)
-        .f64(
-            "availability_pct",
-            availability(report.pool.served, report.pool.arrivals),
-        )
-        .u64("mttr_ns", report.recovery.mttr.as_nanos())
-        .u64("mttr_max_ns", report.recovery.mttr_max.as_nanos())
-        .f64("goodput_per_sec", report.recovery.goodput_per_sec)
-        .f64("retry_amplification", report.recovery.retry_amplification)
-        .u64("sbi_drops", report.sbi.drops)
-        .u64("sbi_delays", report.sbi.delays)
-        .u64("sbi_errors", report.sbi.errors)
-        .u64("purged_avs", report.purged_avs as u64)
-        .u64("crash_recoveries", report.crash_recoveries)
-        .raw("response", &report.pool.response.to_json())
-        .render()
-}
+use shield5g_bench::runner::threads;
+use shield5g_bench::sweeps::fault_recovery_sweep;
+use shield5g_bench::{banner, emit_bench_json_with_runner, smoke};
+use shield5g_obs::hub::ObsHandle;
 
 fn main() {
     banner(
         "Recovery under deterministic fault injection",
         "paper §V key issues 2/8/22 (failure model discussion)",
     );
-    let smoke = smoke();
-    let mut points = Vec::new();
-
-    // Layer 1: SBI message faults, split evenly across drop / delay /
-    // 5xx. Availability should stay near 100% while the supervision
-    // retries absorb the loss, then sag once the budget is exhausted.
-    let fault_rates: &[f64] = if smoke {
-        &[0.06]
-    } else {
-        &[0.0, 0.02, 0.05, 0.10, 0.20, 0.35]
-    };
-    println!("    Availability vs SBI fault rate (2 replicas, supervision retries):");
-    println!(
-        "      {:>6}  {:>7}  {:>10}  {:>10}  {:>6}  {:>12}",
-        "rate", "avail", "mttr", "goodput/s", "ampl", "drop/dly/5xx"
-    );
-    for &rate in fault_rates {
-        let report = fault_sweep(
-            900,
-            &FaultSweepConfig {
-                arrivals: if smoke { 80 } else { 240 },
-                sbi: FaultConfig {
-                    drop_rate: rate / 3.0,
-                    delay_rate: rate / 3.0,
-                    error_rate: rate / 3.0,
-                    ..FaultConfig::default()
-                },
-                ..FaultSweepConfig::default()
-            },
-        );
-        println!(
-            "      {:>5.0}%  {:>6.1}%  {:>10}  {:>10.0}  {:>5.2}x  {:>4}/{}/{}",
-            100.0 * rate,
-            availability(report.pool.served, report.pool.arrivals),
-            report.recovery.mttr,
-            report.recovery.goodput_per_sec,
-            report.recovery.retry_amplification,
-            report.sbi.drops,
-            report.sbi.delays,
-            report.sbi.errors,
-        );
-        points.push(point("sbi_fault_rate", rate, &report));
+    let hub = ObsHandle::new();
+    let run = fault_recovery_sweep(&hub, threads(), smoke());
+    for line in &run.lines {
+        println!("{line}");
     }
-
-    // Layer 3: kill a replica mid-run; the warm standby takes over and
-    // the frontend purges the dead shard's pre-generated AVs.
-    println!("\n    Replica death with warm-standby failover (AV cache on):");
-    let kill = fault_sweep(
-        910,
-        &FaultSweepConfig {
-            arrivals: if smoke { 80 } else { 220 },
-            ues: 12,
-            cache: Some(AvCacheConfig {
-                batch_size: 8,
-                capacity_per_supi: 16,
-            }),
-            kill_at: Some(if smoke { 30 } else { 110 }),
-            ..FaultSweepConfig::default()
-        },
-    );
-    let failover = kill.failover.as_ref().expect("kill_at fired");
     println!(
-        "      availability {:.1}%, failover {} (standby promoted: {}), {} AVs purged",
-        availability(kill.pool.served, kill.pool.arrivals),
-        failover.failover,
-        failover.standby_promoted,
-        kill.purged_avs,
+        "\n    [runner] {} jobs on {} thread(s): wall {:.2}s, {:.2}x speedup",
+        run.stats.jobs,
+        run.stats.threads,
+        run.stats.wall.as_secs_f64(),
+        run.stats.speedup(),
     );
-    println!("      {kill}");
-    points.push(point("replica_kill", 0.0, &kill));
-
-    // Layer 2: crash one enclave; exactly one request pays the ~60 s
-    // reload (Fig. 7) while the surviving shard keeps serving.
-    println!("\n    Enclave crash with AEX storm (reload on next request):");
-    let crash = fault_sweep(
-        920,
-        &FaultSweepConfig {
-            arrivals: if smoke { 80 } else { 160 },
-            crash_at: Some(if smoke { 20 } else { 40 }),
-            aex_storm: 500,
-            ..FaultSweepConfig::default()
-        },
-    );
-    println!(
-        "      availability {:.1}%, {} crash reload(s), worst response {} \
-         (reload visible: {})",
-        availability(crash.pool.served, crash.pool.arrivals),
-        crash.crash_recoveries,
-        crash.pool.response.max,
-        crash.pool.response.max > SimDuration::from_secs(30),
-    );
-    println!("      {crash}");
-    points.push(point("enclave_crash", 0.0, &crash));
-
-    println!("\n    Every run is a pure function of its seed: the fault schedule,");
-    println!("    workload, and retry jitter come from forked DetRng streams, so");
-    println!("    rerunning any row reproduces it byte-for-byte.");
 
     println!();
-    emit_bench_json("fault_sweep", &points);
+    emit_bench_json_with_runner("fault_sweep", &run.points, &run.stats);
 }

@@ -2,37 +2,19 @@
 //! sharded eUDM enclave pools (`shield5g-scale`), plus the AV
 //! pre-generation ablation.
 //!
-//! Every measured configuration also lands as a machine-readable point
-//! in `BENCH_pool_scaling.json`, and the run's full observability state
-//! (metrics registry + span log) is exported to the artifact directory.
+//! Sweep points run in parallel on the deterministic runner
+//! (`SHIELD5G_BENCH_THREADS`, default: available parallelism); results
+//! and observability merge in canonical point order, so every artifact
+//! is byte-identical across thread counts (the `"runner"` wall-time
+//! line excluded). Every measured configuration lands as a
+//! machine-readable point in `BENCH_pool_scaling.json`, and the run's
+//! full observability state (metrics registry + span log) is exported
+//! to the artifact directory.
 
-use shield5g_bench::{banner, emit_bench_json, export_hub, smoke};
-use shield5g_obs::export::JsonObj;
+use shield5g_bench::runner::threads;
+use shield5g_bench::sweeps::pool_scaling_sweep;
+use shield5g_bench::{banner, emit_bench_json_with_runner, export_hub, smoke};
 use shield5g_obs::hub::ObsHandle;
-use shield5g_scale::avcache::AvCacheConfig;
-use shield5g_scale::harness::{pool_sweep, probe_service_time, SweepConfig};
-use shield5g_scale::metrics::PoolReport;
-use shield5g_scale::queue::QueueConfig;
-use shield5g_sim::time::SimDuration;
-
-fn point(scenario: &str, rho: f64, batch: u32, report: &PoolReport) -> String {
-    let mut obj = JsonObj::new()
-        .str("scenario", scenario)
-        .u64("replicas", u64::from(report.replicas))
-        .f64("rho", rho)
-        .u64("batch", u64::from(batch))
-        .f64("offered_per_sec", report.offered_per_sec)
-        .u64("arrivals", report.arrivals)
-        .u64("served", report.served)
-        .u64("shed", report.shed)
-        .f64("throughput_per_sec", report.throughput_per_sec)
-        .raw("response", &report.response.to_json())
-        .raw("queued", &report.queued.to_json());
-    if let Some(cache) = &report.cache {
-        obj = obj.f64("cache_hit_rate", cache.hit_rate());
-    }
-    obj.render()
-}
 
 fn main() {
     banner(
@@ -40,76 +22,19 @@ fn main() {
         "paper §VI scaling discussion",
     );
     let hub = ObsHandle::new();
-    let _obs = shield5g_obs::hub::scoped(&hub);
-    let mut points = Vec::new();
-
-    let smoke = smoke();
-    let service = probe_service_time(4100);
-    let per_replica = 1.0 / service.as_secs_f64();
-    println!("    single-replica service time {service} (~{per_replica:.0} auth/s capacity)\n");
-
-    let replica_counts: &[u32] = if smoke { &[1] } else { &[1, 2, 4, 8] };
-    let load_factors: &[f64] = if smoke { &[0.8] } else { &[0.5, 0.8, 1.2, 2.0] };
-    let batch_sizes: &[u32] = if smoke { &[8] } else { &[4, 8, 16] };
-
-    println!("    Throughput sweep (replicas x offered load, cache off):");
-    for &replicas in replica_counts {
-        for &load_factor in load_factors {
-            let report = pool_sweep(
-                4200 + u64::from(replicas),
-                &SweepConfig {
-                    replicas,
-                    offered_per_sec: load_factor * per_replica * f64::from(replicas),
-                    arrivals: 120 * replicas,
-                    ues: 40 * replicas,
-                    queue: QueueConfig {
-                        capacity: 16,
-                        deadline: SimDuration::from_millis(100),
-                    },
-                    cache: None,
-                },
-            );
-            println!("      rho={load_factor:.1} {report}");
-            points.push(point("throughput_sweep", load_factor, 0, &report));
-        }
-        println!();
+    let run = pool_scaling_sweep(&hub, threads(), smoke());
+    for line in &run.lines {
+        println!("{line}");
     }
-
-    println!("    AV pre-generation ablation (1 replica, repeat subscribers):");
-    let base = SweepConfig {
-        replicas: 1,
-        offered_per_sec: 0.5 * per_replica,
-        arrivals: if smoke { 60 } else { 240 },
-        ues: 8,
-        queue: QueueConfig::default(),
-        cache: None,
-    };
-    let off = pool_sweep(4300, &base);
-    println!("      cache off: {off}");
-    points.push(point("av_ablation", 0.5, 0, &off));
-    for &batch_size in batch_sizes {
-        let on = pool_sweep(
-            4300,
-            &SweepConfig {
-                cache: Some(AvCacheConfig {
-                    batch_size,
-                    capacity_per_supi: batch_size as usize * 2,
-                }),
-                ..base
-            },
-        );
-        let stats = on.cache.expect("cache stats");
-        println!(
-            "      batch {batch_size:>2}:  {on} (hit rate {:.0}%)",
-            100.0 * stats.hit_rate()
-        );
-        points.push(point("av_ablation", 0.5, batch_size, &on));
-    }
-    println!("\n    One batched round trip pays the ~91-transition HTTPS choreography");
-    println!("    once per batch; cache hits are served VNF-local without entering");
-    println!("    the enclave, so EENTER/request falls roughly by the batch factor.");
+    println!(
+        "\n    [runner] {} jobs on {} thread(s): wall {:.2}s, {:.2}x speedup",
+        run.stats.jobs,
+        run.stats.threads,
+        run.stats.wall.as_secs_f64(),
+        run.stats.speedup(),
+    );
 
     println!();
-    emit_bench_json("pool_scaling", &points);
+    emit_bench_json_with_runner("pool_scaling", &run.points, &run.stats);
     export_hub("pool_scaling", &hub);
 }

@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runner;
+pub mod sweeps;
+
 use shield5g_core::stats::Summary;
 use shield5g_obs::export;
 use shield5g_obs::hub::ObsHandle;
@@ -73,6 +76,16 @@ pub fn emit_bench_json(name: &str, points: &[String]) {
     write_obs_artifact(
         &format!("BENCH_{name}.json"),
         &export::bench_json(name, points),
+    );
+}
+
+/// Emits a `BENCH_<name>.json` document whose trailing `"runner"` line
+/// carries the sweep runner's wall-time/threads/speedup block — the one
+/// line excluded from thread-count byte-identity comparisons.
+pub fn emit_bench_json_with_runner(name: &str, points: &[String], stats: &runner::RunnerStats) {
+    write_obs_artifact(
+        &format!("BENCH_{name}.json"),
+        &export::bench_json_with_runner(name, points, &stats.to_json()),
     );
 }
 

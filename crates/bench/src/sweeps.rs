@@ -1,0 +1,364 @@
+//! Library-level sweep builders for the bench targets.
+//!
+//! Each builder expands its experiment into independent (sweep-point,
+//! seed) jobs, fans them out through [`runner::run_sweep`], and
+//! assembles the human-readable table lines and machine-readable BENCH
+//! points in **canonical point order** — so both the printed tables and
+//! every artifact rendered from the merged hub are byte-identical
+//! regardless of `SHIELD5G_BENCH_THREADS`. The bench binaries in
+//! `benches/` are thin mains over these functions, and the
+//! merge-determinism tests call them directly.
+
+use crate::runner::{self, Job, RunnerStats};
+use shield5g_core::harness::ablation_optimizations;
+use shield5g_faults::{self as faults, FaultReport};
+use shield5g_obs::export::JsonObj;
+use shield5g_obs::hub::{self, ObsHandle};
+use shield5g_scale::avcache::AvCacheConfig;
+use shield5g_scale::harness::{
+    pool_sweep, probe_service_time, run_scaling_point, scaling_points, ScalingRow, SweepConfig,
+};
+use shield5g_scale::metrics::PoolReport;
+use shield5g_scale::queue::QueueConfig;
+use shield5g_sim::time::SimDuration;
+
+/// One executed sweep: what to print, what to export, and how fast the
+/// runner got it done. `lines` and `points` are in canonical point
+/// order; only `stats` (wall-clock) varies with the thread count.
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// Human-readable table lines, one `println!` each (empty entries
+    /// render blank lines).
+    pub lines: Vec<String>,
+    /// Pre-rendered BENCH JSON point objects.
+    pub points: Vec<String>,
+    /// Runner measurements for the artifact's `"runner"` block.
+    pub stats: RunnerStats,
+}
+
+fn pool_point(scenario: &str, rho: f64, batch: u32, report: &PoolReport) -> String {
+    let mut obj = JsonObj::new()
+        .str("scenario", scenario)
+        .u64("replicas", u64::from(report.replicas))
+        .f64("rho", rho)
+        .u64("batch", u64::from(batch))
+        .f64("offered_per_sec", report.offered_per_sec)
+        .u64("arrivals", report.arrivals)
+        .u64("served", report.served)
+        .u64("shed", report.shed)
+        .f64("throughput_per_sec", report.throughput_per_sec)
+        .raw("response", &report.response.to_json())
+        .raw("queued", &report.queued.to_json());
+    if let Some(cache) = &report.cache {
+        obj = obj.f64("cache_hit_rate", cache.hit_rate());
+    }
+    obj.render()
+}
+
+/// The pool-scaling sweep: replica count × offered load against real
+/// sharded eUDM pools, plus the AV pre-generation ablation. The
+/// single-replica capacity probe runs on the calling thread (recording
+/// into `hub`); every pool run fans out as an independent job.
+#[must_use]
+pub fn pool_scaling_sweep(hub: &ObsHandle, threads: usize, smoke: bool) -> SweepRun {
+    let _scope = hub::scoped(hub);
+    let service = probe_service_time(4100);
+    let per_replica = 1.0 / service.as_secs_f64();
+
+    let replica_counts: &[u32] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let load_factors: &[f64] = if smoke { &[0.8] } else { &[0.5, 0.8, 1.2, 2.0] };
+    let batch_sizes: &[u32] = if smoke { &[8] } else { &[4, 8, 16] };
+
+    let mut jobs: Vec<Job<PoolReport>> = Vec::new();
+    for &replicas in replica_counts {
+        for &load_factor in load_factors {
+            let cfg = SweepConfig {
+                replicas,
+                offered_per_sec: load_factor * per_replica * f64::from(replicas),
+                arrivals: 120 * replicas,
+                ues: 40 * replicas,
+                queue: QueueConfig {
+                    capacity: 16,
+                    deadline: SimDuration::from_millis(100),
+                },
+                cache: None,
+            };
+            let seed = 4200 + u64::from(replicas);
+            jobs.push(Box::new(move || pool_sweep(seed, &cfg)));
+        }
+    }
+    let ablation_base = SweepConfig {
+        replicas: 1,
+        offered_per_sec: 0.5 * per_replica,
+        arrivals: if smoke { 60 } else { 240 },
+        ues: 8,
+        queue: QueueConfig::default(),
+        cache: None,
+    };
+    jobs.push(Box::new(move || pool_sweep(4300, &ablation_base)));
+    for &batch_size in batch_sizes {
+        let cfg = SweepConfig {
+            cache: Some(AvCacheConfig {
+                batch_size,
+                capacity_per_supi: batch_size as usize * 2,
+            }),
+            ..ablation_base
+        };
+        jobs.push(Box::new(move || pool_sweep(4300, &cfg)));
+    }
+
+    let (reports, stats) = runner::run_sweep(hub, threads, jobs);
+
+    let mut lines = Vec::new();
+    let mut points = Vec::new();
+    lines.push(format!(
+        "    single-replica service time {service} (~{per_replica:.0} auth/s capacity)"
+    ));
+    lines.push(String::new());
+    lines.push("    Throughput sweep (replicas x offered load, cache off):".to_owned());
+    let mut next = reports.iter();
+    for &_replicas in replica_counts {
+        for &load_factor in load_factors {
+            let report = next.next().expect("throughput report");
+            lines.push(format!("      rho={load_factor:.1} {report}"));
+            points.push(pool_point("throughput_sweep", load_factor, 0, report));
+        }
+        lines.push(String::new());
+    }
+    lines.push("    AV pre-generation ablation (1 replica, repeat subscribers):".to_owned());
+    let off = next.next().expect("cache-off report");
+    lines.push(format!("      cache off: {off}"));
+    points.push(pool_point("av_ablation", 0.5, 0, off));
+    for &batch_size in batch_sizes {
+        let on = next.next().expect("cache-on report");
+        let cache = on.cache.as_ref().expect("cache stats");
+        lines.push(format!(
+            "      batch {batch_size:>2}:  {on} (hit rate {:.0}%)",
+            100.0 * cache.hit_rate()
+        ));
+        points.push(pool_point("av_ablation", 0.5, batch_size, on));
+    }
+    lines.push(String::new());
+    lines.push("    One batched round trip pays the ~91-transition HTTPS choreography".to_owned());
+    lines.push("    once per batch; cache hits are served VNF-local without entering".to_owned());
+    lines.push("    the enclave, so EENTER/request falls roughly by the batch factor.".to_owned());
+
+    SweepRun {
+        lines,
+        points,
+        stats,
+    }
+}
+
+fn availability(served: u64, arrivals: u64) -> f64 {
+    100.0 * served as f64 / arrivals as f64
+}
+
+fn fault_point(scenario: &str, rate: f64, report: &FaultReport) -> String {
+    JsonObj::new()
+        .str("scenario", scenario)
+        .f64("sbi_fault_rate", rate)
+        .u64("arrivals", report.pool.arrivals)
+        .u64("served", report.pool.served)
+        .u64("shed", report.pool.shed)
+        .f64(
+            "availability_pct",
+            availability(report.pool.served, report.pool.arrivals),
+        )
+        .u64("mttr_ns", report.recovery.mttr.as_nanos())
+        .u64("mttr_max_ns", report.recovery.mttr_max.as_nanos())
+        .f64("goodput_per_sec", report.recovery.goodput_per_sec)
+        .f64("retry_amplification", report.recovery.retry_amplification)
+        .u64("sbi_drops", report.sbi.drops)
+        .u64("sbi_delays", report.sbi.delays)
+        .u64("sbi_errors", report.sbi.errors)
+        .u64("purged_avs", report.purged_avs as u64)
+        .u64("crash_recoveries", report.crash_recoveries)
+        .raw("response", &report.pool.response.to_json())
+        .render()
+}
+
+/// The fault-injection recovery sweep: the SBI-rate availability curve,
+/// a replica kill with warm-standby failover, and an enclave crash with
+/// AEX storm — every point an independent job.
+///
+/// # Panics
+///
+/// Panics when the replica-kill point reports no failover (its
+/// `kill_at` must fire).
+#[must_use]
+pub fn fault_recovery_sweep(hub: &ObsHandle, threads: usize, smoke: bool) -> SweepRun {
+    let _scope = hub::scoped(hub);
+    let specs = faults::bench_points(smoke);
+    let jobs: Vec<Job<FaultReport>> = specs
+        .iter()
+        .map(|&spec| Box::new(move || faults::run_point(&spec)) as Job<FaultReport>)
+        .collect();
+    let (reports, stats) = runner::run_sweep(hub, threads, jobs);
+
+    let mut lines = Vec::new();
+    let mut points = Vec::new();
+    lines.push("    Availability vs SBI fault rate (2 replicas, supervision retries):".to_owned());
+    lines.push(format!(
+        "      {:>6}  {:>7}  {:>10}  {:>10}  {:>6}  {:>12}",
+        "rate", "avail", "mttr", "goodput/s", "ampl", "drop/dly/5xx"
+    ));
+    for (spec, report) in specs.iter().zip(&reports) {
+        match spec.scenario {
+            "sbi_fault_rate" => {
+                lines.push(format!(
+                    "      {:>5.0}%  {:>6.1}%  {:>10}  {:>10.0}  {:>5.2}x  {:>4}/{}/{}",
+                    100.0 * spec.rate,
+                    availability(report.pool.served, report.pool.arrivals),
+                    report.recovery.mttr,
+                    report.recovery.goodput_per_sec,
+                    report.recovery.retry_amplification,
+                    report.sbi.drops,
+                    report.sbi.delays,
+                    report.sbi.errors,
+                ));
+            }
+            "replica_kill" => {
+                let failover = report.failover.as_ref().expect("kill_at fired");
+                lines.push(String::new());
+                lines
+                    .push("    Replica death with warm-standby failover (AV cache on):".to_owned());
+                lines.push(format!(
+                    "      availability {:.1}%, failover {} (standby promoted: {}), {} AVs purged",
+                    availability(report.pool.served, report.pool.arrivals),
+                    failover.failover,
+                    failover.standby_promoted,
+                    report.purged_avs,
+                ));
+                lines.push(format!("      {report}"));
+            }
+            _ => {
+                lines.push(String::new());
+                lines.push("    Enclave crash with AEX storm (reload on next request):".to_owned());
+                lines.push(format!(
+                    "      availability {:.1}%, {} crash reload(s), worst response {} \
+                     (reload visible: {})",
+                    availability(report.pool.served, report.pool.arrivals),
+                    report.crash_recoveries,
+                    report.pool.response.max,
+                    report.pool.response.max > SimDuration::from_secs(30),
+                ));
+                lines.push(format!("      {report}"));
+            }
+        }
+        points.push(fault_point(spec.scenario, spec.rate, report));
+    }
+    lines.push(String::new());
+    lines.push("    Every run is a pure function of its seed: the fault schedule,".to_owned());
+    lines.push("    workload, and retry jitter come from forked DetRng streams, so".to_owned());
+    lines.push("    rerunning any row reproduces it byte-for-byte.".to_owned());
+
+    SweepRun {
+        lines,
+        points,
+        stats,
+    }
+}
+
+/// Output of one ablation-sweep job: either the optimisation-ablation
+/// row set or one horizontal-scaling row.
+enum AblationOut {
+    Rows(Vec<shield5g_core::harness::AblationRow>),
+    Scaling(ScalingRow),
+}
+
+/// The §V-B7 ablation sweep: the optimisation ablation (one job — its
+/// rows share an engine run) plus one job per horizontal-scaling
+/// instance count. The single-replica capacity probe runs on the
+/// calling thread.
+///
+/// # Panics
+///
+/// Panics if the runner returns a job list shape it was not given (an
+/// internal error).
+#[must_use]
+pub fn ablation_sweep(hub: &ObsHandle, threads: usize, smoke: bool, reps: u32) -> SweepRun {
+    let _scope = hub::scoped(hub);
+    let max_instances = if smoke { 2 } else { 4 };
+    let scaling_reps = (reps / 4).max(10);
+    let service = probe_service_time(1900);
+
+    let mut jobs: Vec<Job<AblationOut>> = Vec::new();
+    jobs.push(Box::new(move || {
+        AblationOut::Rows(ablation_optimizations(1800, reps))
+    }));
+    for point in scaling_points(1900, scaling_reps, max_instances, service) {
+        jobs.push(Box::new(move || {
+            AblationOut::Scaling(run_scaling_point(&point))
+        }));
+    }
+    let (outputs, stats) = runner::run_sweep(hub, threads, jobs);
+
+    let mut lines = Vec::new();
+    let mut points = Vec::new();
+    let mut outputs = outputs.into_iter();
+    let Some(AblationOut::Rows(rows)) = outputs.next() else {
+        panic!("ablation rows must be the first job");
+    };
+    let baseline = rows[0].r_stable.median;
+    for row in &rows {
+        let speedup = baseline.as_nanos() as f64 / row.r_stable.median.as_nanos() as f64;
+        lines.push(format!(
+            "    {:24} {:>26}   {:.2}x vs baseline",
+            row.label,
+            crate::fmt_summary(&row.r_stable),
+            speedup
+        ));
+        points.push(
+            JsonObj::new()
+                .str("scenario", "ablation")
+                .str("label", &row.label)
+                .f64("speedup_vs_baseline", speedup)
+                .raw("r_stable", &row.r_stable.to_json())
+                .render(),
+        );
+    }
+    lines.push(String::new());
+    lines.push("    Horizontal scaling (real eUDM replica pool, shield5g-scale):".to_owned());
+    for output in outputs {
+        let AblationOut::Scaling(row) = output else {
+            panic!("scaling rows must follow the ablation rows");
+        };
+        lines.push(format!(
+            "      {} instance(s): stable R {} -> {:.0} authentications/s ({} shed)",
+            row.instances, row.stable_response, row.throughput_per_sec, row.shed
+        ));
+        points.push(
+            JsonObj::new()
+                .str("scenario", "horizontal_scaling")
+                .u64("instances", u64::from(row.instances))
+                .u64("stable_response_ns", row.stable_response.as_nanos())
+                .f64("throughput_per_sec", row.throughput_per_sec)
+                .u64("shed", row.shed)
+                .render(),
+        );
+    }
+
+    SweepRun {
+        lines,
+        points,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_points_cover_all_three_layers() {
+        let specs = faults::bench_points(true);
+        let scenarios: Vec<&str> = specs.iter().map(|s| s.scenario).collect();
+        assert_eq!(
+            scenarios,
+            ["sbi_fault_rate", "replica_kill", "enclave_crash"]
+        );
+        let full = faults::bench_points(false);
+        assert_eq!(full.len(), 8, "6 rates + kill + crash");
+    }
+}

@@ -30,4 +30,6 @@ pub mod plan;
 pub mod sweep;
 
 pub use plan::{FaultConfig, FaultCounts, SbiFaultPlan};
-pub use sweep::{fault_sweep, FaultReport, FaultSweepConfig};
+pub use sweep::{
+    bench_points, fault_sweep, run_point, FaultReport, FaultSweepConfig, FaultSweepPoint,
+};

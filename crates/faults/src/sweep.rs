@@ -400,6 +400,89 @@ pub fn fault_sweep(seed: u64, cfg: &FaultSweepConfig) -> FaultReport {
     }
 }
 
+/// One fully-specified point of the fault-sweep bench: scenario label,
+/// the SBI fault rate the point represents (0 for the instance-failure
+/// scenarios), seed, and config. `Copy + Send`, so a parallel sweep
+/// runner can move points onto worker threads; running a point is a
+/// pure function of this struct.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSweepPoint {
+    /// Scenario label the bench reports (`sbi_fault_rate`,
+    /// `replica_kill`, `enclave_crash`).
+    pub scenario: &'static str,
+    /// Total SBI fault rate of the point (split evenly across
+    /// drop/delay/5xx).
+    pub rate: f64,
+    /// Seed of this point's run.
+    pub seed: u64,
+    /// The full experiment configuration.
+    pub cfg: FaultSweepConfig,
+}
+
+/// The fault-sweep bench's point list: the SBI-rate availability curve
+/// (layer 1), a replica kill with warm-standby failover (layer 3), and
+/// an enclave crash with AEX storm (layer 2). `smoke` shrinks every
+/// point to CI-smoke size.
+#[must_use]
+pub fn bench_points(smoke: bool) -> Vec<FaultSweepPoint> {
+    let fault_rates: &[f64] = if smoke {
+        &[0.06]
+    } else {
+        &[0.0, 0.02, 0.05, 0.10, 0.20, 0.35]
+    };
+    let mut points: Vec<FaultSweepPoint> = fault_rates
+        .iter()
+        .map(|&rate| FaultSweepPoint {
+            scenario: "sbi_fault_rate",
+            rate,
+            seed: 900,
+            cfg: FaultSweepConfig {
+                arrivals: if smoke { 80 } else { 240 },
+                sbi: FaultConfig {
+                    drop_rate: rate / 3.0,
+                    delay_rate: rate / 3.0,
+                    error_rate: rate / 3.0,
+                    ..FaultConfig::default()
+                },
+                ..FaultSweepConfig::default()
+            },
+        })
+        .collect();
+    points.push(FaultSweepPoint {
+        scenario: "replica_kill",
+        rate: 0.0,
+        seed: 910,
+        cfg: FaultSweepConfig {
+            arrivals: if smoke { 80 } else { 220 },
+            ues: 12,
+            cache: Some(AvCacheConfig {
+                batch_size: 8,
+                capacity_per_supi: 16,
+            }),
+            kill_at: Some(if smoke { 30 } else { 110 }),
+            ..FaultSweepConfig::default()
+        },
+    });
+    points.push(FaultSweepPoint {
+        scenario: "enclave_crash",
+        rate: 0.0,
+        seed: 920,
+        cfg: FaultSweepConfig {
+            arrivals: if smoke { 80 } else { 160 },
+            crash_at: Some(if smoke { 20 } else { 40 }),
+            aex_storm: 500,
+            ..FaultSweepConfig::default()
+        },
+    });
+    points
+}
+
+/// Runs one fault-sweep point.
+#[must_use]
+pub fn run_point(point: &FaultSweepPoint) -> FaultReport {
+    fault_sweep(point.seed, &point.cfg)
+}
+
 fn snn() -> ServingNetworkName {
     ServingNetworkName::new("001", "01")
 }

@@ -136,6 +136,13 @@ impl Config {
                 // nondeterminism here lands directly in the engine
                 // trace.
                 s("crates/mw/src"),
+                // The bench sweep runner merges per-job observability
+                // in canonical order and promises thread-count-
+                // invariant artifacts; ambient randomness or an
+                // unmarked wall-clock read here would break the
+                // byte-identity gate. (The runner's own wall-time
+                // measurement carries justified allow markers.)
+                s("crates/bench/src"),
             ],
             mw_boundary_dirs: vec![s("crates/nf/src")],
             panic_budget: Vec::new(),

@@ -125,6 +125,30 @@ fn mw_crate_is_determinism_covered() {
 }
 
 #[test]
+fn bench_runner_is_determinism_covered() {
+    // The sweep runner promises thread-count-invariant artifacts; an
+    // unmarked wall-clock read or ambient randomness in the bench crate
+    // would break the byte-identity gate without any test noticing on a
+    // single machine.
+    let config = Config::repo_default();
+    assert!(
+        config.trace_dirs.iter().any(|d| d == "crates/bench/src"),
+        "crates/bench/src missing from trace_dirs: {:?}",
+        config.trace_dirs
+    );
+    let src = "pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let report = run_rules(
+        &[FileAnalysis::from_source("crates/bench/src/sloppy.rs", src)],
+        &config,
+    );
+    assert!(
+        rules_of(&report.findings).contains(&"DT001"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn mw_boundary_fixture_violations_are_caught() {
     let mut config = Config::default();
     config.mw_boundary_dirs.push("mw_boundary".into());

@@ -10,12 +10,27 @@
 //!
 //! The hub is thread-local because each simulated world is
 //! single-threaded (`Rc`-based services); parallel test threads each get
-//! their own isolated recording context.
+//! their own isolated recording context. The flip side is that a thread
+//! with **no** hub installed records nothing — historically *silently*.
+//! Two mechanisms make that loss observable:
+//!
+//! * [`hub_misses`] — a process-global counter of instrumentation calls
+//!   that found no hub on their thread. A harness that fans work out to
+//!   worker threads can assert the counter did not move.
+//! * [`set_strict`] — a per-thread flag that turns a miss into a
+//!   `debug_assert!` failure, for contexts (like the bench sweep runner)
+//!   where every recording thread is *supposed* to have a hub.
+//!
+//! Worker threads install their own [`ObsHandle`] and hand the recorded
+//! [`Obs`] back to the coordinator, which folds the contexts together
+//! with [`Obs::merge`] in a canonical order — the merged result is then
+//! a pure function of that order, independent of thread scheduling.
 
 use crate::metrics::Registry;
 use crate::span::{SpanId, SpanKind, SpanLog};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One recording context: a registry, a span log, and the stack of
 /// currently-executing spans new children attach to.
@@ -29,6 +44,19 @@ pub struct Obs {
 }
 
 impl Obs {
+    /// Folds another recording context into this one.
+    ///
+    /// Counters add, gauges replay in call order (overwrite for
+    /// `set_gauge`, raise-only for `max_gauge`), histograms pool their
+    /// buckets, and `other`'s spans are appended with their ids remapped
+    /// past this log's — so merging job contexts in a canonical job
+    /// order reproduces exactly what a serial run recording into one
+    /// hub would have produced.
+    pub fn merge(&mut self, other: Obs) {
+        self.registry.merge(other.registry);
+        self.spans.absorb(other.spans);
+    }
+
     /// The innermost currently-executing span, if any.
     #[must_use]
     pub fn current(&self) -> Option<SpanId> {
@@ -69,6 +97,28 @@ impl ObsHandle {
 
 thread_local! {
     static ACTIVE: RefCell<Option<ObsHandle>> = const { RefCell::new(None) };
+    static STRICT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-global count of instrumentation calls that found no hub on
+/// their thread. Grows monotonically for the life of the process.
+static HUB_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// How many instrumentation calls process-wide hit a thread with no
+/// installed hub. Deliberate obs-off runs count too; the counter is for
+/// harnesses that *expect* every recording thread to have a hub and
+/// want to assert nothing was silently dropped (compare before/after).
+#[must_use]
+pub fn hub_misses() -> u64 {
+    HUB_MISSES.load(Ordering::Relaxed)
+}
+
+/// Makes hub misses on **this thread** fail a `debug_assert!` instead
+/// of passing silently (release builds still only count). The flag is
+/// thread-local so a strict worker pool does not break unrelated
+/// threads that legitimately run with observability off.
+pub fn set_strict(strict: bool) {
+    STRICT.with(|s| s.set(strict));
 }
 
 /// Installs `hub` as this thread's recording context (replacing any
@@ -107,9 +157,26 @@ pub fn scoped(hub: &ObsHandle) -> Scope {
 }
 
 /// Runs `f` against the installed context, or returns `None` without
-/// side effects when observability is off.
+/// side effects when observability is off. Misses bump the process-wide
+/// [`hub_misses`] counter and, on a [`set_strict`] thread, fail a
+/// `debug_assert!` — silent loss from a thread that was supposed to
+/// record is a harness bug, not an obs-off run.
 pub fn with<R>(f: impl FnOnce(&mut Obs) -> R) -> Option<R> {
-    ACTIVE.with(|a| a.borrow().as_ref().map(|h| h.with(f)))
+    // Clone the handle out of the thread-local borrow before running
+    // `f`: instrumentation called from inside `f` would otherwise hit
+    // a RefCell double-borrow on ACTIVE.
+    let handle = ACTIVE.with(|a| a.borrow().as_ref().cloned());
+    match handle {
+        Some(h) => Some(h.with(f)),
+        None => {
+            HUB_MISSES.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(
+                !STRICT.with(Cell::get),
+                "obs::hub miss on a strict thread: instrumentation ran with no hub installed"
+            );
+            None
+        }
+    }
 }
 
 /// Adds `n` to a counter.
@@ -241,6 +308,97 @@ mod tests {
         assert!(id.is_none());
         close_span(id, 10);
         assert!(with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn miss_from_spawned_thread_is_counted() {
+        let before = hub_misses();
+        std::thread::spawn(|| {
+            // No hub installed on this thread: both calls must miss.
+            count("amf", "/ngap", "requests", 1);
+            observe("amf", "/ngap", "latency", 7);
+        })
+        .join()
+        .unwrap();
+        assert!(
+            hub_misses() >= before + 2,
+            "expected >= 2 new hub misses, got {} -> {}",
+            before,
+            hub_misses()
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn strict_thread_panics_on_miss() {
+        let joined = std::thread::spawn(|| {
+            set_strict(true);
+            count("amf", "/ngap", "requests", 1);
+        })
+        .join();
+        assert!(joined.is_err(), "strict miss must fail the debug assert");
+    }
+
+    #[test]
+    fn strict_thread_with_hub_records_normally() {
+        std::thread::spawn(|| {
+            set_strict(true);
+            let hub = ObsHandle::new();
+            let _scope = scoped(&hub);
+            count("amf", "/ngap", "requests", 3);
+            assert_eq!(
+                hub.with(|o| o.registry.counter("amf", "/ngap", "requests")),
+                3
+            );
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn merge_reproduces_serial_recording() {
+        // Serial reference: one hub records A then B.
+        let serial = ObsHandle::new();
+        {
+            let _scope = scoped(&serial);
+            count("amf", "/ngap", "requests", 2);
+            observe("amf", "/ngap", "latency", 10);
+            let a = open_span(SpanKind::Stage, "job", "a", 0);
+            close_span(a, 5);
+            count("amf", "/ngap", "requests", 3);
+            observe("amf", "/ngap", "latency", 40);
+            let b = open_span(SpanKind::Stage, "job", "b", 10);
+            close_span(b, 25);
+        }
+        // Parallel shape: A and B record into separate hubs, merged in
+        // job order.
+        let job_a = ObsHandle::new();
+        {
+            let _scope = scoped(&job_a);
+            count("amf", "/ngap", "requests", 2);
+            observe("amf", "/ngap", "latency", 10);
+            let a = open_span(SpanKind::Stage, "job", "a", 0);
+            close_span(a, 5);
+        }
+        let job_b = ObsHandle::new();
+        {
+            let _scope = scoped(&job_b);
+            count("amf", "/ngap", "requests", 3);
+            observe("amf", "/ngap", "latency", 40);
+            let b = open_span(SpanKind::Stage, "job", "b", 10);
+            close_span(b, 25);
+        }
+        let merged = ObsHandle::new();
+        merged.with(|o| {
+            o.merge(job_a.with(std::mem::take));
+            o.merge(job_b.with(std::mem::take));
+        });
+        let serial_prom = serial.with(|o| crate::export::prometheus(&o.registry));
+        let merged_prom = merged.with(|o| crate::export::prometheus(&o.registry));
+        assert_eq!(serial_prom, merged_prom);
+        let serial_spans = serial.with(|o| crate::export::spans_jsonl(&o.spans));
+        let merged_spans = merged.with(|o| crate::export::spans_jsonl(&o.spans));
+        assert_eq!(serial_spans, merged_spans);
     }
 
     #[test]

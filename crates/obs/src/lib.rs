@@ -17,6 +17,12 @@
 //!   is installed every instrumentation site is a no-op, so obs-disabled
 //!   runs are byte-identical to obs-enabled runs — the
 //!   **zero-perturbation guarantee**, gated by `tests/determinism.rs`.
+//!   Hubs install per thread: a parallel sweep gives each job its own
+//!   hub and merges the recordings afterwards ([`hub::Obs::merge`]) in
+//!   canonical job order, reproducing the serial recording
+//!   byte-for-byte. Misses (instrumentation with no hub installed) are
+//!   counted process-wide ([`hub::hub_misses`]) and panic in debug
+//!   builds on threads opted into strict mode ([`hub::set_strict`]).
 //! * [`labels`] — the closed registry of series label constants every
 //!   instrumentation site draws from (typo'd inline labels are caught by
 //!   a membership test over emitted keys).

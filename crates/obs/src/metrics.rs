@@ -7,7 +7,7 @@
 //! per power of two), bounding the relative quantile error at ~6% while
 //! keeping memory flat regardless of sample count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies one time series: which network function, which endpoint
 /// (address or path), and what is being measured.
@@ -59,7 +59,12 @@ fn bucket_index(v: u64) -> usize {
     ((mag - SUB_BITS) as usize + 1) * (1 << SUB_BITS) + sub
 }
 
-/// Lower bound of the value range covered by a bucket.
+/// Lower bound of the value range covered by a bucket, saturating at
+/// `u64::MAX`. Saturation matters for exactly one caller pattern:
+/// `bucket_floor(bucket_index(u64::MAX) + 1)` names the upper edge of
+/// the last reachable bucket, which sits at 2^64 — a plain `u64` shift
+/// there silently wraps to 0 and would corrupt every quantile read on a
+/// histogram holding near-`u64::MAX` samples.
 fn bucket_floor(index: usize) -> u64 {
     let per = 1usize << SUB_BITS;
     if index < per {
@@ -67,7 +72,8 @@ fn bucket_floor(index: usize) -> u64 {
     }
     let octave = (index / per) as u32 - 1;
     let sub = (index % per) as u64;
-    ((per as u64) + sub) << octave
+    let lo = (u128::from(per as u64) + u128::from(sub)) << octave;
+    u64::try_from(lo).unwrap_or(u64::MAX)
 }
 
 impl Histogram {
@@ -129,26 +135,79 @@ impl Histogram {
         }
     }
 
-    /// Approximate value at quantile `q` in `[0, 1]`: the midpoint of
-    /// the bucket holding the `ceil(q·count)`-th sample, clamped to the
-    /// exact observed `[min, max]`. Relative error is bounded by the
-    /// bucket width (≤ 1/16 of the value).
+    /// Bucket-approximate value of the 0-based `rank`-th sample in
+    /// sorted order: the representative of the bucket holding it (the
+    /// exact value for unit-width buckets below 16, the midpoint
+    /// otherwise), clamped to the observed `[min, max]`.
+    fn rank_value(&self, rank: u64) -> u64 {
+        // Endpoint ranks are exact: the histogram tracks the true
+        // min/max, matching `Summary` (where q=0 and q=1 are exact).
+        if rank == 0 {
+            return self.min;
+        }
+        if rank + 1 >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                let lo = bucket_floor(idx);
+                let hi = bucket_floor(idx + 1);
+                let mid = if hi - lo <= 1 { lo } else { lo + (hi - lo) / 2 };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`, using the same
+    /// linear-interpolation definition as `shield5g_core::stats::Summary`
+    /// (NumPy/R type 7): the fractional rank `q·(count−1)` interpolates
+    /// between the two straddling samples' bucket representatives.
+    /// Exact for samples below 16 (unit-width buckets); otherwise the
+    /// relative error is bounded by the bucket width (≤ 1/16 of the
+    /// value).
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let lo = bucket_floor(idx);
-                let hi = bucket_floor(idx + 1);
-                return ((lo + hi) / 2).clamp(self.min, self.max);
-            }
+        let pos = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let lo_rank = pos.floor() as u64;
+        let hi_rank = pos.ceil() as u64;
+        let lo = self.rank_value(lo_rank);
+        let v = if lo_rank == hi_rank {
+            lo as f64
+        } else {
+            let hi = self.rank_value(hi_rank);
+            let frac = pos - lo_rank as f64;
+            lo as f64 * (1.0 - frac) + hi as f64 * frac
+        };
+        (v.round() as u64).clamp(self.min, self.max)
+    }
+
+    /// Pools another histogram's samples into this one (bucket-wise
+    /// addition; min/max/count/sum fold exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
         }
-        self.max
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// The same statistic set as `shield5g_core::stats::Summary`
@@ -201,6 +260,12 @@ pub struct Registry {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, f64>,
     histograms: BTreeMap<Key, Histogram>,
+    /// Gauges that have only ever been touched by `max_gauge`: merging
+    /// registries must treat these as high-water marks (raise-only),
+    /// while a gauge last written by `set_gauge` is overwritten by the
+    /// later context. Without the marker a merge cannot tell the two
+    /// apart and would either lose peaks or resurrect stale absolutes.
+    max_only: BTreeSet<Key>,
 }
 
 impl Registry {
@@ -229,18 +294,25 @@ impl Registry {
 
     /// Sets a gauge to an absolute value.
     pub fn set_gauge(&mut self, nf: &str, endpoint: &str, label: &str, v: f64) {
-        self.gauges.insert(Key::new(nf, endpoint, label), v);
+        let key = Key::new(nf, endpoint, label);
+        self.max_only.remove(&key);
+        self.gauges.insert(key, v);
     }
 
     /// Raises a gauge to `v` if `v` exceeds its current value
     /// (high-water marks: peak queue depth, peak pool occupancy).
     pub fn max_gauge(&mut self, nf: &str, endpoint: &str, label: &str, v: f64) {
-        let entry = self
-            .gauges
-            .entry(Key::new(nf, endpoint, label))
-            .or_insert(v);
-        if v > *entry {
-            *entry = v;
+        let key = Key::new(nf, endpoint, label);
+        match self.gauges.entry(key.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(v);
+                self.max_only.insert(key);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if v > *e.get() {
+                    *e.get_mut() = v;
+                }
+            }
         }
     }
 
@@ -283,6 +355,38 @@ impl Registry {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into this registry, reproducing what one registry
+    /// would hold had both recording sequences run against it in order
+    /// (this one first): counters add, histograms pool, `max_gauge`-only
+    /// gauges raise, and gauges `other` last wrote with `set_gauge`
+    /// overwrite.
+    pub fn merge(&mut self, other: Registry) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.gauges {
+            if other.max_only.contains(&k) {
+                match self.gauges.entry(k.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                        self.max_only.insert(k);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        if v > *e.get() {
+                            *e.get_mut() = v;
+                        }
+                    }
+                }
+            } else {
+                self.max_only.remove(&k);
+                self.gauges.insert(k, v);
+            }
+        }
+        for (k, h) in other.histograms {
+            self.histograms.entry(k).or_default().merge(&h);
+        }
     }
 }
 
@@ -391,5 +495,144 @@ mod tests {
         r.add("m", "e", "l", 1);
         let nfs: Vec<&str> = r.counters().map(|(k, _)| k.nf.as_str()).collect();
         assert_eq!(nfs, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn bucket_floor_saturates_past_last_bucket() {
+        let last = bucket_index(u64::MAX);
+        // The upper edge of the last reachable bucket is 2^64: floor
+        // must saturate, not silently shift the bit out to 0.
+        assert_eq!(bucket_floor(last + 1), u64::MAX);
+        assert!(bucket_floor(last) <= bucket_floor(last + 1));
+        assert!(bucket_floor(last) > bucket_floor(last - 1));
+    }
+
+    #[test]
+    fn quantile_is_safe_near_u64_max() {
+        let mut h = Histogram::new();
+        for v in [u64::MAX, u64::MAX - 1, u64::MAX / 2] {
+            h.record(v);
+        }
+        // Pre-fix this panicked (debug overflow in the midpoint add) or
+        // returned a wrapped-to-tiny value in release.
+        for &q in &[0.0, 0.5, 0.95, 1.0] {
+            let got = h.quantile(q);
+            assert!(got >= u64::MAX / 2, "q={q}: got {got}");
+        }
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_pools_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut serial = Histogram::new();
+        for v in [3u64, 900, 17] {
+            a.record(v);
+            serial.record(v);
+        }
+        for v in [44_000u64, 5, 230] {
+            b.record(v);
+            serial.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, serial);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a, serial);
+        // Merging into an empty histogram copies.
+        let mut empty = Histogram::new();
+        empty.merge(&serial);
+        assert_eq!(empty, serial);
+    }
+
+    #[test]
+    fn registry_merge_matches_serial_recording() {
+        // Serial reference: one registry sees both recording sequences.
+        let mut serial = Registry::new();
+        serial.add("amf", "/ngap", "requests", 2);
+        serial.set_gauge("pool", "r0", "replicas", 4.0);
+        serial.max_gauge("pool", "r0", "peak_depth", 7.0);
+        serial.observe("udm", "/av", "latency_ns", 1_000);
+        serial.add("amf", "/ngap", "requests", 3);
+        serial.set_gauge("pool", "r0", "replicas", 2.0);
+        serial.max_gauge("pool", "r0", "peak_depth", 5.0);
+        serial.observe("udm", "/av", "latency_ns", 9_000);
+
+        // Parallel shape: two registries, merged in recording order.
+        let mut first = Registry::new();
+        first.add("amf", "/ngap", "requests", 2);
+        first.set_gauge("pool", "r0", "replicas", 4.0);
+        first.max_gauge("pool", "r0", "peak_depth", 7.0);
+        first.observe("udm", "/av", "latency_ns", 1_000);
+        let mut second = Registry::new();
+        second.add("amf", "/ngap", "requests", 3);
+        second.set_gauge("pool", "r0", "replicas", 2.0);
+        second.max_gauge("pool", "r0", "peak_depth", 5.0);
+        second.observe("udm", "/av", "latency_ns", 9_000);
+        first.merge(second);
+
+        assert_eq!(first.counter("amf", "/ngap", "requests"), 5);
+        // set_gauge: the later context's absolute wins (2.0, not 4.0).
+        assert_eq!(first.gauge("pool", "r0", "replicas"), Some(2.0));
+        // max_gauge: the high-water mark survives (7.0, not 5.0).
+        assert_eq!(first.gauge("pool", "r0", "peak_depth"), Some(7.0));
+        assert_eq!(
+            first.histogram("udm", "/av", "latency_ns").unwrap().count(),
+            2
+        );
+        assert_eq!(
+            first.gauge("pool", "r0", "replicas"),
+            serial.gauge("pool", "r0", "replicas")
+        );
+        assert_eq!(
+            first.gauge("pool", "r0", "peak_depth"),
+            serial.gauge("pool", "r0", "peak_depth")
+        );
+    }
+
+    #[test]
+    fn set_gauge_after_max_gauge_clears_high_water_semantics() {
+        // A set_gauge downstream of max_gauge makes the key absolute:
+        // a later merge must overwrite, not raise.
+        let mut first = Registry::new();
+        first.max_gauge("pool", "r0", "depth", 9.0);
+        first.set_gauge("pool", "r0", "depth", 9.0);
+        let mut second = Registry::new();
+        second.set_gauge("pool", "r0", "depth", 1.0);
+        first.merge(second);
+        assert_eq!(first.gauge("pool", "r0", "depth"), Some(1.0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(2048))]
+
+        /// Over the full u64 range (shift-overflow territory included):
+        /// a bucket's floor never exceeds the values it holds, floor
+        /// round-trips back to the same bucket, and the bucketing is
+        /// monotone.
+        #[test]
+        fn bucket_floor_bounds_and_monotonicity(v in 0u64..=u64::MAX) {
+            let idx = bucket_index(v);
+            proptest::prop_assert!(bucket_floor(idx) <= v, "floor({idx}) > {v}");
+            proptest::prop_assert_eq!(bucket_index(bucket_floor(idx)), idx);
+            if v > 0 {
+                proptest::prop_assert!(bucket_index(v - 1) <= idx);
+            }
+            if v < u64::MAX {
+                proptest::prop_assert!(bucket_index(v + 1) >= idx);
+                proptest::prop_assert!(bucket_floor(idx + 1) > bucket_floor(idx));
+            }
+        }
+
+        /// Single-sample histograms: every quantile is the (bucket-
+        /// clamped) sample itself, and recording never panics anywhere
+        /// in the u64 range.
+        #[test]
+        fn single_sample_quantiles_are_the_sample(v in 0u64..=u64::MAX, q_pct in 0u64..=100) {
+            let mut h = Histogram::new();
+            h.record(v);
+            proptest::prop_assert_eq!(h.quantile(q_pct as f64 / 100.0), v);
+        }
     }
 }

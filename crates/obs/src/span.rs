@@ -202,6 +202,30 @@ impl SpanLog {
         self.open.remove(&id);
     }
 
+    /// Appends another log's finished spans to this one, remapping their
+    /// ids (and trace/parent links) past this log's id space — exactly
+    /// the ids they would have received had both sequences recorded into
+    /// one log in this order. `other`'s open spans are discarded (a
+    /// merged job context has nothing mid-flight); its drop count
+    /// carries over, and this log's retention cap keeps applying.
+    pub fn absorb(&mut self, other: SpanLog) {
+        let base = self.next_id - 1;
+        self.dropped += other.dropped;
+        for span in other.finished {
+            if self.finished.len() + self.open.len() >= self.cap {
+                self.dropped += 1;
+                continue;
+            }
+            self.finished.push(Span {
+                id: span.id + base,
+                trace: span.trace + base,
+                parent: span.parent.map(|p| p + base),
+                ..span
+            });
+        }
+        self.next_id += other.next_id - 1;
+    }
+
     /// Adds `n` to an attribute of an *open* span, creating it at zero.
     pub fn add_attr(&mut self, id: SpanId, key: &'static str, n: u64) {
         if let Some(span) = self.open.get_mut(&id) {
@@ -414,6 +438,66 @@ mod tests {
         log.close(a.unwrap(), 5);
         log.close(b.unwrap(), 5);
         assert_eq!(log.finished().len(), 2);
+    }
+
+    #[test]
+    fn absorb_remaps_ids_like_serial_recording() {
+        // Serial reference: both nests recorded into one log.
+        let mut serial = SpanLog::new();
+        for _ in 0..2 {
+            let root = serial.open(SpanKind::Stage, None, "ue", "reg", 0).unwrap();
+            let a = serial
+                .open(SpanKind::Request, Some(root), "amf", "/a", 10)
+                .unwrap();
+            serial.close(a, 40);
+            serial.close(root, 100);
+        }
+        // Parallel shape: separate logs, absorbed in job order.
+        let build = || {
+            let mut log = SpanLog::new();
+            let root = log.open(SpanKind::Stage, None, "ue", "reg", 0).unwrap();
+            let a = log
+                .open(SpanKind::Request, Some(root), "amf", "/a", 10)
+                .unwrap();
+            log.close(a, 40);
+            log.close(root, 100);
+            log
+        };
+        let mut merged = build();
+        merged.absorb(build());
+        assert_eq!(merged.finished(), serial.finished());
+        assert_eq!(merged.dropped(), 0);
+        // Ids keep advancing past the absorbed range.
+        let next = merged.open(SpanKind::Stage, None, "ue", "reg2", 0).unwrap();
+        assert_eq!(next, 5);
+    }
+
+    #[test]
+    fn absorb_respects_cap_and_carries_drops() {
+        let mut a = SpanLog::new();
+        a.set_cap(3);
+        let s1 = a.open(SpanKind::Stage, None, "x", "a", 0).unwrap();
+        a.close(s1, 5);
+        let mut b = SpanLog::new();
+        b.set_cap(2);
+        for name in ["b", "c", "d"] {
+            if let Some(id) = b.open(SpanKind::Stage, None, "x", name, 0) {
+                b.close(id, 5);
+            }
+        }
+        assert_eq!(b.dropped(), 1);
+        a.absorb(b);
+        // a takes both of b's retained spans (1 + 2 = cap 3), and b's
+        // own drop carries over.
+        assert_eq!(a.finished().len(), 3);
+        assert_eq!(a.dropped(), 1);
+        // One more absorbed span past a's cap drops deterministically.
+        let mut c = SpanLog::new();
+        let id = c.open(SpanKind::Stage, None, "x", "e", 0).unwrap();
+        c.close(id, 5);
+        a.absorb(c);
+        assert_eq!(a.finished().len(), 3);
+        assert_eq!(a.dropped(), 2);
     }
 
     #[test]

@@ -265,6 +265,58 @@ pub struct ScalingRow {
 /// imbalance cannot push a single replica past saturation.
 const SCALING_UTILISATION: f64 = 0.65;
 
+/// One fully-specified point of the horizontal-scaling sweep: enough to
+/// run `pool_sweep` for it anywhere. `Copy + Send`, so a parallel sweep
+/// runner can move points onto worker threads; running a point is a
+/// pure function of this struct, independent of every other point.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Ready enclave replicas this point deploys.
+    pub instances: u32,
+    /// Seed of this point's run.
+    pub seed: u64,
+    /// The derived pool-sweep configuration.
+    pub cfg: SweepConfig,
+}
+
+/// Expands the §V-B7 sweep into its independent per-instance-count
+/// points. `service` is the single-replica occupancy from
+/// [`probe_service_time`] — probed once, shared by every point.
+#[must_use]
+pub fn scaling_points(
+    base_seed: u64,
+    reps: u32,
+    max_instances: u32,
+    service: SimDuration,
+) -> Vec<ScalingPoint> {
+    let per_replica_rate = SCALING_UTILISATION / service.as_secs_f64();
+    (1..=max_instances)
+        .map(|instances| ScalingPoint {
+            instances,
+            seed: base_seed + u64::from(instances),
+            cfg: SweepConfig {
+                replicas: instances,
+                offered_per_sec: per_replica_rate * f64::from(instances),
+                arrivals: (reps * 12).max(60) * instances,
+                ues: 40 * instances,
+                ..SweepConfig::default()
+            },
+        })
+        .collect()
+}
+
+/// Runs one horizontal-scaling point.
+#[must_use]
+pub fn run_scaling_point(point: &ScalingPoint) -> ScalingRow {
+    let report = pool_sweep(point.seed, &point.cfg);
+    ScalingRow {
+        instances: point.instances,
+        stable_response: report.response.median,
+        throughput_per_sec: report.throughput_per_sec,
+        shed: report.shed,
+    }
+}
+
 /// **§V-B7 horizontal scaling**: deploys pools of `1..=max_instances`
 /// real eUDM replicas, drives each with a gnbsim-style open-loop
 /// registration workload at a fixed per-replica utilisation, and reports
@@ -274,24 +326,9 @@ const SCALING_UTILISATION: f64 = 0.65;
 #[must_use]
 pub fn horizontal_scaling(base_seed: u64, reps: u32, max_instances: u32) -> Vec<ScalingRow> {
     let service = probe_service_time(base_seed);
-    let per_replica_rate = SCALING_UTILISATION / service.as_secs_f64();
-    (1..=max_instances)
-        .map(|instances| {
-            let cfg = SweepConfig {
-                replicas: instances,
-                offered_per_sec: per_replica_rate * f64::from(instances),
-                arrivals: (reps * 12).max(60) * instances,
-                ues: 40 * instances,
-                ..SweepConfig::default()
-            };
-            let report = pool_sweep(base_seed + u64::from(instances), &cfg);
-            ScalingRow {
-                instances,
-                stable_response: report.response.median,
-                throughput_per_sec: report.throughput_per_sec,
-                shed: report.shed,
-            }
-        })
+    scaling_points(base_seed, reps, max_instances, service)
+        .iter()
+        .map(run_scaling_point)
         .collect()
 }
 

@@ -33,7 +33,10 @@ pub mod queue;
 pub mod router;
 
 pub use avcache::{AvCache, AvCacheConfig, CacheStats};
-pub use harness::{horizontal_scaling, pool_sweep, probe_service_time, ScalingRow, SweepConfig};
+pub use harness::{
+    horizontal_scaling, pool_sweep, probe_service_time, run_scaling_point, scaling_points,
+    ScalingPoint, ScalingRow, SweepConfig,
+};
 pub use metrics::{PoolReport, ReplicaLoadStats, RunRecorder};
 pub use pool::{EnclavePool, PoolConfig, Replica, ReplicaState};
 pub use queue::{Admission, QueueConfig, ReplicaQueue, ShedReason};

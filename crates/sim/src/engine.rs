@@ -37,6 +37,19 @@
 //!   absolute virtual times; [`Engine::run_until`] /
 //!   [`Engine::run_until_idle`] then crank the event loop and return
 //!   [`Completion`]s (the pool-scaling experiments).
+//!
+//! # Threading model
+//!
+//! One engine is one single-threaded simulated world: services are
+//! `Rc`-based, the event heap is unsynchronized, and the byte-exact
+//! trace depends only on the seed. The engine neither spawns OS threads
+//! nor tolerates being shared across them — the "worker threads" above
+//! are simulated capacity, not parallelism. Host-level parallelism
+//! comes from running *independent* engines (one per sweep point, each
+//! with its own `Env` and seed) on separate OS threads, as the bench
+//! sweep runner (`shield5g-bench::runner`) does; because a run never
+//! reads anything outside its own world, its trace is byte-identical
+//! whether it ran alone or beside fifteen others.
 
 use crate::http::{HttpRequest, HttpResponse};
 use crate::service::{Env, ServiceHandle};

@@ -48,6 +48,34 @@ SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench pool_scal
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench ablation_optimizations
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench fault_sweep
 
+echo "==> thread-count byte-identity (pool_scaling smoke: 1 vs 2 threads, runner line masked)"
+# The sweep runner promises artifacts that are a pure function of the
+# job list: the same smoke sweep on 1 and 2 threads must render
+# byte-identical BENCH points and observability exports. Only the
+# one-line '"runner"' wall-time block may differ, so it is masked out
+# before comparing. POSIX sh: temp dirs + grep -v, no process
+# substitution.
+IDENT_DIR="$SHIELD5G_OBS_DIR/thread_identity"
+rm -rf "$IDENT_DIR"
+mkdir -p "$IDENT_DIR/t1" "$IDENT_DIR/t2"
+SHIELD5G_BENCH_SMOKE=1 SHIELD5G_BENCH_THREADS=1 SHIELD5G_OBS_DIR="$IDENT_DIR/t1" \
+  cargo bench --offline -p shield5g-bench --bench pool_scaling > /dev/null
+SHIELD5G_BENCH_SMOKE=1 SHIELD5G_BENCH_THREADS=2 SHIELD5G_OBS_DIR="$IDENT_DIR/t2" \
+  cargo bench --offline -p shield5g-bench --bench pool_scaling > /dev/null
+for artifact in \
+  BENCH_pool_scaling.json \
+  pool_scaling_metrics.prom pool_scaling_metrics.jsonl pool_scaling_spans.jsonl; do
+  grep -v '"runner"' "$IDENT_DIR/t1/$artifact" > "$IDENT_DIR/t1/$artifact.masked"
+  grep -v '"runner"' "$IDENT_DIR/t2/$artifact" > "$IDENT_DIR/t2/$artifact.masked"
+  if ! cmp -s "$IDENT_DIR/t1/$artifact.masked" "$IDENT_DIR/t2/$artifact.masked"; then
+    echo "thread-count identity broken: $artifact differs between 1 and 2 threads" >&2
+    diff "$IDENT_DIR/t1/$artifact.masked" "$IDENT_DIR/t2/$artifact.masked" >&2 || true
+    exit 1
+  fi
+  echo "    ok $artifact byte-identical across thread counts"
+done
+rm -rf "$IDENT_DIR"
+
 echo "==> observability artifacts (machine-readable bench output, non-empty)"
 for artifact in \
   BENCH_pool_scaling.json BENCH_ablation.json BENCH_fault_sweep.json \

@@ -251,3 +251,66 @@ fn label_registry_covers_every_emitted_key() {
         }
     });
 }
+
+#[test]
+fn histogram_quantiles_match_summary_on_shared_fixtures() {
+    // `Histogram::quantile` and `core::stats::Summary` must agree on
+    // the same samples: both use the linear-interpolation (NumPy/R
+    // type 7) definition, and below 16 the histogram's buckets are
+    // unit-width, so small fixtures must match *exactly* — the
+    // pre-fix ceil-based nearest-rank diverged on n=2 medians.
+    use shield5g::core::stats::Summary;
+    use shield5g::obs::metrics::Histogram;
+    use shield5g::sim::time::SimDuration;
+
+    let fixtures: &[&[u64]] = &[&[7], &[2, 4], &[0, 3, 9], &[1, 1, 2, 5], &[0, 3, 3, 7, 15]];
+    for samples in fixtures {
+        let summary = Summary::of(
+            &samples
+                .iter()
+                .map(|&v| SimDuration::from_nanos(v))
+                .collect::<Vec<_>>(),
+        );
+        let mut hist = Histogram::new();
+        for &v in *samples {
+            hist.record(v);
+        }
+        for (q, expect) in [
+            (0.0, summary.min),
+            (0.5, summary.median),
+            (0.95, summary.p95),
+            (1.0, summary.max),
+        ] {
+            assert_eq!(
+                hist.quantile(q),
+                expect.as_nanos(),
+                "samples {samples:?} q={q}: histogram {} vs summary {}",
+                hist.quantile(q),
+                expect.as_nanos(),
+            );
+        }
+    }
+
+    // Above 16 the buckets widen: agreement is bounded by one bucket
+    // width (1/16 relative), not exact.
+    let wide: Vec<u64> = (1..=500).map(|i| i * 37).collect();
+    let summary = Summary::of(
+        &wide
+            .iter()
+            .map(|&v| SimDuration::from_nanos(v))
+            .collect::<Vec<_>>(),
+    );
+    let mut hist = Histogram::new();
+    for &v in &wide {
+        hist.record(v);
+    }
+    for (q, expect) in [(0.5, summary.median), (0.95, summary.p95)] {
+        let got = hist.quantile(q) as f64;
+        let want = expect.as_nanos() as f64;
+        let err = (got - want).abs() / want;
+        assert!(
+            err <= 1.0 / 16.0,
+            "q={q}: histogram {got} vs summary {want} ({err:.3} relative)"
+        );
+    }
+}
