@@ -1,0 +1,39 @@
+//! Graceful-degradation sweep: per-priority-class availability, goodput,
+//! and shed-rate curves as the SBI fault rate ramps against the full
+//! overload-control stack — priority-aware admission (emergency
+//! headroom), health-gated routing with half-open probes, and the AV
+//! cache brownout mode under EPC thrash.
+//!
+//! Sweep points run in parallel on the deterministic runner
+//! (`SHIELD5G_BENCH_THREADS`); results and observability merge in
+//! canonical point order, so the artifact is byte-identical across
+//! thread counts (the `"runner"` wall-time line excluded). Every
+//! measured configuration lands as a machine-readable point in
+//! `BENCH_degradation.json` in the observability artifact directory.
+
+use shield5g_bench::runner::threads;
+use shield5g_bench::sweeps::degradation_curve_sweep;
+use shield5g_bench::{banner, emit_bench_json_with_runner, smoke};
+use shield5g_obs::hub::ObsHandle;
+
+fn main() {
+    banner(
+        "Overload control and graceful degradation",
+        "paper §VI (shielded NFs must not make the control plane more fragile)",
+    );
+    let hub = ObsHandle::new();
+    let run = degradation_curve_sweep(&hub, threads(), smoke());
+    for line in &run.lines {
+        println!("{line}");
+    }
+    println!(
+        "\n    [runner] {} jobs on {} thread(s): wall {:.2}s, {:.2}x speedup",
+        run.stats.jobs,
+        run.stats.threads,
+        run.stats.wall.as_secs_f64(),
+        run.stats.speedup(),
+    );
+
+    println!();
+    emit_bench_json_with_runner("degradation", &run.points, &run.stats);
+}

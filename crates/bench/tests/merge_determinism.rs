@@ -4,7 +4,9 @@
 //! byte-identical BENCH points, Prometheus text, metrics JSONL, and
 //! span JSONL — only the (masked) `"runner"` wall-time block may vary.
 
-use shield5g_bench::sweeps::{ablation_sweep, fault_recovery_sweep, pool_scaling_sweep};
+use shield5g_bench::sweeps::{
+    ablation_sweep, degradation_curve_sweep, fault_recovery_sweep, pool_scaling_sweep,
+};
 use shield5g_obs::export;
 use shield5g_obs::hub::ObsHandle;
 
@@ -73,6 +75,19 @@ fn fault_sweep_is_thread_count_invariant() {
     let serial = run_at(1);
     assert!(!serial.prometheus.is_empty(), "sweep must record metrics");
     assert_identical(&serial, &run_at(2), "fault_sweep 1 vs 2 threads");
+}
+
+#[test]
+fn degradation_sweep_is_thread_count_invariant() {
+    let run_at = |threads: usize| {
+        let hub = ObsHandle::new();
+        let run = degradation_curve_sweep(&hub, threads, true);
+        render("degradation", &hub, run.lines, &run.points)
+    };
+    let serial = run_at(1);
+    assert!(!serial.prometheus.is_empty(), "sweep must record metrics");
+    assert_identical(&serial, &run_at(2), "degradation 1 vs 2 threads");
+    assert_identical(&serial, &run_at(4), "degradation 1 vs 4 threads");
 }
 
 #[test]

@@ -22,7 +22,9 @@ use shield5g_infra::bridge::BridgeNetwork;
 use shield5g_infra::host::Host;
 use shield5g_infra::image::{ContainerImage, Registry};
 use shield5g_libos::gsc::ImageSpec;
-use shield5g_mw::{FaultLayer, FaultSwitch, ObsCoreHandle, ObsLayer, Stack};
+use shield5g_mw::{
+    BreakerLayer, BreakerPolicy, FaultLayer, FaultSwitch, ObsCoreHandle, ObsLayer, Stack,
+};
 use shield5g_nf::amf::AmfService;
 use shield5g_nf::ausf::AusfService;
 use shield5g_nf::backend::{LocalAmfAka, LocalAusfAka, LocalUdmAka};
@@ -147,6 +149,10 @@ pub struct Slice {
     /// (each endpoint's [`FaultLayer`] holds a clone; fault plans install
     /// through this switch after the slice is built).
     pub fault_switch: FaultSwitch,
+    /// The slice-wide circuit-breaker core shared by every endpoint's
+    /// [`BreakerLayer`] — one circuit table per peer address, readable
+    /// after runs (states, failure EWMAs, trip counters).
+    pub breaker: shield5g_mw::BreakerHandle,
     modules: Vec<(PakaKind, Rc<RefCell<PakaModule>>)>,
     backend_metrics: Vec<(PakaKind, Rc<RefCell<ModuleMetricsLog>>)>,
 }
@@ -225,13 +231,17 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
     let engine = Rc::new(RefCell::new(Engine::new()));
     // One span table and one fault switch per slice, shared by every
     // endpoint's middleware stack (canonical order: Obs outermost, then
-    // Fault — admission/retry layers are added by harnesses that need
-    // them).
+    // Breaker, then Fault — admission/retry layers are added by
+    // harnesses that need them). The breaker only acts on sustained
+    // outbound failures, so a fault-free slice traces byte-identically
+    // to one without it.
     let obs_core: ObsCoreHandle = ObsLayer::core();
     let fault_switch = FaultSwitch::new();
+    let breaker = BreakerLayer::new(BreakerPolicy::default()).core();
     let stacked = |svc: EngineServiceHandle| -> EngineServiceHandle {
         Stack::new(svc)
             .with(ObsLayer::new(obs_core.clone()))
+            .with(BreakerLayer::with_core(breaker.clone()))
             .with(FaultLayer::new(fault_switch.clone()))
             .into_handle()
     };
@@ -436,6 +446,7 @@ pub fn build_slice(env: &mut Env, config: &SliceConfig) -> Result<Slice, CoreErr
         amf,
         nrf,
         fault_switch,
+        breaker,
         modules,
         backend_metrics,
     })

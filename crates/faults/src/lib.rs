@@ -22,13 +22,24 @@
 //!   layers (SBI messages, enclave instances, whole replicas), with
 //!   supervision retries at the client and warm-standby failover in the
 //!   pool. Reports MTTR, goodput under fault, and retry amplification.
+//! - [`degradation`] — the `degradation_sweep` graceful-degradation
+//!   experiment: the SBI fault rate ramps while priority shedding,
+//!   health-gated routing, and AV-cache brownout modes hold the
+//!   emergency class up; reports availability / goodput / shed-rate
+//!   curves per priority class.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod plan;
 pub mod sweep;
 
+pub use degradation::{
+    brownout_config, degradation_points, degradation_sweep, pressured_config,
+    run_degradation_point, BrownoutPolicy, ClassReport, DegradationConfig, DegradationPoint,
+    DegradationReport,
+};
 pub use plan::{FaultConfig, FaultCounts, SbiFaultPlan};
 pub use sweep::{
     bench_points, fault_sweep, run_point, FaultReport, FaultSweepConfig, FaultSweepPoint,

@@ -42,7 +42,7 @@ use shield5g_sim::Env;
 use std::collections::BTreeMap;
 
 /// Long-term key of every workload subscriber (the standard test K).
-const K: [u8; 16] = [0x46; 16];
+pub(crate) const K: [u8; 16] = [0x46; 16];
 const OPC: [u8; 16] = [0xcd; 16];
 
 /// Frontend cost of serving an authentication from the AV cache
@@ -487,7 +487,7 @@ fn snn() -> ServingNetworkName {
     ServingNetworkName::new("001", "01")
 }
 
-fn single_request(
+pub(crate) fn single_request(
     env: &mut Env,
     sqn_counters: &mut BTreeMap<String, [u8; 6]>,
     supi: &str,
@@ -510,7 +510,7 @@ fn single_request(
     )
 }
 
-fn batch_request(env: &mut Env, cache: &AvCache, supi: &str) -> HttpRequest {
+pub(crate) fn batch_request(env: &mut Env, cache: &AvCache, supi: &str) -> HttpRequest {
     HttpRequest::post(
         "/eudm/generate-av-batch",
         UdmAkaBatchRequest {

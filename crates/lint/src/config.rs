@@ -182,6 +182,14 @@ impl Config {
                 (s("ObsLayer"), s("AdmissionLayer")),
                 (s("DeadlineLayer"), s("RetryLayer")),
                 (s("AdmissionLayer"), s("FaultLayer")),
+                // The breaker sits between admission (inbound shedding
+                // happens at the door) and fault/retry (an open circuit
+                // must fail injected legs fast and cut retransmission
+                // storms off).
+                (s("ObsLayer"), s("BreakerLayer")),
+                (s("AdmissionLayer"), s("BreakerLayer")),
+                (s("BreakerLayer"), s("FaultLayer")),
+                (s("BreakerLayer"), s("RetryLayer")),
             ],
             span_open_fns: vec![s("open_span"), s("open_child")],
             span_close_fns: vec![s("close_span")],

@@ -1,0 +1,23 @@
+//! Seeded MW002 fixture for the overload-control ordering: the first
+//! `.with` is the *outermost* layer, so composing `BreakerLayer` before
+//! `AdmissionLayer` puts the circuit breaker outside the door — shed
+//! requests would count as breaker samples, and a tripped circuit would
+//! reject traffic admission was about to queue.
+
+pub fn build_bad(svc: Echo) -> Stack<Echo> {
+    Stack::new(svc)
+        .with(ObsLayer::new("nf", "aka"))
+        .with(BreakerLayer::new(BreakerPolicy::default()))
+        .with(AdmissionLayer::new(Admission::new(4, 16)))
+        .with(FaultLayer::new(plan))
+}
+
+/// Clean twin: obs, admission, breaker, then the failure layers inside.
+pub fn build_good(svc: Echo) -> Stack<Echo> {
+    Stack::new(svc)
+        .with(ObsLayer::new("nf", "aka"))
+        .with(AdmissionLayer::new(Admission::new(4, 16)))
+        .with(BreakerLayer::new(BreakerPolicy::default()))
+        .with(FaultLayer::new(plan))
+        .with(RetryLayer::new(policy))
+}

@@ -13,6 +13,7 @@
 //!     .with(ObsLayer::new(core.clone()))        // outermost
 //!     .with(DeadlineLayer::new(timeout))
 //!     .with(AdmissionLayer::new(policy))
+//!     .with(BreakerLayer::new(BreakerPolicy::default()))
 //!     .with(FaultLayer::new(switch.clone()))
 //!     .with(RetryLayer::new(RetryPolicy::supervision()));  // innermost
 //! engine.register(addr, workers, stack.into_handle());
@@ -49,6 +50,10 @@
 //!   issued for a request whose deadline already passed.
 //! * **Admission outside Fault/Retry** — shed requests must not consult
 //!   the fault plan or consume retry budget.
+//! * **Admission outside Breaker, Breaker outside Fault/Retry** — the
+//!   breaker gates what the service sends *out*; it must see outbound
+//!   retransmissions (so an open circuit cuts retry storms off) but not
+//!   inbound arrivals admission already shed.
 //!
 //! The canonical order is the snippet above. The permutation tests in
 //! `tests/layers.rs` pin the observable differences.
@@ -61,13 +66,18 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod breaker;
 pub mod deadline;
 pub mod fault;
 pub mod obs;
 pub mod retry;
 pub mod stack;
 
-pub use admission::AdmissionLayer;
+pub use admission::{AdmissionLayer, ClassSheds, ClassShedsHandle};
+pub use breaker::{
+    BreakerCore, BreakerDecision, BreakerHandle, BreakerLayer, BreakerPolicy, BreakerState,
+    BreakerStats, BreakerTransition,
+};
 pub use deadline::DeadlineLayer;
 pub use fault::{FaultLayer, FaultSwitch};
 pub use obs::{ObsCore, ObsCoreHandle, ObsLayer};

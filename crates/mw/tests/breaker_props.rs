@@ -1,0 +1,234 @@
+//! Property tests for the circuit-breaker state machine
+//! ([`shield5g_mw::BreakerCore`]) — the core shared by the middleware
+//! [`shield5g_mw::BreakerLayer`] and the replica health tracker.
+//!
+//! The properties pin the three contracts everything downstream leans
+//! on: an open circuit never admits before its hold-off expires, the
+//! only road back to closed runs through a successful half-open probe,
+//! and the machine is a pure function of its input sequence (no ambient
+//! time, no RNG) — so seeded runs replay byte-identically.
+//!
+//! The vendored proptest subset has integer-range strategies only, so a
+//! policy is decoded from four generated integers and a call script
+//! from a `Vec<u64>` (low bit = outcome, the rest = the virtual-time
+//! step).
+
+use proptest::prelude::*;
+use shield5g_mw::{BreakerCore, BreakerDecision, BreakerPolicy, BreakerState, BreakerTransition};
+use shield5g_sim::time::{SimDuration, SimTime};
+
+const PEER: &str = "ausf.oai";
+const OTHER: &str = "udm.oai";
+
+/// Decodes a policy from generated integers: threshold 30–89%, alpha
+/// 10–89%, 1–7 warm-up samples, a 1–499 ms hold-off, 1–2 probe slots.
+fn policy(threshold_pct: u64, alpha_pct: u64, min_samples: u32, open_ms: u64) -> BreakerPolicy {
+    BreakerPolicy {
+        failure_threshold: threshold_pct as f64 / 100.0,
+        alpha: alpha_pct as f64 / 100.0,
+        min_samples,
+        open_for: SimDuration::from_millis(open_ms),
+        half_open_probes: 1 + (open_ms % 2) as u32,
+    }
+}
+
+/// Decodes one script step: low bit = call outcome, the rest = the
+/// virtual-time advance in microseconds (0–200 ms).
+fn step(raw: u64) -> (SimDuration, bool) {
+    (SimDuration::from_micros(raw >> 1), raw & 1 == 1)
+}
+
+/// Drives one peer through a script, feeding every admitted call's
+/// outcome straight back, and returns the (decision, transition) trace.
+fn drive(
+    core: &mut BreakerCore<&'static str>,
+    script: &[u64],
+) -> Vec<(BreakerDecision, Option<BreakerTransition>)> {
+    let mut now = SimTime::from_nanos(0);
+    let mut trace = Vec::new();
+    for &raw in script {
+        let (dt, ok) = step(raw);
+        now += dt;
+        let decision = core.admit(&PEER, now);
+        let transition = match decision {
+            BreakerDecision::Reject => None,
+            BreakerDecision::Admit => core.on_outcome(&PEER, false, ok, now),
+            BreakerDecision::Probe => core.on_outcome(&PEER, true, ok, now),
+        };
+        trace.push((decision, transition));
+    }
+    trace
+}
+
+/// Feeds failures at `now` until the circuit opens (bounded — the EWMA
+/// of an all-failure stream converges to 1.0, above any threshold < 1).
+fn trip(core: &mut BreakerCore<&'static str>, now: SimTime) {
+    for _ in 0..256 {
+        assert_eq!(core.admit(&PEER, now), BreakerDecision::Admit);
+        if core.on_outcome(&PEER, false, false, now) == Some(BreakerTransition::Opened) {
+            return;
+        }
+    }
+    panic!("256 straight failures did not open the circuit");
+}
+
+proptest::proptest! {
+    /// **Never admit while open.** Whatever the call history, between an
+    /// `Opened`/`Reopened` transition and its hold-off expiry every
+    /// admission attempt is rejected and the circuit stays open; and the
+    /// first admission after expiry is a half-open `Probe`, never a
+    /// plain `Admit`.
+    #[test]
+    fn never_admits_while_open(
+        threshold_pct in 30u64..90,
+        alpha_pct in 10u64..90,
+        min_samples in 1u32..8,
+        open_ms in 1u64..500,
+        script in proptest::collection::vec(0u64..400_000, 1..120),
+    ) {
+        let policy = policy(threshold_pct, alpha_pct, min_samples, open_ms);
+        let mut core = BreakerCore::new(policy);
+        let mut now = SimTime::from_nanos(0);
+        let mut open_until: Option<SimTime> = None;
+        for raw in script {
+            let (dt, ok) = step(raw);
+            now += dt;
+            let decision = core.admit(&PEER, now);
+            if let Some(deadline) = open_until {
+                if now < deadline {
+                    prop_assert_eq!(decision, BreakerDecision::Reject);
+                    prop_assert_eq!(core.state(&PEER), BreakerState::Open);
+                    continue;
+                }
+                // Hold-off expired: the circuit must go half-open, not
+                // silently closed.
+                prop_assert_ne!(decision, BreakerDecision::Admit);
+            }
+            let transition = match decision {
+                BreakerDecision::Reject => None,
+                BreakerDecision::Admit => core.on_outcome(&PEER, false, ok, now),
+                BreakerDecision::Probe => core.on_outcome(&PEER, true, ok, now),
+            };
+            match transition {
+                Some(BreakerTransition::Opened) | Some(BreakerTransition::Reopened) => {
+                    prop_assert_eq!(core.state(&PEER), BreakerState::Open);
+                    open_until = Some(now + policy.open_for);
+                }
+                Some(BreakerTransition::Closed) => {
+                    prop_assert_eq!(core.state(&PEER), BreakerState::Closed);
+                    open_until = None;
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// **Recovery always runs through half-open.** From any reachable
+    /// state: settle the circuit, trip it, and the scripted road back is
+    /// reject-until-expiry, one probe, probe success, closed — with a
+    /// plain admit again afterwards.
+    #[test]
+    fn always_recovers_through_half_open(
+        threshold_pct in 30u64..90,
+        alpha_pct in 10u64..90,
+        min_samples in 1u32..8,
+        open_ms in 1u64..500,
+        script in proptest::collection::vec(0u64..400_000, 1..120),
+    ) {
+        let policy = policy(threshold_pct, alpha_pct, min_samples, open_ms);
+        let mut core = BreakerCore::new(policy);
+        drive(&mut core, &script);
+        // Settle whatever the script left behind: far in the future any
+        // open hold-off has expired, so rejection is impossible.
+        let settle = SimTime::from_nanos(1 << 60);
+        match core.admit(&PEER, settle) {
+            BreakerDecision::Probe => {
+                core.on_outcome(&PEER, true, true, settle);
+            }
+            BreakerDecision::Admit => {
+                core.on_outcome(&PEER, false, true, settle);
+            }
+            BreakerDecision::Reject => prop_assert!(false, "hold-offs cannot outlive 2^60 ns"),
+        }
+        core.force_close(&PEER);
+
+        trip(&mut core, settle);
+        let at_expiry = settle + policy.open_for;
+        let before_expiry = settle + (policy.open_for - SimDuration::from_nanos(1));
+        prop_assert_eq!(core.admit(&PEER, before_expiry), BreakerDecision::Reject);
+        prop_assert_eq!(core.admit(&PEER, at_expiry), BreakerDecision::Probe);
+        prop_assert_eq!(
+            core.on_outcome(&PEER, true, true, at_expiry),
+            Some(BreakerTransition::Closed)
+        );
+        prop_assert_eq!(core.state(&PEER), BreakerState::Closed);
+        prop_assert_eq!(core.admit(&PEER, at_expiry), BreakerDecision::Admit);
+    }
+
+    /// **Pure function of the input sequence.** Two fresh cores fed the
+    /// same script produce identical decision/transition traces and
+    /// counters — the disarm-invariance and golden-trace guarantees rest
+    /// on this.
+    #[test]
+    fn same_script_same_trace(
+        threshold_pct in 30u64..90,
+        alpha_pct in 10u64..90,
+        min_samples in 1u32..8,
+        open_ms in 1u64..500,
+        script in proptest::collection::vec(0u64..400_000, 1..120),
+    ) {
+        let policy = policy(threshold_pct, alpha_pct, min_samples, open_ms);
+        let mut a = BreakerCore::new(policy);
+        let mut b = BreakerCore::new(policy);
+        let ta = drive(&mut a, &script);
+        let tb = drive(&mut b, &script);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.state(&PEER), b.state(&PEER));
+        prop_assert!((a.failure_ewma(&PEER) - b.failure_ewma(&PEER)).abs() < 1e-15);
+    }
+
+    /// **Rejected calls are pure back-pressure.** A fail-fast rejection
+    /// must not move the machine: state and failure EWMA are unchanged,
+    /// only the rejected counter ticks.
+    #[test]
+    fn rejections_do_not_mutate_the_machine(
+        threshold_pct in 30u64..90,
+        alpha_pct in 10u64..90,
+        min_samples in 1u32..8,
+        open_ms in 1u64..500,
+        script in proptest::collection::vec(0u64..400_000, 1..120),
+    ) {
+        let mut core = BreakerCore::new(policy(threshold_pct, alpha_pct, min_samples, open_ms));
+        drive(&mut core, &script);
+        let tripped_at = SimTime::from_nanos(1 << 40);
+        core.force_close(&PEER);
+        trip(&mut core, tripped_at);
+        let state = core.state(&PEER);
+        let ewma = core.failure_ewma(&PEER);
+        let rejected = core.stats().rejected;
+        for i in 0..5u64 {
+            let now = tripped_at + SimDuration::from_nanos(i);
+            prop_assert_eq!(core.admit(&PEER, now), BreakerDecision::Reject);
+            prop_assert_eq!(core.state(&PEER), state);
+            prop_assert!((core.failure_ewma(&PEER) - ewma).abs() < 1e-15);
+        }
+        prop_assert_eq!(core.stats().rejected, rejected + 5);
+    }
+
+    /// **No cross-peer leakage.** A script hammering one peer never
+    /// moves another peer's circuit off closed.
+    #[test]
+    fn peers_are_isolated(
+        threshold_pct in 30u64..90,
+        alpha_pct in 10u64..90,
+        min_samples in 1u32..8,
+        open_ms in 1u64..500,
+        script in proptest::collection::vec(0u64..400_000, 1..120),
+    ) {
+        let mut core = BreakerCore::new(policy(threshold_pct, alpha_pct, min_samples, open_ms));
+        drive(&mut core, &script);
+        prop_assert_eq!(core.state(&OTHER), BreakerState::Closed);
+        prop_assert!(core.failure_ewma(&OTHER).abs() < 1e-15);
+    }
+}

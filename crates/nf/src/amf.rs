@@ -793,6 +793,7 @@ mod tests {
             submitted: shield5g_sim::time::SimTime::from_nanos(0),
             arrived: shield5g_sim::time::SimTime::from_nanos(0),
             root: true,
+            class: shield5g_sim::engine::PriorityClass::Normal,
         }
     }
 

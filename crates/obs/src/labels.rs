@@ -126,6 +126,34 @@ pub const GOODPUT_PER_SEC: &str = "goodput_per_sec";
 /// Recovery: total sends divided by distinct calls.
 pub const RETRY_AMPLIFICATION: &str = "retry_amplification";
 
+// --- overload control (mw/src/breaker.rs, mw/src/admission.rs,
+// --- scale/src/health.rs, faults/src/degradation.rs) ---
+
+/// Breaker: circuit transitions closed → open (tripped on EWMA failure).
+pub const BREAKER_OPENED: &str = "breaker_opened";
+/// Breaker: half-open probe failed, circuit re-opened.
+pub const BREAKER_REOPENED: &str = "breaker_reopened";
+/// Breaker: half-open probe succeeded, circuit closed again.
+pub const BREAKER_CLOSED: &str = "breaker_closed";
+/// Breaker: callouts rejected fail-fast while the circuit was open.
+pub const BREAKER_REJECTED: &str = "breaker_rejected";
+/// Breaker: half-open probe callouts admitted.
+pub const BREAKER_PROBES: &str = "breaker_probes";
+/// Breaker: current state gauge (0 closed, 1 open, 2 half-open).
+pub const BREAKER_STATE: &str = "breaker_state";
+/// Admission: normal-class arrivals shed under overload.
+pub const SHED_NORMAL: &str = "shed_normal";
+/// Admission: emergency-class arrivals shed (capacity truly exhausted).
+pub const SHED_EMERGENCY: &str = "shed_emergency";
+/// Health: replicas ejected from the routing ring as unhealthy.
+pub const REPLICA_EJECTED: &str = "replica_ejected";
+/// Health: ejected replicas reinstated after a successful probe.
+pub const REPLICA_REINSTATED: &str = "replica_reinstated";
+/// Degradation: brownout mode entries (AV prefetch disabled).
+pub const BROWNOUT_ENTRIES: &str = "brownout_entries";
+/// Degradation: brownout mode exits (AV prefetch re-enabled).
+pub const BROWNOUT_EXITS: &str = "brownout_exits";
+
 /// Every label constant above — the closed set of series names. The
 /// observability test suite asserts each emitted metric key's label is
 /// in this list.
@@ -177,6 +205,18 @@ pub const ALL: &[&str] = &[
     MTTR_MAX_NS,
     GOODPUT_PER_SEC,
     RETRY_AMPLIFICATION,
+    BREAKER_OPENED,
+    BREAKER_REOPENED,
+    BREAKER_CLOSED,
+    BREAKER_REJECTED,
+    BREAKER_PROBES,
+    BREAKER_STATE,
+    SHED_NORMAL,
+    SHED_EMERGENCY,
+    REPLICA_EJECTED,
+    REPLICA_REINSTATED,
+    BROWNOUT_ENTRIES,
+    BROWNOUT_EXITS,
 ];
 
 /// Whether `label` is a registered series name.

@@ -14,6 +14,9 @@
 //!   churn when the pool grows.
 //! - [`queue`] — bounded admission queues with virtual-time deadlines;
 //!   overload is shed before it burns enclave transitions.
+//! - [`health`] — per-replica failure/latency EWMAs driving health-gated
+//!   routing: unhealthy replicas are ejected from the ring, probed
+//!   half-open after a hold-off, and reinstated on probe success.
 //! - [`avcache`] — batched AV pre-generation at the eUDM with SQN-aware
 //!   invalidation, amortising the ~91-transition HTTPS choreography over
 //!   a batch of authentications.
@@ -27,6 +30,7 @@
 
 pub mod avcache;
 pub mod harness;
+pub mod health;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
@@ -37,6 +41,7 @@ pub use harness::{
     horizontal_scaling, pool_sweep, probe_service_time, run_scaling_point, scaling_points,
     ScalingPoint, ScalingRow, SweepConfig,
 };
+pub use health::{HealthEvent, HealthPolicy, HealthTracker};
 pub use metrics::{PoolReport, ReplicaLoadStats, RunRecorder};
 pub use pool::{EnclavePool, PoolConfig, Replica, ReplicaState};
 pub use queue::{Admission, QueueConfig, ReplicaQueue, ShedReason};

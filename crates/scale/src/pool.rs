@@ -12,6 +12,7 @@
 //! so per-replica EENTER/AEX deltas in the pool metrics are real counter
 //! reads, not divisions of an aggregate.
 
+use crate::health::{HealthEvent, HealthPolicy, HealthTracker};
 use crate::queue::{Admission, QueueConfig, ReplicaQueue};
 use crate::router::{HashRing, ReplicaId};
 use shield5g_core::paka::{populate_registry, PakaKind, PakaModule, ServeMetrics, SgxConfig};
@@ -19,7 +20,12 @@ use shield5g_hmee::counters::SgxCounters;
 use shield5g_hmee::platform::SgxPlatform;
 use shield5g_infra::host::Host;
 use shield5g_infra::image::Registry;
-use shield5g_mw::{AdmissionLayer, FaultLayer, FaultSwitch, ObsCoreHandle, ObsLayer, Stack};
+use shield5g_mw::{
+    AdmissionLayer, ClassSheds, ClassShedsHandle, FaultLayer, FaultSwitch, ObsCoreHandle, ObsLayer,
+    Stack,
+};
+use shield5g_obs::hub as obs;
+use shield5g_obs::labels;
 use shield5g_sim::engine::{AdmissionPolicy, Engine, FAULT_HEADER};
 use shield5g_sim::http::{HttpRequest, HttpResponse};
 use shield5g_sim::service::{service_handle, Service};
@@ -103,6 +109,9 @@ pub struct PoolConfig {
     pub vnodes: u32,
     /// Per-replica admission queue parameters.
     pub queue: QueueConfig,
+    /// Admission-queue slots reserved for emergency-class arrivals on
+    /// every replica (0 = classless admission, the historical behavior).
+    pub emergency_headroom: usize,
     /// Enclave configuration for every replica.
     pub sgx: SgxConfig,
 }
@@ -114,6 +123,7 @@ impl Default for PoolConfig {
             warm_standby: 1,
             vnodes: 64,
             queue: QueueConfig::default(),
+            emergency_headroom: 0,
             sgx: SgxConfig::default(),
         }
     }
@@ -219,6 +229,13 @@ pub struct EnclavePool {
     /// once (fault plans are installed per experiment, after stacks are
     /// built).
     fault_switch: FaultSwitch,
+    /// Per-replica health gating: when enabled, observed completions
+    /// drive EWMA ejection/reinstatement of ring members. `None` (the
+    /// default) is zero-cost and route-invariant.
+    health: Option<HealthTracker>,
+    /// Pool-wide per-priority-class shed counters, shared by every
+    /// replica endpoint's [`AdmissionLayer`].
+    class_sheds: ClassShedsHandle,
 }
 
 impl std::fmt::Debug for EnclavePool {
@@ -250,6 +267,8 @@ impl EnclavePool {
             provisioned: Vec::new(),
             obs_core: ObsLayer::core(),
             fault_switch: FaultSwitch::new(),
+            health: None,
+            class_sheds: ClassShedsHandle::default(),
         };
         for _ in 0..cfg.replicas {
             let id = pool.spawn_replica(env);
@@ -350,12 +369,25 @@ impl EnclavePool {
             dead: replica.dead.clone(),
         })))
         .with(ObsLayer::new(self.obs_core.clone()))
-        .with(AdmissionLayer::new(AdmissionPolicy {
-            capacity: Some(self.cfg.queue.capacity),
-            deadline: Some(self.cfg.queue.deadline),
-        }))
+        .with(
+            AdmissionLayer::with_priority(
+                AdmissionPolicy {
+                    capacity: Some(self.cfg.queue.capacity),
+                    deadline: Some(self.cfg.queue.deadline),
+                },
+                self.cfg.emergency_headroom,
+            )
+            .share_class_sheds(self.class_sheds.clone()),
+        )
         .with(FaultLayer::new(self.fault_switch.clone()));
         engine.register(addr.clone(), workers, stack.into_handle());
+    }
+
+    /// Pool-wide per-priority-class shed totals, aggregated across every
+    /// replica endpoint (including ones since killed).
+    #[must_use]
+    pub fn class_sheds(&self) -> ClassSheds {
+        *self.class_sheds.borrow()
     }
 
     /// The shared switch arming fault injection on every replica
@@ -481,6 +513,11 @@ impl EnclavePool {
             replica.module.borrow_mut().inject_crash(env);
         }
         self.ring.remove(id);
+        // A dead replica's health history is moot; the replacement
+        // starts with a clean circuit.
+        if let Some(tracker) = self.health.as_mut() {
+            tracker.forget(id);
+        }
         let (replacement, standby_promoted) = self.scale_up(env);
         FailoverReport {
             dead: id,
@@ -510,6 +547,98 @@ impl EnclavePool {
     #[must_use]
     pub fn route(&self, supi: &str) -> ReplicaId {
         self.ring.route(supi)
+    }
+
+    /// Turns on health-gated routing: completions reported through
+    /// [`EnclavePool::note_outcome`] feed a per-replica failure EWMA,
+    /// and replicas that trip it are ejected from the ring until a
+    /// half-open probe succeeds.
+    pub fn enable_health(&mut self, policy: HealthPolicy) {
+        self.health = Some(HealthTracker::new(policy));
+    }
+
+    /// The health tracker, when enabled.
+    #[must_use]
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
+    }
+
+    /// **Health interface**: report one observed completion against the
+    /// replica that served (or failed) it. When the outcome trips the
+    /// replica's circuit, the replica is ejected from the ring — its
+    /// SUPIs remap to the survivors — unless it is the last ring member
+    /// (a degraded replica still beats an empty ring; its circuit is
+    /// force-closed instead). No-op without [`EnclavePool::enable_health`].
+    pub fn note_outcome(
+        &mut self,
+        id: ReplicaId,
+        ok: bool,
+        latency: SimDuration,
+        now: SimTime,
+    ) -> Option<HealthEvent> {
+        // Only ready ring members generate health signal: the dead fail
+        // fast by design and the ejected are already routed around.
+        let ready = self
+            .replicas
+            .iter()
+            .any(|r| r.id == id && r.state == ReplicaState::Ready);
+        let tracker = self.health.as_mut()?;
+        if !ready || tracker.is_ejected(id) {
+            return None;
+        }
+        match tracker.note(id, ok, latency, now) {
+            Some(HealthEvent::Ejected(id)) => {
+                if self.ring.len() > 1 {
+                    self.ring.remove(id);
+                    obs::count(
+                        "pool",
+                        &replica_addr(self.kind, id),
+                        labels::REPLICA_EJECTED,
+                        1,
+                    );
+                    Some(HealthEvent::Ejected(id))
+                } else {
+                    self.health
+                        .as_mut()
+                        .expect("tracker present")
+                        .force_close(id);
+                    None
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Ejected replicas whose hold-off has expired: each returned id has
+    /// claimed its half-open probe slot, and the caller must send one
+    /// probe request to it and report the outcome through
+    /// [`EnclavePool::note_probe`]. Empty without health gating.
+    pub fn due_probes(&mut self, now: SimTime) -> Vec<ReplicaId> {
+        let Some(tracker) = self.health.as_mut() else {
+            return Vec::new();
+        };
+        tracker
+            .ejected()
+            .into_iter()
+            .filter(|&id| tracker.due_probe(id, now))
+            .collect()
+    }
+
+    /// **Health interface**: report a half-open probe's outcome. A
+    /// success reinstates the replica onto the ring; a failure keeps it
+    /// ejected for another hold-off.
+    pub fn note_probe(&mut self, id: ReplicaId, ok: bool, now: SimTime) -> Option<HealthEvent> {
+        let ev = self.health.as_mut()?.note_probe(id, ok, now);
+        if let Some(HealthEvent::Reinstated(id)) = ev {
+            self.ring.add(id);
+            obs::count(
+                "pool",
+                &replica_addr(self.kind, id),
+                labels::REPLICA_REINSTATED,
+                1,
+            );
+        }
+        ev
     }
 
     /// Offers a request arriving at `now` to the replica owning `supi`.
@@ -891,5 +1020,107 @@ mod tests {
         let mut env = env();
         let mut p = pool(&mut env, 1, 0);
         p.retire(0);
+    }
+
+    /// Feeds failures to `id` until its circuit trips, panicking if the
+    /// default policy somehow refuses.
+    fn eject(p: &mut EnclavePool, id: ReplicaId, now: SimTime) -> bool {
+        for _ in 0..8 {
+            match p.note_outcome(id, false, SimDuration::from_micros(900), now) {
+                Some(HealthEvent::Ejected(e)) => {
+                    assert_eq!(e, id);
+                    return true;
+                }
+                Some(other) => panic!("unexpected health event {other:?}"),
+                None => {}
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn unhealthy_replica_is_ejected_probed_and_reinstated() {
+        let mut env = env();
+        let mut p = pool(&mut env, 2, 0);
+        p.enable_health(HealthPolicy::default());
+        let t0 = env.clock.now();
+
+        assert!(eject(&mut p, 0, t0), "sustained failures must eject");
+        assert_eq!(p.ready_ids(), vec![1], "ejected replica off the ring");
+        // Every SUPI now lands on the survivor.
+        for i in 0..16 {
+            assert_eq!(p.route(&test_supi(i)), 1);
+        }
+        // Outcomes against an ejected replica are inert.
+        assert!(p
+            .note_outcome(0, false, SimDuration::from_micros(900), t0)
+            .is_none());
+
+        // Inside the hold-off: no probe yet.
+        assert!(p.due_probes(t0).is_empty());
+        let hold_off = p.health().unwrap().policy().breaker.open_for;
+        let later = t0 + hold_off;
+        assert_eq!(p.due_probes(later), vec![0]);
+        // The slot is claimed until the probe resolves.
+        assert!(p.due_probes(later).is_empty());
+
+        assert_eq!(
+            p.note_probe(0, true, later),
+            Some(HealthEvent::Reinstated(0))
+        );
+        assert_eq!(p.ready_ids(), vec![0, 1], "probe success rejoins the ring");
+    }
+
+    #[test]
+    fn failed_probe_keeps_replica_off_the_ring() {
+        let mut env = env();
+        let mut p = pool(&mut env, 2, 0);
+        p.enable_health(HealthPolicy::default());
+        let t0 = env.clock.now();
+        assert!(eject(&mut p, 1, t0));
+
+        let hold_off = p.health().unwrap().policy().breaker.open_for;
+        let later = t0 + hold_off;
+        assert_eq!(p.due_probes(later), vec![1]);
+        assert_eq!(
+            p.note_probe(1, false, later),
+            Some(HealthEvent::Reopened(1))
+        );
+        assert_eq!(p.ready_ids(), vec![0], "failed probe stays routed around");
+        // A fresh hold-off starts from the failed probe.
+        assert!(p.due_probes(later).is_empty());
+        assert_eq!(p.due_probes(later + hold_off), vec![1]);
+    }
+
+    #[test]
+    fn last_ring_member_is_never_ejected() {
+        let mut env = env();
+        let mut p = pool(&mut env, 1, 0);
+        p.enable_health(HealthPolicy::default());
+        let now = env.clock.now();
+        // Hammer the only replica: the tracker must force-close instead
+        // of leaving the ring empty.
+        for _ in 0..32 {
+            assert!(p
+                .note_outcome(0, false, SimDuration::from_micros(900), now)
+                .is_none());
+        }
+        assert_eq!(p.ready_ids(), vec![0]);
+        assert!(!p.health().unwrap().is_ejected(0));
+    }
+
+    #[test]
+    fn killed_replica_health_history_is_forgotten() {
+        let mut env = env();
+        let mut p = pool(&mut env, 2, 1);
+        p.enable_health(HealthPolicy::default());
+        let now = env.clock.now();
+        assert!(eject(&mut p, 0, now));
+        let report = p.kill_replica(&mut env, 0);
+        assert!(report.standby_promoted);
+        // The dead replica's circuit history died with it: no probes due.
+        let hold_off = p.health().unwrap().policy().breaker.open_for;
+        assert!(p.due_probes(now + hold_off).is_empty());
+        assert!(!p.health().unwrap().is_ejected(0));
     }
 }

@@ -81,6 +81,46 @@ pub const SHED_HEADER: &str = "x-sim-shed";
 /// flight.
 pub const FAULT_HEADER: &str = "x-sim-fault";
 
+/// Request header marking a leg's priority class. The scheduler reads it
+/// once when the context is created (`emergency` selects
+/// [`PriorityClass::Emergency`]; anything else is normal traffic) and
+/// carries the class on [`LegMeta`], so admission layers can shed by
+/// class at arrival time — before the request body is in reach.
+pub const PRIORITY_HEADER: &str = "x-sim-priority";
+
+/// Priority class of a request leg, derived from [`PRIORITY_HEADER`].
+/// Emergency registrations (TS 23.501 §5.16.4 emergency services) must
+/// survive overload that sheds ordinary traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Ordinary traffic: first to be shed under overload.
+    #[default]
+    Normal,
+    /// Emergency traffic: shed only when capacity is truly exhausted.
+    Emergency,
+}
+
+impl PriorityClass {
+    /// Reads the class a request announces via [`PRIORITY_HEADER`].
+    #[must_use]
+    pub fn of(req: &HttpRequest) -> PriorityClass {
+        if req.header(PRIORITY_HEADER) == Some("emergency") {
+            PriorityClass::Emergency
+        } else {
+            PriorityClass::Normal
+        }
+    }
+
+    /// Stable label for metrics and artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Normal => "normal",
+            PriorityClass::Emergency => "emergency",
+        }
+    }
+}
+
 /// What an injected fault does to one message delivery (a `CallOut`
 /// request leg or a `Reply` response leg).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -182,6 +222,8 @@ pub struct LegMeta {
     pub arrived: SimTime,
     /// Whether this is a root leg (no parent context).
     pub root: bool,
+    /// Priority class the request announced via [`PRIORITY_HEADER`].
+    pub class: PriorityClass,
 }
 
 /// An admission decision from [`EngineService::on_arrive`] /
@@ -404,6 +446,7 @@ struct Ctx {
     arrived: SimTime,
     queued: SimDuration,
     ancestors: Vec<String>,
+    class: PriorityClass,
 }
 
 impl Ctx {
@@ -415,6 +458,7 @@ impl Ctx {
             submitted: self.submitted,
             arrived: self.arrived,
             root: self.parent.is_none(),
+            class: self.class,
         }
     }
 }
@@ -657,6 +701,7 @@ impl Engine {
     pub fn schedule_request(&mut self, at: SimTime, addr: &str, req: HttpRequest) -> u64 {
         let id = self.next_ctx;
         self.next_ctx += 1;
+        let class = PriorityClass::of(&req);
         self.ctxs.insert(
             id,
             Ctx {
@@ -669,6 +714,7 @@ impl Engine {
                 arrived: at,
                 queued: SimDuration::ZERO,
                 ancestors: Vec::new(),
+                class,
             },
         );
         // Root legs announce themselves to the destination stack (an obs
@@ -883,6 +929,14 @@ impl Engine {
                 };
                 self.note(now, "callout", &dest, &req.path);
                 let path = req.path.clone();
+                // A callout inherits the caller's priority class unless
+                // the outbound request re-marks itself — an emergency
+                // registration's whole SBI chain stays emergency.
+                let class = if req.header(PRIORITY_HEADER).is_some() {
+                    PriorityClass::of(&req)
+                } else {
+                    parent_leg.class
+                };
                 let child_leg = LegMeta {
                     id: child,
                     dest: dest.clone(),
@@ -890,6 +944,7 @@ impl Engine {
                     submitted,
                     arrived: now,
                     root: false,
+                    class,
                 };
                 // The *caller's* stack observes the new leg and decides
                 // its request-leg fate — the callee may not even exist.
@@ -917,6 +972,7 @@ impl Engine {
                         arrived: now,
                         queued: SimDuration::ZERO,
                         ancestors,
+                        class,
                     },
                 );
                 match action {

@@ -40,13 +40,14 @@ cargo build --offline --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
-echo "==> bench smoke (pool_scaling + ablation_optimizations + fault_sweep, one rep)"
+echo "==> bench smoke (pool_scaling + ablation_optimizations + fault_sweep + degradation_sweep, one rep)"
 # Absolute SHIELD5G_OBS_DIR (exported above): cargo runs bench binaries
 # with the *package* directory as cwd, so a relative artifact dir would
 # land under crates/bench/.
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench pool_scaling
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench ablation_optimizations
 SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench fault_sweep
+SHIELD5G_BENCH_SMOKE=1 cargo bench --offline -p shield5g-bench --bench degradation_sweep
 
 echo "==> thread-count byte-identity (pool_scaling smoke: 1 vs 2 threads, runner line masked)"
 # The sweep runner promises artifacts that are a pure function of the
@@ -62,8 +63,12 @@ SHIELD5G_BENCH_SMOKE=1 SHIELD5G_BENCH_THREADS=1 SHIELD5G_OBS_DIR="$IDENT_DIR/t1"
   cargo bench --offline -p shield5g-bench --bench pool_scaling > /dev/null
 SHIELD5G_BENCH_SMOKE=1 SHIELD5G_BENCH_THREADS=2 SHIELD5G_OBS_DIR="$IDENT_DIR/t2" \
   cargo bench --offline -p shield5g-bench --bench pool_scaling > /dev/null
+SHIELD5G_BENCH_SMOKE=1 SHIELD5G_BENCH_THREADS=1 SHIELD5G_OBS_DIR="$IDENT_DIR/t1" \
+  cargo bench --offline -p shield5g-bench --bench degradation_sweep > /dev/null
+SHIELD5G_BENCH_SMOKE=1 SHIELD5G_BENCH_THREADS=2 SHIELD5G_OBS_DIR="$IDENT_DIR/t2" \
+  cargo bench --offline -p shield5g-bench --bench degradation_sweep > /dev/null
 for artifact in \
-  BENCH_pool_scaling.json \
+  BENCH_pool_scaling.json BENCH_degradation.json \
   pool_scaling_metrics.prom pool_scaling_metrics.jsonl pool_scaling_spans.jsonl; do
   grep -v '"runner"' "$IDENT_DIR/t1/$artifact" > "$IDENT_DIR/t1/$artifact.masked"
   grep -v '"runner"' "$IDENT_DIR/t2/$artifact" > "$IDENT_DIR/t2/$artifact.masked"
@@ -79,6 +84,7 @@ rm -rf "$IDENT_DIR"
 echo "==> observability artifacts (machine-readable bench output, non-empty)"
 for artifact in \
   BENCH_pool_scaling.json BENCH_ablation.json BENCH_fault_sweep.json \
+  BENCH_degradation.json \
   pool_scaling_metrics.prom pool_scaling_metrics.jsonl pool_scaling_spans.jsonl \
   lint_findings.sarif; do
   path="$SHIELD5G_OBS_DIR/$artifact"

@@ -123,6 +123,50 @@ fn engine_trace_matches_pre_refactor_golden() {
 }
 
 #[test]
+fn overload_layers_disarmed_are_trace_invisible() {
+    // Disarm-invariance gate for the overload-control subsystem: the
+    // slice stack now carries a BreakerLayer on every endpoint, but with
+    // no faults armed nothing ever fails, so the breaker must neither
+    // draw randomness nor reshape the schedule — the seed-300 trace
+    // stays byte-identical to the pre-overload golden file.
+    let mut env = Env::new(300);
+    env.log.disable();
+    let slice = build_slice(
+        &mut env,
+        &SliceConfig {
+            deployment: AkaDeployment::Sgx(SgxConfig::default()),
+            subscriber_count: 2,
+        },
+    )
+    .unwrap();
+    slice.engine.borrow_mut().set_trace(true);
+    let mut sim = GnbSim::new(&slice);
+    sim.register_ues(&mut env, &slice, 2).unwrap();
+    let trace = slice.engine.borrow().trace().to_vec();
+
+    // Not vacuous: the breaker really sampled the slice's outbound legs…
+    let breaker = slice.breaker.borrow();
+    assert!(
+        breaker.total_samples() > 0,
+        "breaker guarded no traffic — the layer is not in the stack"
+    );
+    // …but with every call succeeding it never left closed, never
+    // rejected, never probed.
+    assert_eq!(breaker.stats(), shield5g::mw::BreakerStats::default());
+
+    let golden = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden/engine_trace_seed300.txt"),
+    )
+    .expect("golden trace present");
+    assert_eq!(
+        golden,
+        trace.join("\n") + "\n",
+        "disarmed overload layers perturbed the engine trace"
+    );
+}
+
+#[test]
 fn different_seed_diverging_engine_event_log() {
     // A different seed shifts RANDs and jitter, which moves event
     // timestamps — the logs must not coincide.

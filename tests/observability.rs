@@ -182,10 +182,15 @@ fn label_registry_covers_every_emitted_key() {
     // subsystem emits must use a label from the central registry, so a
     // typo'd or ad-hoc label in an NF or harness fails here instead of
     // silently forking a new time series. The run mix below (a full SGX
-    // registration, an overloaded pool sweep, and a faulted sweep with
-    // retries) exercises the engine, NF, enclave, pool, and faults
-    // label families together.
-    use shield5g::faults::{fault_sweep, FaultConfig, FaultSweepConfig};
+    // registration, an overloaded pool sweep, a faulted sweep with
+    // retries, a degradation run under sustained faults, and an
+    // error-storm slice run that trips the SBI circuit breaker)
+    // exercises the engine, NF, enclave, pool, faults, and
+    // overload-control label families together.
+    use shield5g::faults::{
+        brownout_config, degradation_sweep, fault_sweep, pressured_config, FaultConfig,
+        FaultSweepConfig, SbiFaultPlan,
+    };
     use shield5g::obs::labels;
     use shield5g::scale::harness::{pool_sweep, SweepConfig};
     use shield5g::scale::queue::QueueConfig;
@@ -227,6 +232,42 @@ fn label_registry_covers_every_emitted_key() {
                 ..FaultSweepConfig::default()
             },
         );
+        // Degradation under sustained faults: replica ejections, probes,
+        // priority sheds.
+        let mut pressured = pressured_config(200);
+        pressured.sbi.error_rate = 0.6;
+        let _ = degradation_sweep(804, &pressured);
+        // Brownout under EPC thrash: entry/exit transitions.
+        let _ = degradation_sweep(803, &brownout_config(160));
+        // An SBI error storm on a slice: the per-endpoint circuit
+        // breakers trip and fail subsequent legs fast.
+        let mut env = Env::new(708);
+        env.log.disable();
+        let slice = build_slice(
+            &mut env,
+            &SliceConfig {
+                deployment: AkaDeployment::Sgx(SgxConfig::default()),
+                subscriber_count: 8,
+            },
+        )
+        .expect("slice builds");
+        let _ = SbiFaultPlan::install(
+            &slice.fault_switch,
+            &mut env,
+            FaultConfig {
+                error_rate: 0.9,
+                ..FaultConfig::default()
+            },
+        );
+        let mut sim = GnbSim::new(&slice);
+        for i in 0..8 {
+            let mut ue = sim.ue_for(&slice, i);
+            let _ = ue.register(&mut env, sim.gnb_mut());
+        }
+        assert!(
+            slice.breaker.borrow().stats().opened > 0,
+            "error storm never tripped a slice breaker"
+        );
     }
     recorder.with(|o| {
         let mut seen = std::collections::BTreeSet::new();
@@ -248,6 +289,19 @@ fn label_registry_covers_every_emitted_key() {
                 labels::is_registered(label),
                 "emitted metric label {label:?} is not in shield5g_obs::labels::ALL"
             );
+        }
+        // The overload-control families actually fired — a silent rename
+        // would otherwise pass the registry check with the family absent.
+        for label in [
+            labels::BREAKER_OPENED,
+            labels::BREAKER_REJECTED,
+            labels::BREAKER_PROBES,
+            labels::SHED_NORMAL,
+            labels::SHED_EMERGENCY,
+            labels::REPLICA_EJECTED,
+            labels::BROWNOUT_ENTRIES,
+        ] {
+            assert!(seen.contains(label), "run mix emitted no {label:?} metric");
         }
     });
 }
